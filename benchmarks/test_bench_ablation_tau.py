@@ -1,0 +1,81 @@
+"""Ablation — the clustering parameter τ (§2.3).
+
+The paper describes τ as the knob trading off the number of clusters (and
+hence how many MotherNets must be trained from scratch) against the number of
+new parameters introduced when hatching (how much of every member is warm
+started).  This bench sweeps τ over the full-scale 25-network ResNet family
+and the 100-network V16 variant family and reports both sides of the
+trade-off, plus the resulting projected training cost.
+"""
+
+from __future__ import annotations
+
+from conftest import (
+    PAPER_FULL_EPOCHS,
+    PAPER_MEMBER_EPOCHS,
+    PAPER_TRAIN_SAMPLES,
+    write_report,
+)
+
+from repro.arch import count_parameters, resnet_variant_family, v16_variant_family
+from repro.core import AnalyticalCostModel, cluster_ensemble
+from repro.evaluation import format_table
+
+TAUS = (0.1, 0.3, 0.5, 0.7, 0.9, 1.0)
+
+
+def _sweep(family):
+    cost = AnalyticalCostModel(seconds_per_unit=2e-12)
+    rows = []
+    for tau in TAUS:
+        clusters = cluster_ensemble(family, tau=tau)
+        min_shared = min(cluster.min_shared_fraction() for cluster in clusters)
+        new_parameters = sum(
+            count_parameters(member) - count_parameters(cluster.mothernet)
+            for cluster in clusters
+            for member in cluster.members
+        )
+        projected_hours = cost.ensemble_training_seconds(
+            family,
+            PAPER_MEMBER_EPOCHS,
+            PAPER_TRAIN_SAMPLES,
+            mothernet_specs=[cluster.mothernet for cluster in clusters],
+            mothernet_epochs=PAPER_FULL_EPOCHS,
+        ) / 3600
+        rows.append([tau, len(clusters), min_shared, f"{new_parameters:,d}", projected_hours])
+    return rows
+
+
+def test_bench_ablation_tau(benchmark):
+    resnet_family = resnet_variant_family(width_scale=1.0)
+    vgg_family = v16_variant_family(100, seed=4)
+
+    resnet_rows, vgg_rows = benchmark.pedantic(
+        lambda: (_sweep(resnet_family), _sweep(vgg_family)), rounds=1, iterations=1
+    )
+
+    headers = ["tau", "clusters", "min shared fraction", "new (hatched) parameters", "projected cost (h)"]
+    report = [
+        format_table(headers, resnet_rows, title="tau sweep: 25-network ResNet family"),
+        "",
+        format_table(headers, vgg_rows, title="tau sweep: 100-network V16 variant family"),
+        "",
+        "[paper] tau trades the number of clusters (MotherNets trained from scratch) against",
+        "[paper] the fraction of each member that must be trained anew after hatching;",
+        "[paper] tau=0.5 guarantees a majority of every member's parameters is warm started.",
+    ]
+    write_report("ablation_tau", "\n".join(report))
+
+    for rows in (resnet_rows, vgg_rows):
+        cluster_counts = [row[1] for row in rows]
+        min_shared = [row[2] for row in rows]
+        # More clusters as tau grows (monotone non-decreasing) ...
+        assert cluster_counts == sorted(cluster_counts)
+        # ... and the guaranteed shared fraction respects tau.
+        for tau, shared in zip(TAUS, min_shared):
+            assert shared >= tau - 1e-9
+    # The homogeneous V16 family needs only one or two clusters at the paper's
+    # tau=0.5 (the largest single-layer variants sit right at the boundary).
+    assert vgg_rows[TAUS.index(0.5)][1] <= 2
+    # The heterogeneous ResNet family needs more than one.
+    assert resnet_rows[TAUS.index(0.5)][1] > 1

@@ -1,0 +1,58 @@
+"""Figure 10 — oracle error rate of all large ensembles.
+
+For every large-ensemble configuration (VGG on CIFAR-10-like, CIFAR-100-like
+and SVHN-like; ResNet on CIFAR-10-like), the oracle error rate — the error if
+an oracle picked the most accurate member per test item — is reported as a
+function of the ensemble size.
+
+Paper expectations: the oracle error keeps improving as networks are added,
+indicating that MotherNets keeps introducing members that are both well
+trained and diverse (they make different mistakes).
+"""
+
+from __future__ import annotations
+
+from conftest import large_vgg_scenario, resnet_scenario, write_report
+
+from repro.evaluation import expectation_note, format_series, member_quality_summary
+
+
+def _collect_oracle_curves():
+    return {
+        "VGG/cifar10-like": large_vgg_scenario("cifar10"),
+        "VGG/cifar100-like": large_vgg_scenario("cifar100"),
+        "VGG/svhn-like": large_vgg_scenario("svhn"),
+        "ResNet/cifar10-like": resnet_scenario(),
+    }
+
+
+def test_bench_fig10_oracle(benchmark, paper_expectations):
+    scenarios = benchmark.pedantic(_collect_oracle_curves, rounds=1, iterations=1)
+
+    common = min(len(scenario["oracle_curve"]) for scenario in scenarios.values())
+    sizes = scenarios["VGG/cifar10-like"]["sizes"][:common]
+    series = {name: scenario["oracle_curve"][:common] for name, scenario in scenarios.items()}
+    report = [
+        "Figure 10: oracle error rate (%) vs ensemble size\n"
+        + format_series(series, sizes, x_label="networks"),
+    ]
+    # Member-quality consistency (the claim the oracle figure supports).
+    quality_rows = []
+    for name, scenario in scenarios.items():
+        run = scenario["runs"]["mothernets"]
+        dataset = scenario["dataset"]
+        summary = member_quality_summary(run.ensemble, dataset.x_test, dataset.y_test)
+        quality_rows.append(
+            f"{name}: member error mean {summary['mean']:.2f}% "
+            f"(best {summary['best']:.2f}%, worst {summary['worst']:.2f}%)"
+        )
+    report.append("\n".join(quality_rows))
+    report.append(expectation_note(paper_expectations["fig10"]))
+    write_report("fig10_oracle", "\n".join(report))
+
+    for name, curve in series.items():
+        # Monotone non-increasing: adding members never hurts the oracle.
+        assert all(b <= a + 1e-9 for a, b in zip(curve, curve[1:])), name
+        # The full ensemble's oracle is at least as good as a single member's error.
+        assert curve[-1] <= curve[0] + 1e-9, name
+        assert 0.0 <= curve[-1] <= 100.0

@@ -1,0 +1,63 @@
+"""Table 1 — the VGGNet variants of the small ensemble.
+
+Regenerates Table 1: the block structure of V13, V16, V16A, V16B and V19 in
+the paper's ``<filter_size>:<filter_number>`` notation, together with the
+parameter counts (at full scale) and the MotherNet the ensemble induces.
+"""
+
+from __future__ import annotations
+
+from conftest import write_report
+
+from repro.arch import count_parameters, small_vgg_ensemble, vgg
+from repro.core import construct_mothernet, plan_hatching
+from repro.evaluation import format_table
+
+
+def _build_table1():
+    members = small_vgg_ensemble()  # full-scale Table-1 structures
+    mothernet = construct_mothernet(members, name="MotherNet")
+    rows = []
+    for spec in [*members, mothernet]:
+        row = [spec.name]
+        row.extend(
+            " ".join(layer.notation() for layer in block.layers) for block in spec.conv_blocks
+        )
+        row.append(f"{count_parameters(spec):,d}")
+        rows.append(row)
+    plans = {member.name: plan_hatching(mothernet, member) for member in members}
+    return members, mothernet, rows, plans
+
+
+def test_bench_table1_architectures(benchmark):
+    members, mothernet, rows, plans = benchmark.pedantic(_build_table1, rounds=1, iterations=1)
+
+    headers = ["V", "subnet 1", "subnet 2", "subnet 3", "subnet 4", "subnet 5", "parameters"]
+    report = [format_table(headers, rows, title="Table 1: VGGNet variants in the small ensemble")]
+    report.append("")
+    report.append(
+        format_table(
+            ["member", "hatching steps", "new parameters"],
+            [
+                [name, plan.num_steps, f"{plan.new_parameter_count():,d}"]
+                for name, plan in plans.items()
+            ],
+            title="MotherNet -> member hatching plans",
+        )
+    )
+    write_report("table1_architectures", "\n".join(report))
+
+    # Structural assertions against the published table.
+    by_name = {member.name: member for member in members}
+    assert [block.depth for block in by_name["V13"].conv_blocks] == [2, 2, 2, 2, 2]
+    assert [block.depth for block in by_name["V16"].conv_blocks] == [2, 2, 3, 3, 3]
+    assert [block.depth for block in by_name["V19"].conv_blocks] == [2, 2, 4, 4, 4]
+    assert by_name["V16"].conv_blocks[2].layers[2].notation() == "1:256"
+    assert by_name["V16A"].conv_blocks[0].layers[0].notation() == "3:128"
+    assert by_name["V16B"].conv_blocks[4].layers[2].notation() == "3:512"
+    # The MotherNet is no larger than the smallest member and every member is
+    # reachable from it by function-preserving transformations.
+    assert count_parameters(mothernet) <= min(count_parameters(m) for m in members)
+    assert all(plan.num_steps > 0 for name, plan in plans.items() if name != "V13")
+    # Parameter ordering of the published architectures.
+    assert count_parameters(vgg("V16A")) < count_parameters(vgg("V13")) < count_parameters(vgg("V19"))

@@ -1,0 +1,34 @@
+"""MotherNets: Rapid Deep Ensemble Learning — reproduction library.
+
+This package reproduces the system described in *MotherNets: Rapid Deep
+Ensemble Learning* (Wasay, Liao, Idreos; MLSys 2020): rapid training of
+large ensembles of deep neural networks with diverse architectures by
+
+1. constructing a MotherNet that captures the structural similarity of the
+   ensemble (``repro.core.construct_mothernet``),
+2. clustering ensembles with large size spreads (``repro.core.cluster_ensemble``),
+3. training the MotherNet(s) once on the full data set,
+4. hatching every member via function-preserving transformations
+   (``repro.core.hatch``), and
+5. fine-tuning the members on bagged samples
+   (``repro.core.MotherNetsTrainer``).
+
+Sub-packages
+------------
+``repro.nn``
+    Pure-numpy neural-network substrate (layers, optimizers, training loop).
+``repro.arch``
+    Architecture specifications and the paper's architecture zoo.
+``repro.core``
+    The MotherNets algorithms, ensemble inference, baselines, cost model.
+``repro.data``
+    Synthetic CIFAR/SVHN stand-ins and bagging utilities.
+``repro.evaluation``
+    Ensemble metrics and benchmark reporting helpers.
+"""
+
+from repro import arch, core, data, evaluation, nn, utils
+
+__version__ = "1.0.0"
+
+__all__ = ["arch", "core", "data", "evaluation", "nn", "utils", "__version__"]

@@ -1,0 +1,70 @@
+"""Architecture specifications, parameter accounting, validation, and the
+zoo of paper architectures (Table-1 VGG variants, ResNet families, MLPs)."""
+
+from repro.arch.spec import (
+    ArchitectureSpec,
+    ConvBlockSpec,
+    ConvLayerSpec,
+    DenseLayerSpec,
+)
+from repro.arch.params import (
+    count_parameters,
+    parameter_breakdown,
+    shared_parameter_fraction,
+    sort_by_size,
+)
+from repro.arch.serialization import (
+    spec_from_dict,
+    spec_from_json,
+    spec_to_dict,
+    spec_to_json,
+)
+from repro.arch.validation import (
+    IncompatibleArchitectureError,
+    check_hatchable,
+    check_same_task,
+    hatchability_errors,
+    is_hatchable,
+)
+from repro.arch.zoo import (
+    DEFAULT_INPUT_SHAPE,
+    RESNET_DEPTHS,
+    VGG_VARIANT_NAMES,
+    mlp,
+    mlp_family,
+    resnet,
+    resnet_variant_family,
+    small_vgg_ensemble,
+    v16_variant_family,
+    vgg,
+)
+
+__all__ = [
+    "ArchitectureSpec",
+    "ConvBlockSpec",
+    "ConvLayerSpec",
+    "DenseLayerSpec",
+    "count_parameters",
+    "parameter_breakdown",
+    "shared_parameter_fraction",
+    "sort_by_size",
+    "spec_to_dict",
+    "spec_from_dict",
+    "spec_to_json",
+    "spec_from_json",
+    "IncompatibleArchitectureError",
+    "check_hatchable",
+    "check_same_task",
+    "hatchability_errors",
+    "is_hatchable",
+    "DEFAULT_INPUT_SHAPE",
+    "RESNET_DEPTHS",
+    "VGG_VARIANT_NAMES",
+    "mlp",
+    "mlp_family",
+    "resnet",
+    "resnet_variant_family",
+    "small_vgg_ensemble",
+    "v16_variant_family",
+    "vgg",
+]

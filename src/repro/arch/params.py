@@ -1,0 +1,129 @@
+"""Parameter counting for architecture specs.
+
+The clustering algorithm (Algorithm 1) and the MotherNet-size invariants are
+all phrased in terms of the number of trainable parameters of a network, so
+the count must be available *without* materialising the network.  The result
+is guaranteed (and tested) to equal ``Model.from_spec(spec).parameter_count()``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.arch.spec import ArchitectureSpec, ConvBlockSpec
+
+
+def _conv_params(in_channels: int, filters: int, filter_size: int, bias: bool = True) -> int:
+    count = filters * in_channels * filter_size * filter_size
+    if bias:
+        count += filters
+    return count
+
+
+def _batchnorm_params(features: int) -> int:
+    # gamma and beta are trainable; running statistics are state, not parameters.
+    return 2 * features
+
+
+def _dense_params(in_features: int, out_features: int) -> int:
+    return in_features * out_features + out_features
+
+
+def _plain_block_params(block: ConvBlockSpec, in_channels: int, use_batchnorm: bool) -> int:
+    total = 0
+    channels = in_channels
+    for layer in block.layers:
+        total += _conv_params(channels, layer.filters, layer.filter_size)
+        if use_batchnorm:
+            total += _batchnorm_params(layer.filters)
+        channels = layer.filters
+    return total
+
+
+def _residual_block_params(block: ConvBlockSpec, in_channels: int, use_batchnorm: bool) -> int:
+    total = 0
+    channels = in_channels
+    for layer in block.layers:
+        # conv1: in -> filters, conv2: filters -> filters, projection 1x1 (no bias).
+        total += _conv_params(channels, layer.filters, layer.filter_size)
+        total += _conv_params(layer.filters, layer.filters, layer.filter_size)
+        total += _conv_params(channels, layer.filters, 1, bias=False)
+        if use_batchnorm:
+            total += 2 * _batchnorm_params(layer.filters)
+        channels = layer.filters
+    return total
+
+
+def block_output_channels(block: ConvBlockSpec) -> int:
+    """Channel count flowing out of a block."""
+    return block.layers[-1].filters
+
+
+def count_parameters(spec: ArchitectureSpec) -> int:
+    """Total number of trainable parameters described by ``spec``."""
+    total = 0
+    if spec.kind == "conv":
+        channels = spec.input_shape[0]
+        for block in spec.conv_blocks:
+            if block.residual:
+                total += _residual_block_params(block, channels, spec.use_batchnorm)
+            else:
+                total += _plain_block_params(block, channels, spec.use_batchnorm)
+            channels = block_output_channels(block)
+        features = channels  # global average pooling keeps channel count
+    else:
+        features = spec.input_shape[0]
+    for layer in spec.dense_layers:
+        total += _dense_params(features, layer.units)
+        if spec.use_batchnorm:
+            total += _batchnorm_params(layer.units)
+        features = layer.units
+    total += _dense_params(features, spec.num_classes)
+    return total
+
+
+def parameter_breakdown(spec: ArchitectureSpec) -> Dict[str, int]:
+    """Per-stage parameter counts (used in reports and the Table-1 bench)."""
+    breakdown: Dict[str, int] = {}
+    if spec.kind == "conv":
+        channels = spec.input_shape[0]
+        for b, block in enumerate(spec.conv_blocks):
+            if block.residual:
+                count = _residual_block_params(block, channels, spec.use_batchnorm)
+            else:
+                count = _plain_block_params(block, channels, spec.use_batchnorm)
+            breakdown[f"block_{b}"] = count
+            channels = block_output_channels(block)
+        features = channels
+    else:
+        features = spec.input_shape[0]
+    hidden_total = 0
+    for layer in spec.dense_layers:
+        hidden_total += _dense_params(features, layer.units)
+        if spec.use_batchnorm:
+            hidden_total += _batchnorm_params(layer.units)
+        features = layer.units
+    if spec.dense_layers:
+        breakdown["dense_hidden"] = hidden_total
+    breakdown["classifier"] = _dense_params(features, spec.num_classes)
+    return breakdown
+
+
+def shared_parameter_fraction(parent: ArchitectureSpec, child: ArchitectureSpec) -> float:
+    """Fraction of ``child``'s parameters that originate from ``parent``.
+
+    This is the quantity the clustering condition bounds: for every ensemble
+    network ``C`` and its MotherNet ``M``, ``(|C| - |M|) < tau * |C|`` i.e.
+    ``|M| / |C| > 1 - tau``.
+    """
+    child_params = count_parameters(child)
+    parent_params = count_parameters(parent)
+    if child_params <= 0:
+        raise ValueError("child architecture has no parameters")
+    return min(1.0, parent_params / child_params)
+
+
+def sort_by_size(specs: List[ArchitectureSpec]) -> List[ArchitectureSpec]:
+    """Return the specs sorted by ascending parameter count (ties broken by
+    name for determinism)."""
+    return sorted(specs, key=lambda s: (count_parameters(s), s.name))

@@ -1,0 +1,81 @@
+"""Serialization of architecture specifications.
+
+Specs are plain frozen dataclasses; these helpers convert them to and from
+JSON-compatible dictionaries so that trained ensembles (spec + weights) can be
+stored on disk and reloaded — see ``repro.nn.serialization`` for the weight
+side.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.arch.spec import (
+    ArchitectureSpec,
+    ConvBlockSpec,
+    ConvLayerSpec,
+    DenseLayerSpec,
+)
+
+_FORMAT_VERSION = 1
+
+
+def spec_to_dict(spec: ArchitectureSpec) -> Dict:
+    """Convert a spec to a JSON-compatible dictionary."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": spec.name,
+        "input_shape": list(spec.input_shape),
+        "num_classes": spec.num_classes,
+        "use_batchnorm": spec.use_batchnorm,
+        "dropout_rate": spec.dropout_rate,
+        "conv_blocks": [
+            {
+                "residual": block.residual,
+                "layers": [
+                    {"filter_size": layer.filter_size, "filters": layer.filters}
+                    for layer in block.layers
+                ],
+            }
+            for block in spec.conv_blocks
+        ],
+        "dense_layers": [{"units": layer.units} for layer in spec.dense_layers],
+    }
+
+
+def spec_from_dict(data: Dict) -> ArchitectureSpec:
+    """Inverse of :func:`spec_to_dict`."""
+    version = data.get("format_version", _FORMAT_VERSION)
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported spec format version {version}")
+    conv_blocks = tuple(
+        ConvBlockSpec(
+            tuple(
+                ConvLayerSpec(filter_size=layer["filter_size"], filters=layer["filters"])
+                for layer in block["layers"]
+            ),
+            residual=bool(block.get("residual", False)),
+        )
+        for block in data.get("conv_blocks", [])
+    )
+    dense_layers = tuple(DenseLayerSpec(units=layer["units"]) for layer in data.get("dense_layers", []))
+    return ArchitectureSpec(
+        name=data["name"],
+        input_shape=tuple(data["input_shape"]),
+        num_classes=int(data["num_classes"]),
+        conv_blocks=conv_blocks,
+        dense_layers=dense_layers,
+        use_batchnorm=bool(data.get("use_batchnorm", True)),
+        dropout_rate=float(data.get("dropout_rate", 0.0)),
+    )
+
+
+def spec_to_json(spec: ArchitectureSpec) -> str:
+    """Serialise a spec to a JSON string."""
+    return json.dumps(spec_to_dict(spec), sort_keys=True)
+
+
+def spec_from_json(text: str) -> ArchitectureSpec:
+    """Parse a spec from a JSON string."""
+    return spec_from_dict(json.loads(text))

@@ -1,0 +1,225 @@
+"""Declarative architecture specifications.
+
+The MotherNets algorithm operates on the *structure* of feed-forward networks:
+it needs to compare layer and block shapes across ensemble members, count
+parameters, and decide how a trained MotherNet must be expanded to reach each
+member.  ``ArchitectureSpec`` is that structural description, decoupled from
+any trained weights.  ``repro.nn.model.Model.from_spec`` turns a spec into a
+trainable network; ``repro.core`` constructs MotherNet specs and hatches
+models between specs.
+
+Two families are supported, mirroring §2.1 of the paper:
+
+* fully-connected networks: an ordered tuple of hidden-layer widths;
+* convolutional networks: an ordered tuple of blocks, each a tuple of
+  convolutional layers described by ``<filter_size>:<filter_number>`` (the
+  paper's notation), optionally residual (ResNet-style units).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ConvLayerSpec:
+    """One convolutional layer: ``<filter_size>:<filters>`` in the paper's
+    notation.  For residual blocks a ``ConvLayerSpec`` describes one residual
+    *unit* (two convolutions of this size/width plus a projection shortcut)."""
+
+    filter_size: int = 3
+    filters: int = 64
+
+    def __post_init__(self):
+        if self.filter_size <= 0 or self.filter_size % 2 == 0:
+            raise ValueError(f"filter_size must be a positive odd integer, got {self.filter_size}")
+        if self.filters <= 0:
+            raise ValueError(f"filters must be positive, got {self.filters}")
+
+    def notation(self) -> str:
+        """The paper's ``<filter_size>:<filters>`` notation."""
+        return f"{self.filter_size}:{self.filters}"
+
+    @classmethod
+    def parse(cls, text: str) -> "ConvLayerSpec":
+        """Parse ``"3:64"`` into a spec."""
+        size, filters = text.strip().split(":")
+        return cls(filter_size=int(size), filters=int(filters))
+
+
+@dataclass(frozen=True)
+class ConvBlockSpec:
+    """A block of convolutional layers separated from the next block by a
+    max-pooling layer (VGG style) or a block of residual units (ResNet style)."""
+
+    layers: Tuple[ConvLayerSpec, ...]
+    residual: bool = False
+
+    def __post_init__(self):
+        if not self.layers:
+            raise ValueError("a convolutional block must contain at least one layer")
+        object.__setattr__(self, "layers", tuple(self.layers))
+
+    @property
+    def depth(self) -> int:
+        return len(self.layers)
+
+    def notation(self) -> str:
+        body = " ".join(layer.notation() for layer in self.layers)
+        return f"[{body}]" + ("*" if self.residual else "")
+
+    @classmethod
+    def of(cls, *layer_texts: str, residual: bool = False) -> "ConvBlockSpec":
+        """Build a block from ``"3:64"``-style strings."""
+        return cls(tuple(ConvLayerSpec.parse(t) for t in layer_texts), residual=residual)
+
+
+@dataclass(frozen=True)
+class DenseLayerSpec:
+    """One hidden fully-connected layer."""
+
+    units: int
+
+    def __post_init__(self):
+        if self.units <= 0:
+            raise ValueError(f"units must be positive, got {self.units}")
+
+
+@dataclass(frozen=True)
+class ArchitectureSpec:
+    """A complete feed-forward architecture.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"V16"``).
+    input_shape:
+        ``(channels, height, width)`` for convolutional networks or
+        ``(features,)`` for fully-connected networks.
+    num_classes:
+        Output dimensionality of the classifier head.
+    conv_blocks:
+        Convolutional blocks (empty for fully-connected networks).
+    dense_layers:
+        Hidden fully-connected layers placed after the convolutional stage
+        (or directly after the input for fully-connected networks).
+    use_batchnorm:
+        Whether convolutional/dense hidden layers are followed by BatchNorm.
+    dropout_rate:
+        Dropout applied before the classifier head (0 disables it).
+    """
+
+    name: str
+    input_shape: Tuple[int, ...]
+    num_classes: int
+    conv_blocks: Tuple[ConvBlockSpec, ...] = field(default_factory=tuple)
+    dense_layers: Tuple[DenseLayerSpec, ...] = field(default_factory=tuple)
+    use_batchnorm: bool = True
+    dropout_rate: float = 0.0
+
+    def __post_init__(self):
+        object.__setattr__(self, "input_shape", tuple(int(s) for s in self.input_shape))
+        object.__setattr__(self, "conv_blocks", tuple(self.conv_blocks))
+        object.__setattr__(self, "dense_layers", tuple(self.dense_layers))
+        if self.num_classes < 2:
+            raise ValueError("num_classes must be at least 2")
+        if self.conv_blocks and len(self.input_shape) != 3:
+            raise ValueError("convolutional architectures need a (C, H, W) input_shape")
+        if not self.conv_blocks and len(self.input_shape) != 1:
+            raise ValueError("fully-connected architectures need a (features,) input_shape")
+        if not self.conv_blocks and not self.dense_layers:
+            raise ValueError("an architecture needs at least one hidden layer or conv block")
+        if not 0.0 <= self.dropout_rate < 1.0:
+            raise ValueError("dropout_rate must be in [0, 1)")
+        if any(s <= 0 for s in self.input_shape):
+            raise ValueError("input_shape entries must be positive")
+
+    # --------------------------------------------------------------- helpers
+    @property
+    def kind(self) -> str:
+        """``"conv"`` or ``"dense"``."""
+        return "conv" if self.conv_blocks else "dense"
+
+    @property
+    def is_residual(self) -> bool:
+        return any(block.residual for block in self.conv_blocks)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.conv_blocks)
+
+    @property
+    def hidden_widths(self) -> Tuple[int, ...]:
+        return tuple(layer.units for layer in self.dense_layers)
+
+    def with_name(self, name: str) -> "ArchitectureSpec":
+        return replace(self, name=name)
+
+    def conv_depth(self) -> int:
+        """Total number of convolutional layers (residual units count the two
+        convolutions they contain)."""
+        total = 0
+        for block in self.conv_blocks:
+            per_layer = 2 if block.residual else 1
+            total += per_layer * block.depth
+        return total
+
+    def describe(self) -> str:
+        """A Table-1-style textual description of the architecture."""
+        if self.kind == "dense":
+            widths = "-".join(str(w) for w in self.hidden_widths)
+            return f"{self.name}: dense[{widths}] -> {self.num_classes}"
+        blocks = " | ".join(block.notation() for block in self.conv_blocks)
+        tail = ""
+        if self.dense_layers:
+            tail = " | fc[" + "-".join(str(w) for w in self.hidden_widths) + "]"
+        return f"{self.name}: {blocks}{tail} -> {self.num_classes}"
+
+    # ------------------------------------------------------------ factories
+    @classmethod
+    def dense(
+        cls,
+        name: str,
+        input_features: int,
+        hidden_units: Sequence[int],
+        num_classes: int,
+        use_batchnorm: bool = False,
+        dropout_rate: float = 0.0,
+    ) -> "ArchitectureSpec":
+        """Convenience constructor for fully-connected architectures."""
+        return cls(
+            name=name,
+            input_shape=(int(input_features),),
+            num_classes=int(num_classes),
+            dense_layers=tuple(DenseLayerSpec(int(u)) for u in hidden_units),
+            use_batchnorm=use_batchnorm,
+            dropout_rate=dropout_rate,
+        )
+
+    @classmethod
+    def convolutional(
+        cls,
+        name: str,
+        input_shape: Tuple[int, int, int],
+        blocks: Iterable[Sequence[str]],
+        num_classes: int,
+        dense_layers: Sequence[int] = (),
+        residual: bool = False,
+        use_batchnorm: bool = True,
+        dropout_rate: float = 0.0,
+    ) -> "ArchitectureSpec":
+        """Convenience constructor: ``blocks`` is an iterable of blocks, each a
+        sequence of ``"3:64"``-style layer strings."""
+        conv_blocks = tuple(
+            ConvBlockSpec.of(*block, residual=residual) for block in blocks
+        )
+        return cls(
+            name=name,
+            input_shape=tuple(input_shape),
+            num_classes=int(num_classes),
+            conv_blocks=conv_blocks,
+            dense_layers=tuple(DenseLayerSpec(int(u)) for u in dense_layers),
+            use_batchnorm=use_batchnorm,
+            dropout_rate=dropout_rate,
+        )

@@ -1,0 +1,141 @@
+"""Structural validation and hatch-compatibility checks.
+
+Hatching (``repro.core.hatching``) can only expand a network: it adds layers,
+widens layers, and grows filter sizes.  ``check_hatchable`` verifies that a
+target architecture is reachable from a candidate MotherNet by such
+function-preserving transformations; the MotherNet construction in
+``repro.core.mothernet`` guarantees this property by design and the tests
+assert it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.arch.spec import ArchitectureSpec
+
+
+class IncompatibleArchitectureError(ValueError):
+    """Raised when two architectures cannot participate in the same
+    MotherNet/hatching relationship."""
+
+
+def _ensure(condition: bool, message: str, errors: List[str]) -> None:
+    if not condition:
+        errors.append(message)
+
+
+def check_same_task(specs: Sequence[ArchitectureSpec]) -> None:
+    """All ensemble members must share input shape, class count, and family
+    (fully-connected vs convolutional, plain vs residual), because they are
+    trained for the same task and hatched from the same MotherNet."""
+    if not specs:
+        raise IncompatibleArchitectureError("the ensemble is empty")
+    reference = specs[0]
+    errors: List[str] = []
+    for spec in specs[1:]:
+        _ensure(
+            spec.input_shape == reference.input_shape,
+            f"{spec.name}: input shape {spec.input_shape} != {reference.input_shape}",
+            errors,
+        )
+        _ensure(
+            spec.num_classes == reference.num_classes,
+            f"{spec.name}: num_classes {spec.num_classes} != {reference.num_classes}",
+            errors,
+        )
+        _ensure(
+            spec.kind == reference.kind,
+            f"{spec.name}: kind {spec.kind} != {reference.kind}",
+            errors,
+        )
+        _ensure(
+            spec.is_residual == reference.is_residual,
+            f"{spec.name}: residual flag differs from {reference.name}",
+            errors,
+        )
+        _ensure(
+            spec.use_batchnorm == reference.use_batchnorm,
+            f"{spec.name}: use_batchnorm differs from {reference.name}",
+            errors,
+        )
+        if spec.kind == "conv":
+            _ensure(
+                spec.num_blocks == reference.num_blocks,
+                f"{spec.name}: {spec.num_blocks} blocks != {reference.num_blocks}",
+                errors,
+            )
+    if errors:
+        raise IncompatibleArchitectureError(
+            "ensemble members are not structurally compatible:\n  " + "\n  ".join(errors)
+        )
+
+
+def hatchability_errors(parent: ArchitectureSpec, child: ArchitectureSpec) -> List[str]:
+    """Return the list of reasons why ``child`` cannot be hatched from
+    ``parent`` (empty list means hatchable)."""
+    errors: List[str] = []
+    _ensure(parent.kind == child.kind, "different architecture families", errors)
+    _ensure(parent.input_shape == child.input_shape, "different input shapes", errors)
+    _ensure(parent.num_classes == child.num_classes, "different class counts", errors)
+    _ensure(parent.use_batchnorm == child.use_batchnorm, "different BatchNorm settings", errors)
+    if errors:
+        return errors
+
+    if parent.kind == "conv":
+        _ensure(
+            parent.num_blocks == child.num_blocks,
+            f"different block counts ({parent.num_blocks} vs {child.num_blocks})",
+            errors,
+        )
+        for b, (p_block, c_block) in enumerate(zip(parent.conv_blocks, child.conv_blocks)):
+            _ensure(
+                p_block.residual == c_block.residual,
+                f"block {b}: residual flag differs",
+                errors,
+            )
+            _ensure(
+                p_block.depth <= c_block.depth,
+                f"block {b}: parent has more layers ({p_block.depth} > {c_block.depth})",
+                errors,
+            )
+            for i, (p_layer, c_layer) in enumerate(zip(p_block.layers, c_block.layers)):
+                _ensure(
+                    p_layer.filters <= c_layer.filters,
+                    f"block {b} layer {i}: parent wider ({p_layer.filters} > {c_layer.filters})",
+                    errors,
+                )
+                _ensure(
+                    p_layer.filter_size <= c_layer.filter_size,
+                    f"block {b} layer {i}: parent filter larger "
+                    f"({p_layer.filter_size} > {c_layer.filter_size})",
+                    errors,
+                )
+    _ensure(
+        len(parent.dense_layers) <= len(child.dense_layers),
+        "parent has more hidden dense layers than child",
+        errors,
+    )
+    for i, (p_layer, c_layer) in enumerate(zip(parent.dense_layers, child.dense_layers)):
+        _ensure(
+            p_layer.units <= c_layer.units,
+            f"dense layer {i}: parent wider ({p_layer.units} > {c_layer.units})",
+            errors,
+        )
+    return errors
+
+
+def is_hatchable(parent: ArchitectureSpec, child: ArchitectureSpec) -> bool:
+    """True if ``child`` can be obtained from ``parent`` by function-preserving
+    transformations (deepen / widen / grow filters)."""
+    return not hatchability_errors(parent, child)
+
+
+def check_hatchable(parent: ArchitectureSpec, child: ArchitectureSpec) -> None:
+    """Raise :class:`IncompatibleArchitectureError` if ``child`` is not
+    hatchable from ``parent``."""
+    errors = hatchability_errors(parent, child)
+    if errors:
+        raise IncompatibleArchitectureError(
+            f"{child.name} cannot be hatched from {parent.name}:\n  " + "\n  ".join(errors)
+        )

@@ -1,0 +1,84 @@
+"""MotherNets core: MotherNet construction, clustering, function-preserving
+morphisms, hatching, ensemble inference, training pipelines, and the
+training-cost model."""
+
+from repro.core.mothernet import construct_mothernet
+from repro.core.clustering import (
+    Cluster,
+    cluster_ensemble,
+    clustering_summary,
+    minimum_cluster_count_bruteforce,
+    satisfies_clustering_condition,
+)
+from repro.core.morphism import (
+    deepen_conv_block,
+    deepen_dense,
+    deepen_residual_block,
+    expand_conv_filter,
+    transfer_matching_weights,
+    widen_conv_layer,
+    widen_dense_layer,
+    widen_residual_block,
+)
+from repro.core.hatching import (
+    HatchingError,
+    HatchingPlan,
+    HatchingStep,
+    hatch,
+    hatch_ensemble,
+    plan_hatching,
+    verify_function_preservation,
+)
+from repro.core.ensemble import (
+    Ensemble,
+    EnsembleMember,
+    INFERENCE_METHODS,
+    METHOD_ABBREVIATIONS,
+)
+from repro.core.cost_model import AnalyticalCostModel, CostLedger, CostRecord, speedup
+from repro.core.trainer import (
+    EnsembleTrainer,
+    EnsembleTrainingRun,
+    MotherNetsTrainer,
+    summarize_run,
+)
+from repro.core.baselines import BaggingTrainer, FullDataTrainer, SnapshotEnsembleTrainer
+
+__all__ = [
+    "construct_mothernet",
+    "Cluster",
+    "cluster_ensemble",
+    "clustering_summary",
+    "minimum_cluster_count_bruteforce",
+    "satisfies_clustering_condition",
+    "deepen_conv_block",
+    "deepen_dense",
+    "deepen_residual_block",
+    "expand_conv_filter",
+    "transfer_matching_weights",
+    "widen_conv_layer",
+    "widen_dense_layer",
+    "widen_residual_block",
+    "HatchingError",
+    "HatchingPlan",
+    "HatchingStep",
+    "hatch",
+    "hatch_ensemble",
+    "plan_hatching",
+    "verify_function_preservation",
+    "Ensemble",
+    "EnsembleMember",
+    "INFERENCE_METHODS",
+    "METHOD_ABBREVIATIONS",
+    "AnalyticalCostModel",
+    "CostLedger",
+    "CostRecord",
+    "speedup",
+    "EnsembleTrainer",
+    "EnsembleTrainingRun",
+    "MotherNetsTrainer",
+    "summarize_run",
+    "BaggingTrainer",
+    "FullDataTrainer",
+    "SnapshotEnsembleTrainer",
+]

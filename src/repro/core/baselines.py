@@ -1,0 +1,205 @@
+"""Baseline ensemble-training approaches.
+
+The paper compares MotherNets against the two prevalent ways of training an
+ensemble of distinct architectures (§1, §3 "Baselines"):
+
+* **Full-data (FD)** — every member is trained from scratch on the entire
+  training set with random initialisation;
+* **Bagging (Bag.)** — every member is trained from scratch on its own
+  bootstrap sample of the training set.
+
+A Snapshot-Ensemble-style trainer (Huang et al., discussed in Related Work)
+is also provided as an extension: it trains a *single* architecture with a
+cyclic learning rate and collects one snapshot per cycle, which illustrates
+the monolithic-architecture restriction that MotherNets removes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.arch.spec import ArchitectureSpec
+from repro.core.cost_model import CostLedger
+from repro.core.ensemble import Ensemble, EnsembleMember
+from repro.core.trainer import EnsembleTrainer, EnsembleTrainingRun
+from repro.data.datasets import Dataset
+from repro.data.sampling import bootstrap_sample
+from repro.nn.model import Model
+from repro.nn.optimizers import CosineSchedule
+from repro.nn.training import Trainer, TrainingConfig, TrainingResult
+from repro.utils.logging import get_logger
+from repro.utils.rng import RngManager
+
+logger = get_logger("core.baselines")
+
+
+class _ScratchTrainer(EnsembleTrainer):
+    """Shared implementation for the two from-scratch baselines."""
+
+    use_bagging: bool = False
+
+    def train(
+        self, specs: Sequence[ArchitectureSpec], dataset: Dataset, seed: int = 0
+    ) -> EnsembleTrainingRun:
+        specs = list(specs)
+        self._validate(specs, dataset)
+        rngs = RngManager(seed)
+        ledger = CostLedger(approach=self.approach)
+        members: List[EnsembleMember] = []
+        member_results: Dict[str, TrainingResult] = {}
+
+        for index, spec in enumerate(specs):
+            model = Model.from_spec(spec, seed=rngs.seed("init", index))
+            if self.use_bagging:
+                bag = bootstrap_sample(
+                    dataset.x_train, dataset.y_train, seed=rngs.seed("bag", index)
+                )
+                x, y, samples = bag.x, bag.y, bag.size
+            else:
+                x, y, samples = dataset.x_train, dataset.y_train, dataset.train_size
+            result, seconds = self._fit(
+                model, x, y, self.config, seed=rngs.seed("shuffle", index)
+            )
+            member_results[spec.name] = result
+            ledger.add(
+                network=spec.name,
+                phase="scratch",
+                epochs=result.epochs_run,
+                wall_clock_seconds=seconds,
+                parameters=model.parameter_count(),
+                samples_per_epoch=samples,
+            )
+            members.append(
+                EnsembleMember(
+                    name=spec.name,
+                    model=model,
+                    training_result=result,
+                    source="scratch",
+                    training_seconds=seconds,
+                )
+            )
+            logger.info("trained %s from scratch in %.2fs", spec.name, seconds)
+
+        ensemble = Ensemble(members, num_classes=dataset.num_classes)
+        return EnsembleTrainingRun(
+            approach=self.approach,
+            ensemble=ensemble,
+            ledger=ledger,
+            config=self.config,
+            member_results=member_results,
+        )
+
+
+class FullDataTrainer(_ScratchTrainer):
+    """Train every ensemble member from scratch on the full training set."""
+
+    approach = "full_data"
+    use_bagging = False
+
+
+class BaggingTrainer(_ScratchTrainer):
+    """Train every ensemble member from scratch on its own bootstrap sample."""
+
+    approach = "bagging"
+    use_bagging = True
+
+
+class SnapshotEnsembleTrainer(EnsembleTrainer):
+    """Snapshot Ensembles (Huang et al. 2017), the fast-ensembling related
+    work the paper contrasts against: a *single* architecture is trained with
+    a cyclic (cosine) learning rate and a snapshot of the weights is taken at
+    the end of every cycle.
+
+    All snapshots share the same, monolithic architecture — this trainer is
+    provided to demonstrate that restriction next to MotherNets' structurally
+    diverse ensembles.
+    """
+
+    approach = "snapshot"
+
+    def __init__(
+        self,
+        config: Optional[TrainingConfig] = None,
+        num_snapshots: int = 5,
+        epochs_per_cycle: Optional[int] = None,
+    ):
+        super().__init__(config)
+        if num_snapshots < 1:
+            raise ValueError("num_snapshots must be at least 1")
+        self.num_snapshots = int(num_snapshots)
+        self.epochs_per_cycle = epochs_per_cycle
+
+    def train(
+        self, specs: Sequence[ArchitectureSpec], dataset: Dataset, seed: int = 0
+    ) -> EnsembleTrainingRun:
+        specs = list(specs)
+        if len({spec.describe() for spec in specs}) != 1:
+            raise ValueError(
+                "SnapshotEnsembleTrainer requires a monolithic architecture; "
+                "pass the same spec repeated (this is exactly the restriction "
+                "MotherNets lifts)"
+            )
+        self._validate(specs, dataset)
+        spec = specs[0]
+        rngs = RngManager(seed)
+        ledger = CostLedger(approach=self.approach)
+
+        cycle_epochs = self.epochs_per_cycle or max(1, self.config.max_epochs)
+        cycle_config = TrainingConfig(
+            max_epochs=cycle_epochs,
+            min_epochs=cycle_epochs,
+            batch_size=self.config.batch_size,
+            learning_rate=self.config.learning_rate,
+            momentum=self.config.momentum,
+            weight_decay=self.config.weight_decay,
+            convergence_patience=cycle_epochs,
+            convergence_tolerance=0.0,
+            shuffle=self.config.shuffle,
+            schedule=CosineSchedule(
+                self.config.learning_rate,
+                total_epochs=cycle_epochs,
+                cycle_length=cycle_epochs,
+                min_lr=0.01 * self.config.learning_rate,
+            ),
+            loss=self.config.loss,
+        )
+
+        model = Model.from_spec(spec, seed=rngs.seed("init"))
+        members: List[EnsembleMember] = []
+        member_results: Dict[str, TrainingResult] = {}
+        for cycle in range(self.num_snapshots):
+            start = time.perf_counter()
+            result = Trainer(cycle_config).fit(
+                model, dataset.x_train, dataset.y_train, seed=rngs.seed("shuffle", cycle)
+            )
+            seconds = time.perf_counter() - start
+            snapshot = model.copy()
+            name = f"{spec.name}-snapshot-{cycle}"
+            member_results[name] = result
+            ledger.add(
+                network=name,
+                phase="member",
+                epochs=result.epochs_run,
+                wall_clock_seconds=seconds,
+                parameters=snapshot.parameter_count(),
+                samples_per_epoch=dataset.train_size,
+            )
+            members.append(
+                EnsembleMember(
+                    name=name,
+                    model=snapshot,
+                    training_result=result,
+                    source="snapshot",
+                    training_seconds=seconds,
+                )
+            )
+
+        ensemble = Ensemble(members, num_classes=dataset.num_classes)
+        return EnsembleTrainingRun(
+            approach=self.approach,
+            ensemble=ensemble,
+            ledger=ledger,
+            config=self.config,
+            member_results=member_results,
+        )

@@ -1,0 +1,158 @@
+"""Clustering of ensemble members (Algorithm 1, §2.3).
+
+When the ensemble contains networks with a large size spread, a single
+MotherNet would be limited by the smallest member and could share only an
+insignificant amount of structure with the largest members.  The paper
+therefore partitions the (size-sorted) ensemble into the minimum number of
+clusters such that every member shares at least a fraction ``tau`` of its
+parameters with its cluster's MotherNet, and trains one MotherNet per cluster.
+
+Note on the condition.  The paper states the condition both in prose ("at
+least a fraction τ of [a member's] parameters originate from its MotherNet")
+and as a formula (``|C| - |M| < τ·|C|``).  The two uses of τ are complements
+of each other (the formula's τ is ``1 - τ`` of the prose); we implement the
+*prose* semantics — ``|M| ≥ τ·|C|`` — because it matches all the concrete
+statements in the paper: τ = 1 gives one cluster per network, τ → 0 gives a
+single cluster, and τ = 0.5 means "a majority of the parameters of every
+ensemble network originates from its MotherNet" (§3) and yields the three
+ResNet clusters of the evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import List, Sequence
+
+from repro.arch.params import count_parameters, sort_by_size
+from repro.arch.spec import ArchitectureSpec
+from repro.core.mothernet import construct_mothernet
+from repro.utils.logging import get_logger
+
+logger = get_logger("core.clustering")
+
+
+@dataclass
+class Cluster:
+    """One cluster of ensemble members together with its MotherNet."""
+
+    cluster_id: int
+    members: List[ArchitectureSpec]
+    mothernet: ArchitectureSpec
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def min_shared_fraction(self) -> float:
+        """The smallest fraction of member parameters covered by the
+        MotherNet across the cluster's members."""
+        mothernet_params = count_parameters(self.mothernet)
+        return min(
+            mothernet_params / count_parameters(member) for member in self.members
+        )
+
+
+def satisfies_clustering_condition(
+    members: Sequence[ArchitectureSpec], tau: float
+) -> bool:
+    """True if the MotherNet of ``members`` covers at least a fraction ``tau``
+    of the parameters of every member."""
+    if not members:
+        return True
+    mothernet = construct_mothernet(members, name="candidate-mothernet")
+    mothernet_params = count_parameters(mothernet)
+    return all(
+        mothernet_params >= tau * count_parameters(member) for member in members
+    )
+
+
+def _validate_tau(tau: float) -> None:
+    if not 0.0 <= tau <= 1.0:
+        raise ValueError(f"tau must be in [0, 1], got {tau}")
+
+
+def cluster_ensemble(
+    specs: Sequence[ArchitectureSpec], tau: float = 0.5
+) -> List[Cluster]:
+    """Greedy linearithmic clustering (Algorithm 1).
+
+    Members are sorted by ascending parameter count; the algorithm grows a
+    cluster by adding the next-larger member until the clustering condition
+    would be violated, at which point a new cluster is started with the
+    offending member.  Because the condition is monotone in the size gap
+    between the smallest and the largest member of a cluster, only contiguous
+    runs of the sorted order need to be considered (the observation that
+    reduces the exponential search to ``n log n``).
+    """
+    _validate_tau(tau)
+    specs = list(specs)
+    if not specs:
+        raise ValueError("cannot cluster an empty ensemble")
+    ordered = sort_by_size(specs)
+
+    clusters: List[Cluster] = []
+    current: List[ArchitectureSpec] = []
+    for spec in ordered:
+        candidate = current + [spec]
+        if current and not satisfies_clustering_condition(candidate, tau):
+            clusters.append(_finalize_cluster(len(clusters), current))
+            current = [spec]
+        else:
+            current = candidate
+    if current:
+        clusters.append(_finalize_cluster(len(clusters), current))
+    logger.debug("clustered %d members into %d clusters (tau=%.2f)", len(specs), len(clusters), tau)
+    return clusters
+
+
+def _finalize_cluster(cluster_id: int, members: List[ArchitectureSpec]) -> Cluster:
+    mothernet = construct_mothernet(members, name=f"mothernet-{cluster_id}")
+    return Cluster(cluster_id=cluster_id, members=list(members), mothernet=mothernet)
+
+
+def minimum_cluster_count_bruteforce(
+    specs: Sequence[ArchitectureSpec], tau: float
+) -> int:
+    """Reference implementation: the minimum number of clusters over *all*
+    contiguous partitions of the size-sorted ensemble.
+
+    Exponential in the ensemble size; used only by tests to validate that the
+    greedy Algorithm 1 produces a minimal partition.
+    """
+    _validate_tau(tau)
+    ordered = sort_by_size(list(specs))
+    n = len(ordered)
+    if n == 0:
+        raise ValueError("cannot cluster an empty ensemble")
+    best = n
+    # Choose cut points between consecutive elements (contiguous partitions).
+    for k in range(n):
+        if k + 1 > best:
+            break
+        for cuts in combinations(range(1, n), k):
+            boundaries = [0, *cuts, n]
+            parts = [ordered[a:b] for a, b in zip(boundaries, boundaries[1:])]
+            if all(satisfies_clustering_condition(part, tau) for part in parts):
+                best = min(best, len(parts))
+                break
+    return best
+
+
+def clustering_summary(clusters: Sequence[Cluster]) -> List[dict]:
+    """Human-readable summary used by reports and the τ-ablation bench."""
+    summary = []
+    for cluster in clusters:
+        summary.append(
+            {
+                "cluster_id": cluster.cluster_id,
+                "size": cluster.size,
+                "members": [member.name for member in cluster.members],
+                "mothernet_parameters": count_parameters(cluster.mothernet),
+                "largest_member_parameters": max(
+                    count_parameters(member) for member in cluster.members
+                ),
+                "min_shared_fraction": cluster.min_shared_fraction(),
+            }
+        )
+    return summary

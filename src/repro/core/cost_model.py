@@ -1,0 +1,189 @@
+"""Training-cost accounting and extrapolation.
+
+The paper's headline results are training-time curves (Figures 5b, 6b, 7b,
+8b, 9b): wall-clock training time as a function of ensemble size for
+full-data training, bagging, and MotherNets.  This module provides
+
+* :class:`CostLedger` — the record of what was actually trained (phase,
+  epochs, wall-clock seconds, parameters, samples), filled in by the three
+  ensemble trainers; and
+* :class:`AnalyticalCostModel` — a simple work-proportional model
+  (``epochs x samples x parameters``) that converts the measured ledger into
+  the cumulative training-time-vs-ensemble-size series of the figures and
+  extrapolates them to paper scale, where the absolute numbers are hours on a
+  P40 GPU rather than seconds on the numpy substrate.  Ratios between
+  approaches — the quantity the paper emphasises — are preserved by
+  construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.arch.params import count_parameters
+from repro.arch.spec import ArchitectureSpec
+
+
+@dataclass
+class CostRecord:
+    """The training cost of one network (a MotherNet or an ensemble member)."""
+
+    network: str
+    phase: str  # "mothernet" | "member" | "scratch"
+    approach: str  # "mothernets" | "full_data" | "bagging" | ...
+    epochs: int
+    wall_clock_seconds: float
+    parameters: int
+    samples_per_epoch: int
+
+    @property
+    def work_units(self) -> float:
+        """Abstract training work: parameters x samples x epochs."""
+        return float(self.parameters) * float(self.samples_per_epoch) * float(self.epochs)
+
+
+@dataclass
+class CostLedger:
+    """Accumulates :class:`CostRecord` entries for one ensemble training run."""
+
+    approach: str
+    records: List[CostRecord] = field(default_factory=list)
+
+    def add(
+        self,
+        network: str,
+        phase: str,
+        epochs: int,
+        wall_clock_seconds: float,
+        parameters: int,
+        samples_per_epoch: int,
+    ) -> CostRecord:
+        record = CostRecord(
+            network=network,
+            phase=phase,
+            approach=self.approach,
+            epochs=int(epochs),
+            wall_clock_seconds=float(wall_clock_seconds),
+            parameters=int(parameters),
+            samples_per_epoch=int(samples_per_epoch),
+        )
+        self.records.append(record)
+        return record
+
+    # ------------------------------------------------------------ summaries
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(record.wall_clock_seconds for record in self.records))
+
+    @property
+    def total_epochs(self) -> int:
+        return int(sum(record.epochs for record in self.records))
+
+    @property
+    def total_work_units(self) -> float:
+        return float(sum(record.work_units for record in self.records))
+
+    def seconds_by_phase(self) -> Dict[str, float]:
+        by_phase: Dict[str, float] = {}
+        for record in self.records:
+            by_phase[record.phase] = by_phase.get(record.phase, 0.0) + record.wall_clock_seconds
+        return by_phase
+
+    def seconds_by_network(self) -> Dict[str, float]:
+        by_network: Dict[str, float] = {}
+        for record in self.records:
+            by_network[record.network] = (
+                by_network.get(record.network, 0.0) + record.wall_clock_seconds
+            )
+        return by_network
+
+    def cumulative_member_seconds(self) -> List[float]:
+        """Cumulative wall-clock training time after each *member* is added,
+        counting shared (MotherNet) training once up front — the series the
+        training-time figures plot."""
+        shared = sum(r.wall_clock_seconds for r in self.records if r.phase == "mothernet")
+        series: List[float] = []
+        running = shared
+        for record in self.records:
+            if record.phase == "mothernet":
+                continue
+            running += record.wall_clock_seconds
+            series.append(running)
+        return series
+
+
+class AnalyticalCostModel:
+    """Work-proportional training-cost model used for paper-scale projection.
+
+    The model assumes the time to train a network for one epoch is
+    proportional to ``parameters x samples`` with a hardware-dependent
+    constant ``seconds_per_unit``.  Calibrating the constant against any
+    measured run converts abstract work units to projected wall-clock time on
+    that hardware.
+    """
+
+    def __init__(self, seconds_per_unit: float = 1e-9):
+        if seconds_per_unit <= 0:
+            raise ValueError("seconds_per_unit must be positive")
+        self.seconds_per_unit = float(seconds_per_unit)
+
+    @classmethod
+    def calibrate(cls, ledger: CostLedger) -> "AnalyticalCostModel":
+        """Fit ``seconds_per_unit`` so the model reproduces the ledger total."""
+        work = ledger.total_work_units
+        if work <= 0:
+            raise ValueError("cannot calibrate against an empty ledger")
+        return cls(seconds_per_unit=ledger.total_seconds / work)
+
+    def training_seconds(self, spec: ArchitectureSpec, epochs: int, samples: int) -> float:
+        """Projected time to train ``spec`` for ``epochs`` epochs on ``samples``
+        training items."""
+        if epochs < 0 or samples < 0:
+            raise ValueError("epochs and samples must be non-negative")
+        return count_parameters(spec) * float(samples) * float(epochs) * self.seconds_per_unit
+
+    def ensemble_training_seconds(
+        self,
+        member_specs: Sequence[ArchitectureSpec],
+        epochs_per_member: int,
+        samples: int,
+        mothernet_specs: Sequence[ArchitectureSpec] = (),
+        mothernet_epochs: int = 0,
+    ) -> float:
+        """Projected total time for an ensemble training run (shared MotherNet
+        training plus per-member training)."""
+        total = sum(
+            self.training_seconds(spec, mothernet_epochs, samples) for spec in mothernet_specs
+        )
+        total += sum(
+            self.training_seconds(spec, epochs_per_member, samples) for spec in member_specs
+        )
+        return total
+
+    def cumulative_series(
+        self,
+        member_specs: Sequence[ArchitectureSpec],
+        epochs_per_member: int,
+        samples: int,
+        mothernet_specs: Sequence[ArchitectureSpec] = (),
+        mothernet_epochs: int = 0,
+    ) -> List[float]:
+        """Projected cumulative training time after 1, 2, ... members — the
+        x-axis sweep of the training-time figures."""
+        shared = sum(
+            self.training_seconds(spec, mothernet_epochs, samples) for spec in mothernet_specs
+        )
+        series: List[float] = []
+        running = shared
+        for spec in member_specs:
+            running += self.training_seconds(spec, epochs_per_member, samples)
+            series.append(running)
+        return series
+
+
+def speedup(baseline_seconds: float, seconds: float) -> float:
+    """Convenience helper: how many times faster than the baseline."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    return baseline_seconds / seconds

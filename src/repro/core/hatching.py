@@ -1,0 +1,295 @@
+"""Hatching: expanding a trained MotherNet into an ensemble member (§2.2).
+
+Hatching plans and applies the sequence of function-preserving
+transformations (``repro.core.morphism``) that turns the MotherNet's
+architecture into a target member architecture, transferring the learnt
+function exactly.  The process is "instantaneous" in the paper's terms: it is
+a single structural pass over the MotherNet with no training involved.
+
+The plan is explicit (a list of :class:`HatchingStep`), both so that the
+transformation sequence can be inspected/reported and so that tests can
+verify each intermediate model still computes the MotherNet's function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.arch.params import count_parameters
+from repro.arch.spec import ArchitectureSpec
+from repro.arch.validation import check_hatchable
+from repro.core import morphism
+from repro.nn.model import Model
+from repro.utils.logging import get_logger
+from repro.utils.rng import RngManager, SeedLike
+
+logger = get_logger("core.hatching")
+
+
+class HatchingError(ValueError):
+    """Raised when a target architecture cannot be reached from the MotherNet
+    by function-preserving transformations."""
+
+
+@dataclass(frozen=True)
+class HatchingStep:
+    """One function-preserving transformation in a hatching plan."""
+
+    op: str  # deepen_conv | deepen_res | widen_conv | widen_res_block | expand_filter
+    #          deepen_dense | widen_dense
+    block: Optional[int] = None
+    position: Optional[int] = None
+    value: Optional[int] = None
+
+    def describe(self) -> str:
+        parts = [self.op]
+        if self.block is not None:
+            parts.append(f"block={self.block}")
+        if self.position is not None:
+            parts.append(f"position={self.position}")
+        if self.value is not None:
+            parts.append(f"value={self.value}")
+        return " ".join(parts)
+
+
+@dataclass
+class HatchingPlan:
+    """The full transformation sequence from a parent spec to a target spec."""
+
+    parent: ArchitectureSpec
+    target: ArchitectureSpec
+    steps: List[HatchingStep] = field(default_factory=list)
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+    def new_parameter_count(self) -> int:
+        """Parameters of the target that do not originate from the parent."""
+        return max(0, count_parameters(self.target) - count_parameters(self.parent))
+
+    def describe(self) -> str:
+        lines = [f"hatch {self.parent.name} -> {self.target.name} ({self.num_steps} steps)"]
+        lines.extend(f"  {step.describe()}" for step in self.steps)
+        return "\n".join(lines)
+
+
+def _plan_conv_block(
+    plan: HatchingPlan, block_idx: int, parent_block, target_block
+) -> None:
+    parent_depth = parent_block.depth
+    target_depth = target_block.depth
+    if target_block.residual:
+        target_widths = {layer.filters for layer in target_block.layers}
+        if len(target_widths) != 1:
+            raise HatchingError(
+                f"block {block_idx}: residual blocks must have a uniform width to be hatched"
+            )
+        target_width = target_widths.pop()
+        parent_width = parent_block.layers[-1].filters
+        if target_width < parent_width:
+            raise HatchingError(
+                f"block {block_idx}: target residual width {target_width} is narrower than "
+                f"the MotherNet width {parent_width}"
+            )
+        if target_width > parent_width:
+            plan.steps.append(
+                HatchingStep(op="widen_res_block", block=block_idx, value=target_width)
+            )
+        for offset in range(target_depth - parent_depth):
+            position = parent_depth + offset
+            plan.steps.append(
+                HatchingStep(
+                    op="deepen_res",
+                    block=block_idx,
+                    position=position,
+                    value=target_block.layers[position].filter_size,
+                )
+            )
+        for position in range(parent_depth):
+            target_size = target_block.layers[position].filter_size
+            if target_size > parent_block.layers[position].filter_size:
+                plan.steps.append(
+                    HatchingStep(
+                        op="expand_filter", block=block_idx, position=position, value=target_size
+                    )
+                )
+        return
+
+    # Plain (VGG-style) block: deepen, then widen per position, then grow filters.
+    parent_tail_filters = parent_block.layers[-1].filters
+    for offset in range(target_depth - parent_depth):
+        position = parent_depth + offset
+        if target_block.layers[position].filters < parent_tail_filters:
+            raise HatchingError(
+                f"block {block_idx} position {position}: appended layer is narrower "
+                f"({target_block.layers[position].filters}) than the MotherNet's last layer "
+                f"({parent_tail_filters}); no function-preserving deepening exists"
+            )
+        plan.steps.append(
+            HatchingStep(
+                op="deepen_conv",
+                block=block_idx,
+                position=position,
+                value=target_block.layers[position].filter_size,
+            )
+        )
+    for position in range(target_depth):
+        current_filters = (
+            parent_block.layers[position].filters if position < parent_depth else parent_tail_filters
+        )
+        target_filters = target_block.layers[position].filters
+        if target_filters > current_filters:
+            plan.steps.append(
+                HatchingStep(
+                    op="widen_conv", block=block_idx, position=position, value=target_filters
+                )
+            )
+    for position in range(parent_depth):
+        target_size = target_block.layers[position].filter_size
+        if target_size > parent_block.layers[position].filter_size:
+            plan.steps.append(
+                HatchingStep(
+                    op="expand_filter", block=block_idx, position=position, value=target_size
+                )
+            )
+
+
+def _plan_dense_layers(plan: HatchingPlan, parent: ArchitectureSpec, target: ArchitectureSpec) -> None:
+    parent_depth = len(parent.dense_layers)
+    target_depth = len(target.dense_layers)
+    if parent_depth:
+        tail_width = parent.dense_layers[-1].units
+    elif parent.kind == "conv":
+        tail_width = parent.conv_blocks[-1].layers[-1].filters
+    else:  # pragma: no cover - dense specs always have hidden layers
+        tail_width = parent.input_shape[0]
+    for offset in range(target_depth - parent_depth):
+        position = parent_depth + offset
+        if target.dense_layers[position].units < tail_width:
+            raise HatchingError(
+                f"hidden layer {position}: appended layer is narrower "
+                f"({target.dense_layers[position].units}) than the MotherNet's final width "
+                f"({tail_width}); no function-preserving deepening exists"
+            )
+        plan.steps.append(HatchingStep(op="deepen_dense", position=position))
+    for position in range(target_depth):
+        current_units = (
+            parent.dense_layers[position].units if position < parent_depth else tail_width
+        )
+        target_units = target.dense_layers[position].units
+        if target_units > current_units:
+            plan.steps.append(
+                HatchingStep(op="widen_dense", position=position, value=target_units)
+            )
+
+
+def plan_hatching(parent: ArchitectureSpec, target: ArchitectureSpec) -> HatchingPlan:
+    """Compute the transformation sequence turning ``parent`` into ``target``.
+
+    Raises :class:`HatchingError` (or
+    :class:`~repro.arch.validation.IncompatibleArchitectureError`) when no
+    function-preserving sequence exists.
+    """
+    check_hatchable(parent, target)
+    plan = HatchingPlan(parent=parent, target=target)
+    for block_idx, (parent_block, target_block) in enumerate(
+        zip(parent.conv_blocks, target.conv_blocks)
+    ):
+        _plan_conv_block(plan, block_idx, parent_block, target_block)
+    _plan_dense_layers(plan, parent, target)
+    return plan
+
+
+def apply_step(
+    model: Model, step: HatchingStep, seed: SeedLike = 0, noise_std: float = 0.0
+) -> Model:
+    """Apply a single hatching step to ``model`` and return the new model."""
+    if step.op == "deepen_conv":
+        return morphism.deepen_conv_block(model, step.block, 1, filter_size=step.value)
+    if step.op == "deepen_res":
+        return morphism.deepen_residual_block(model, step.block, 1, filter_size=step.value)
+    if step.op == "widen_conv":
+        return morphism.widen_conv_layer(
+            model, step.block, step.position, step.value, seed=seed, noise_std=noise_std
+        )
+    if step.op == "widen_res_block":
+        return morphism.widen_residual_block(
+            model, step.block, step.value, seed=seed, noise_std=noise_std
+        )
+    if step.op == "expand_filter":
+        return morphism.expand_conv_filter(model, step.block, step.position, step.value)
+    if step.op == "deepen_dense":
+        return morphism.deepen_dense(model, 1)
+    if step.op == "widen_dense":
+        return morphism.widen_dense_layer(
+            model, step.position, step.value, seed=seed, noise_std=noise_std
+        )
+    raise ValueError(f"unknown hatching step {step.op!r}")
+
+
+def hatch(
+    parent_model: Model,
+    target_spec: ArchitectureSpec,
+    seed: SeedLike = 0,
+    noise_std: float = 0.0,
+) -> Model:
+    """Hatch ``target_spec`` from a trained ``parent_model``.
+
+    The returned model has the target architecture and computes exactly the
+    same function as the parent (in inference mode) when ``noise_std`` is 0.
+    """
+    plan = plan_hatching(parent_model.spec, target_spec)
+    rngs = RngManager(seed if isinstance(seed, int) else 0)
+    model = parent_model
+    for index, step in enumerate(plan.steps):
+        model = apply_step(model, step, seed=rngs.seed("hatch", index), noise_std=noise_std)
+    # The hatched model must match the requested structure exactly.
+    final = model.spec
+    if (final.conv_blocks, final.dense_layers) != (target_spec.conv_blocks, target_spec.dense_layers):
+        raise HatchingError(
+            f"hatching produced {final.describe()} instead of {target_spec.describe()}"
+        )
+    model.spec = target_spec
+    logger.debug("hatched %s from %s in %d steps", target_spec.name, parent_model.spec.name, plan.num_steps)
+    return model
+
+
+def verify_function_preservation(
+    parent: Model,
+    child: Model,
+    num_samples: int = 8,
+    atol: float = 1e-8,
+    seed: SeedLike = 0,
+    inputs: Optional[np.ndarray] = None,
+) -> float:
+    """Maximum absolute deviation between parent and child logits on random
+    inputs (inference mode).  Raises ``AssertionError`` if above ``atol``."""
+    rng = np.random.default_rng(seed if isinstance(seed, int) else None)
+    if inputs is None:
+        inputs = rng.normal(size=(num_samples, *parent.spec.input_shape))
+    parent_logits = parent.predict_logits(inputs)
+    child_logits = child.predict_logits(inputs)
+    deviation = float(np.max(np.abs(parent_logits - child_logits)))
+    if deviation > atol:
+        raise AssertionError(
+            f"function not preserved: max deviation {deviation:.3e} exceeds tolerance {atol:.1e}"
+        )
+    return deviation
+
+
+def hatch_ensemble(
+    parent_model: Model,
+    target_specs: Sequence[ArchitectureSpec],
+    seed: SeedLike = 0,
+    noise_std: float = 0.0,
+) -> List[Model]:
+    """Hatch every target spec from the same trained MotherNet."""
+    rngs = RngManager(seed if isinstance(seed, int) else 0)
+    return [
+        hatch(parent_model, spec, seed=rngs.seed("member", i), noise_std=noise_std)
+        for i, spec in enumerate(target_specs)
+    ]

@@ -1,0 +1,116 @@
+"""MotherNet construction (§2.1 of the paper).
+
+Given an ensemble of architecture specs, the MotherNet is the largest network
+from which every member can be obtained through function-preserving
+transformations (deepen, widen, grow filters).  Construction is purely
+structural:
+
+* **Fully-connected ensembles** — the MotherNet has as many hidden layers as
+  the shallowest member; its i-th hidden layer copies the structure of the
+  smallest i-th hidden layer across members.
+* **Convolutional ensembles** — the MotherNet is built block-by-block: each
+  block keeps as many layers as the member with the fewest layers in that
+  block, and every layer position takes the minimum filter count and the
+  minimum filter size observed at that position (Figure 4 of the paper).
+
+The resulting spec is guaranteed to be hatchable into every member
+(``repro.arch.validation.check_hatchable``); the tests assert this property on
+both hand-written and randomly generated ensembles.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.arch.spec import (
+    ArchitectureSpec,
+    ConvBlockSpec,
+    ConvLayerSpec,
+    DenseLayerSpec,
+)
+from repro.arch.validation import check_same_task
+from repro.utils.logging import get_logger
+
+logger = get_logger("core.mothernet")
+
+
+def _mothernet_dense_layers(specs: Sequence[ArchitectureSpec]) -> tuple:
+    """Hidden fully-connected layers of the MotherNet: as many layers as the
+    shallowest member, each as narrow as the narrowest layer at its position."""
+    depths = [len(spec.dense_layers) for spec in specs]
+    min_depth = min(depths)
+    layers: List[DenseLayerSpec] = []
+    for position in range(min_depth):
+        min_units = min(spec.dense_layers[position].units for spec in specs)
+        layers.append(DenseLayerSpec(units=min_units))
+    return tuple(layers)
+
+
+def _mothernet_conv_blocks(specs: Sequence[ArchitectureSpec]) -> tuple:
+    """Convolutional blocks of the MotherNet, built block-by-block."""
+    num_blocks = specs[0].num_blocks
+    blocks: List[ConvBlockSpec] = []
+    for b in range(num_blocks):
+        member_blocks = [spec.conv_blocks[b] for spec in specs]
+        residual = member_blocks[0].residual
+        min_depth = min(block.depth for block in member_blocks)
+        layers: List[ConvLayerSpec] = []
+        for position in range(min_depth):
+            min_filters = min(block.layers[position].filters for block in member_blocks)
+            min_size = min(block.layers[position].filter_size for block in member_blocks)
+            layers.append(ConvLayerSpec(filter_size=min_size, filters=min_filters))
+        if residual:
+            # Residual blocks are widened block-wide during hatching, so the
+            # MotherNet keeps a single width for the whole block: the minimum
+            # width observed anywhere in the block across members.
+            block_width = min(
+                layer.filters for block in member_blocks for layer in block.layers
+            )
+            layers = [
+                ConvLayerSpec(filter_size=layer.filter_size, filters=block_width)
+                for layer in layers
+            ]
+        blocks.append(ConvBlockSpec(tuple(layers), residual=residual))
+    return tuple(blocks)
+
+
+def construct_mothernet(
+    specs: Sequence[ArchitectureSpec],
+    name: str = "mothernet",
+) -> ArchitectureSpec:
+    """Construct the MotherNet spec for an ensemble of architecture specs.
+
+    Raises
+    ------
+    IncompatibleArchitectureError
+        If the members do not describe the same task / family (input shape,
+        class count, conv-vs-dense, residual flag, block count).
+    """
+    specs = list(specs)
+    check_same_task(specs)
+    reference = specs[0]
+
+    if reference.kind == "dense":
+        mothernet = ArchitectureSpec(
+            name=name,
+            input_shape=reference.input_shape,
+            num_classes=reference.num_classes,
+            dense_layers=_mothernet_dense_layers(specs),
+            use_batchnorm=reference.use_batchnorm,
+            dropout_rate=min(spec.dropout_rate for spec in specs),
+        )
+    else:
+        dense_layers = ()
+        if all(spec.dense_layers for spec in specs):
+            dense_layers = _mothernet_dense_layers(specs)
+        mothernet = ArchitectureSpec(
+            name=name,
+            input_shape=reference.input_shape,
+            num_classes=reference.num_classes,
+            conv_blocks=_mothernet_conv_blocks(specs),
+            dense_layers=dense_layers,
+            use_batchnorm=reference.use_batchnorm,
+            dropout_rate=min(spec.dropout_rate for spec in specs),
+        )
+    logger.debug("constructed %s for %d members", mothernet.name, len(specs))
+    return mothernet

@@ -1,0 +1,274 @@
+"""Ensemble training pipelines.
+
+This module defines the shared pipeline scaffolding (:class:`EnsembleTrainer`,
+:class:`EnsembleTrainingRun`) and the paper's contribution,
+:class:`MotherNetsTrainer`, which trains an ensemble in the two phases of
+§2.2:
+
+1. cluster the member architectures (Algorithm 1) and train one MotherNet per
+   cluster from scratch on the full data set;
+2. hatch every member from its cluster's MotherNet via function-preserving
+   transformations and fine-tune it on its own bagged sample.
+
+The baselines (full-data and bagging, §3) live in ``repro.core.baselines``
+and share the same scaffolding so that training cost is accounted identically
+across approaches.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.arch.params import count_parameters
+from repro.arch.spec import ArchitectureSpec
+from repro.arch.validation import check_same_task
+from repro.core.clustering import Cluster, cluster_ensemble
+from repro.core.cost_model import CostLedger
+from repro.core.ensemble import Ensemble, EnsembleMember
+from repro.core.hatching import hatch
+from repro.data.datasets import Dataset
+from repro.data.sampling import bootstrap_sample
+from repro.nn.model import Model
+from repro.nn.training import Trainer, TrainingConfig, TrainingResult
+from repro.utils.logging import get_logger
+from repro.utils.rng import RngManager
+
+logger = get_logger("core.trainer")
+
+
+@dataclass
+class EnsembleTrainingRun:
+    """The outcome of training an ensemble with one approach."""
+
+    approach: str
+    ensemble: Ensemble
+    ledger: CostLedger
+    config: TrainingConfig
+    clusters: Optional[List[Cluster]] = None
+    mothernet_models: Dict[int, Model] = field(default_factory=dict)
+    mothernet_results: Dict[int, TrainingResult] = field(default_factory=dict)
+    member_results: Dict[str, TrainingResult] = field(default_factory=dict)
+
+    @property
+    def total_training_seconds(self) -> float:
+        return self.ledger.total_seconds
+
+    @property
+    def member_names(self) -> List[str]:
+        return [member.name for member in self.ensemble.members]
+
+    def training_time_breakdown(self) -> Dict[str, float]:
+        """Per-network wall-clock seconds (the stacked bars of Figure 5b)."""
+        return self.ledger.seconds_by_network()
+
+    def cumulative_training_seconds(self) -> List[float]:
+        """Cumulative training time after each member (Figures 6b-9b)."""
+        return self.ledger.cumulative_member_seconds()
+
+
+class EnsembleTrainer:
+    """Base class for the three ensemble-training approaches."""
+
+    approach: str = "base"
+
+    def __init__(self, config: Optional[TrainingConfig] = None):
+        self.config = config or TrainingConfig()
+
+    # ------------------------------------------------------------ interface
+    def train(
+        self, specs: Sequence[ArchitectureSpec], dataset: Dataset, seed: int = 0
+    ) -> EnsembleTrainingRun:
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- helpers
+    def _validate(self, specs: Sequence[ArchitectureSpec], dataset: Dataset) -> None:
+        specs = list(specs)
+        check_same_task(specs)
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValueError("ensemble member names must be unique")
+        if specs[0].input_shape != dataset.input_shape:
+            raise ValueError(
+                f"architecture input shape {specs[0].input_shape} does not match "
+                f"dataset input shape {dataset.input_shape}"
+            )
+        if specs[0].num_classes != dataset.num_classes:
+            raise ValueError(
+                f"architecture has {specs[0].num_classes} classes, dataset has "
+                f"{dataset.num_classes}"
+            )
+
+    def _fit(
+        self,
+        model: Model,
+        x,
+        y,
+        config: TrainingConfig,
+        seed: int,
+    ) -> tuple:
+        """Train a model and return ``(result, wall_clock_seconds)``."""
+        start = time.perf_counter()
+        result = Trainer(config).fit(model, x, y, seed=seed)
+        return result, time.perf_counter() - start
+
+
+class MotherNetsTrainer(EnsembleTrainer):
+    """The paper's approach: cluster -> train MotherNets -> hatch -> bag-train.
+
+    Parameters
+    ----------
+    config:
+        Training configuration for the MotherNet phase (full data set).
+    tau:
+        Clustering parameter; every member must share at least this fraction
+        of its parameters with its cluster's MotherNet (paper default 0.5).
+    member_config:
+        Training configuration for the fine-tuning of hatched members; when
+        omitted, the MotherNet configuration is reused (the shared
+        convergence criterion then terminates the warm-started members after
+        only a few epochs, which is where the training-time savings come
+        from).
+    member_epoch_fraction:
+        Optional hard cap on the member epoch budget, as a fraction of the
+        MotherNet budget.  ``1.0`` (default) leaves the budget unchanged.
+    noise_std:
+        Standard deviation of the symmetry-breaking noise added to replicated
+        weights during hatching (0 keeps hatching exactly function
+        preserving).
+    """
+
+    approach = "mothernets"
+
+    def __init__(
+        self,
+        config: Optional[TrainingConfig] = None,
+        tau: float = 0.5,
+        member_config: Optional[TrainingConfig] = None,
+        member_epoch_fraction: float = 1.0,
+        noise_std: float = 0.0,
+    ):
+        super().__init__(config)
+        if not 0.0 <= tau <= 1.0:
+            raise ValueError("tau must be in [0, 1]")
+        if member_epoch_fraction <= 0 or member_epoch_fraction > 1:
+            raise ValueError("member_epoch_fraction must be in (0, 1]")
+        self.tau = float(tau)
+        self.noise_std = float(noise_std)
+        base_member_config = member_config or self.config
+        if member_epoch_fraction < 1.0:
+            base_member_config = base_member_config.scaled(member_epoch_fraction)
+        self.member_config = base_member_config
+
+    def train(
+        self, specs: Sequence[ArchitectureSpec], dataset: Dataset, seed: int = 0
+    ) -> EnsembleTrainingRun:
+        specs = list(specs)
+        self._validate(specs, dataset)
+        rngs = RngManager(seed)
+        ledger = CostLedger(approach=self.approach)
+
+        # Phase 0: cluster the ensemble and construct one MotherNet per cluster.
+        clusters = cluster_ensemble(specs, tau=self.tau)
+        cluster_of: Dict[str, Cluster] = {
+            member.name: cluster for cluster in clusters for member in cluster.members
+        }
+
+        # Phase 1: train every MotherNet from scratch on the full data set.
+        mothernet_models: Dict[int, Model] = {}
+        mothernet_results: Dict[int, TrainingResult] = {}
+        for cluster in clusters:
+            model = Model.from_spec(cluster.mothernet, seed=rngs.seed("mothernet", cluster.cluster_id))
+            result, seconds = self._fit(
+                model,
+                dataset.x_train,
+                dataset.y_train,
+                self.config,
+                seed=rngs.seed("mothernet-shuffle", cluster.cluster_id),
+            )
+            mothernet_models[cluster.cluster_id] = model
+            mothernet_results[cluster.cluster_id] = result
+            ledger.add(
+                network=cluster.mothernet.name,
+                phase="mothernet",
+                epochs=result.epochs_run,
+                wall_clock_seconds=seconds,
+                parameters=model.parameter_count(),
+                samples_per_epoch=dataset.train_size,
+            )
+            logger.info(
+                "trained %s (%d members) in %.2fs / %d epochs",
+                cluster.mothernet.name,
+                cluster.size,
+                seconds,
+                result.epochs_run,
+            )
+
+        # Phase 2: hatch every member and fine-tune it on a bagged sample.
+        members: List[EnsembleMember] = []
+        member_results: Dict[str, TrainingResult] = {}
+        for index, spec in enumerate(specs):
+            cluster = cluster_of[spec.name]
+            parent = mothernet_models[cluster.cluster_id]
+            hatch_start = time.perf_counter()
+            model = hatch(
+                parent, spec, seed=rngs.seed("hatch", index), noise_std=self.noise_std
+            )
+            hatch_seconds = time.perf_counter() - hatch_start
+            bag = bootstrap_sample(
+                dataset.x_train, dataset.y_train, seed=rngs.seed("bag", index)
+            )
+            result, seconds = self._fit(
+                model, bag.x, bag.y, self.member_config, seed=rngs.seed("member-shuffle", index)
+            )
+            member_results[spec.name] = result
+            ledger.add(
+                network=spec.name,
+                phase="member",
+                epochs=result.epochs_run,
+                wall_clock_seconds=seconds + hatch_seconds,
+                parameters=model.parameter_count(),
+                samples_per_epoch=bag.size,
+            )
+            members.append(
+                EnsembleMember(
+                    name=spec.name,
+                    model=model,
+                    training_result=result,
+                    source="hatched",
+                    cluster_id=cluster.cluster_id,
+                    training_seconds=seconds + hatch_seconds,
+                )
+            )
+
+        ensemble = Ensemble(members, num_classes=dataset.num_classes)
+        return EnsembleTrainingRun(
+            approach=self.approach,
+            ensemble=ensemble,
+            ledger=ledger,
+            config=self.config,
+            clusters=clusters,
+            mothernet_models=mothernet_models,
+            mothernet_results=mothernet_results,
+            member_results=member_results,
+        )
+
+
+def summarize_run(run: EnsembleTrainingRun) -> Dict[str, object]:
+    """A compact, JSON-friendly summary of a training run (used by reports
+    and the benchmark harness)."""
+    summary: Dict[str, object] = {
+        "approach": run.approach,
+        "num_members": len(run.ensemble),
+        "total_training_seconds": run.total_training_seconds,
+        "total_epochs": run.ledger.total_epochs,
+        "seconds_by_phase": run.ledger.seconds_by_phase(),
+    }
+    if run.clusters is not None:
+        summary["num_clusters"] = len(run.clusters)
+        summary["cluster_sizes"] = [cluster.size for cluster in run.clusters]
+        summary["mothernet_parameters"] = {
+            cluster.cluster_id: count_parameters(cluster.mothernet) for cluster in run.clusters
+        }
+    return summary

@@ -1,0 +1,31 @@
+"""Data substrate: synthetic CIFAR/SVHN stand-ins and sampling utilities."""
+
+from repro.data.datasets import (
+    Dataset,
+    cifar10_like,
+    cifar100_like,
+    load_dataset,
+    svhn_like,
+    synthetic_image_classification,
+    synthetic_tabular_classification,
+)
+from repro.data.sampling import (
+    BaggedSample,
+    bootstrap_sample,
+    stratified_subset,
+    train_validation_split,
+)
+
+__all__ = [
+    "Dataset",
+    "cifar10_like",
+    "cifar100_like",
+    "svhn_like",
+    "load_dataset",
+    "synthetic_image_classification",
+    "synthetic_tabular_classification",
+    "BaggedSample",
+    "bootstrap_sample",
+    "stratified_subset",
+    "train_validation_split",
+]

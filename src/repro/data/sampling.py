@@ -1,0 +1,105 @@
+"""Sampling utilities: bootstrap aggregation (bagging), splits, subsets.
+
+Bagging is central to the paper: hatched ensemble members are fine-tuned on
+bagged samples of the training set (§2.2 "Training ensemble networks"), and
+bagging-from-scratch is one of the two baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+
+@dataclass
+class BaggedSample:
+    """A bootstrap sample together with bookkeeping about its composition."""
+
+    x: np.ndarray
+    y: np.ndarray
+    indices: np.ndarray
+    unique_fraction: float
+
+    @property
+    def size(self) -> int:
+        return int(self.x.shape[0])
+
+
+def bootstrap_sample(
+    x: np.ndarray,
+    y: np.ndarray,
+    seed: SeedLike = None,
+    sample_size: int | None = None,
+) -> BaggedSample:
+    """Draw a bootstrap sample (sampling with replacement).
+
+    By default the sample has the same size as the original data set, exactly
+    as in Breiman's bagging and the paper's training procedure.  The returned
+    ``unique_fraction`` (≈ 0.632 for large data sets) quantifies how many
+    unique items the member actually sees — the reason bagging alone increases
+    bias for data-hungry neural networks.
+    """
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if x.shape[0] != y.shape[0]:
+        raise ValueError("x and y must have the same number of samples")
+    if x.shape[0] == 0:
+        raise ValueError("cannot bootstrap an empty data set")
+    n = x.shape[0]
+    size = n if sample_size is None else int(sample_size)
+    if size < 1:
+        raise ValueError("sample_size must be positive")
+    rng = as_rng(seed)
+    indices = rng.integers(0, n, size=size)
+    unique_fraction = float(np.unique(indices).size) / n
+    return BaggedSample(x=x[indices], y=y[indices], indices=indices, unique_fraction=unique_fraction)
+
+
+def train_validation_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    validation_fraction: float = 0.1,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split into train/validation parts."""
+    if not 0.0 < validation_fraction < 1.0:
+        raise ValueError("validation_fraction must be in (0, 1)")
+    x = np.asarray(x)
+    y = np.asarray(y)
+    n = x.shape[0]
+    n_val = max(1, int(round(n * validation_fraction)))
+    if n_val >= n:
+        raise ValueError("validation split would consume the whole data set")
+    rng = as_rng(seed)
+    order = rng.permutation(n)
+    val_idx, train_idx = order[:n_val], order[n_val:]
+    return x[train_idx], y[train_idx], x[val_idx], y[val_idx]
+
+
+def stratified_subset(
+    x: np.ndarray,
+    y: np.ndarray,
+    samples_per_class: int,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Class-balanced subset with ``samples_per_class`` items per class."""
+    if samples_per_class < 1:
+        raise ValueError("samples_per_class must be positive")
+    x = np.asarray(x)
+    y = np.asarray(y)
+    rng = as_rng(seed)
+    chosen = []
+    for label in np.unique(y):
+        candidates = np.flatnonzero(y == label)
+        if candidates.size < samples_per_class:
+            raise ValueError(
+                f"class {label} has only {candidates.size} samples, need {samples_per_class}"
+            )
+        chosen.append(rng.choice(candidates, size=samples_per_class, replace=False))
+    indices = np.concatenate(chosen)
+    rng.shuffle(indices)
+    return x[indices], y[indices]

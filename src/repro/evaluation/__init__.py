@@ -1,0 +1,33 @@
+"""Evaluation metrics and reporting for ensembles and benchmark output."""
+
+from repro.evaluation.metrics import (
+    evaluate_ensemble,
+    fit_super_learner_curve,
+    incremental_error_curve,
+    member_quality_summary,
+    oracle_curve,
+    pairwise_disagreement,
+)
+from repro.evaluation.reporting import (
+    comparison_summary,
+    expectation_note,
+    format_error_rates,
+    format_series,
+    format_table,
+    format_time_breakdown,
+)
+
+__all__ = [
+    "evaluate_ensemble",
+    "incremental_error_curve",
+    "fit_super_learner_curve",
+    "oracle_curve",
+    "member_quality_summary",
+    "pairwise_disagreement",
+    "format_table",
+    "format_series",
+    "format_error_rates",
+    "format_time_breakdown",
+    "comparison_summary",
+    "expectation_note",
+]

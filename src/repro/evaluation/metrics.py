@@ -1,0 +1,112 @@
+"""Ensemble-level evaluation metrics.
+
+These complement the per-model metrics of ``repro.nn.metrics`` with the
+quantities discussed in the paper's evaluation: error under the four
+inference methods, oracle error, member-quality consistency, and diversity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.ensemble import Ensemble, METHOD_ABBREVIATIONS
+
+
+def evaluate_ensemble(
+    ensemble: Ensemble,
+    x: np.ndarray,
+    y: np.ndarray,
+    methods: Sequence[str] = ("average", "vote", "super_learner", "oracle"),
+    batch_size: int = 256,
+) -> Dict[str, float]:
+    """Error rate (percent) of ``ensemble`` under each inference method, keyed
+    by the paper's abbreviations (EA, Vote, SL, O)."""
+    raw = ensemble.evaluate(x, y, methods=methods, batch_size=batch_size)
+    return {METHOD_ABBREVIATIONS.get(method, method): value for method, value in raw.items()}
+
+
+def incremental_error_curve(
+    ensemble: Ensemble,
+    x: np.ndarray,
+    y: np.ndarray,
+    sizes: Sequence[int],
+    methods: Sequence[str] = ("average", "vote"),
+    batch_size: int = 256,
+) -> Dict[str, List[float]]:
+    """Error rate as the ensemble grows (the x-axis sweep of Figures 6a-9a).
+
+    ``sizes`` are ensemble sizes (numbers of members, in the order they were
+    trained/added); the result maps each inference method to its error-rate
+    series.  The oracle series corresponds to Figure 10.
+    """
+    sizes = [int(s) for s in sizes]
+    if any(s < 1 or s > len(ensemble) for s in sizes):
+        raise ValueError(f"sizes must be within [1, {len(ensemble)}]")
+    curves: Dict[str, List[float]] = {method: [] for method in methods}
+    for size in sizes:
+        subset = ensemble.subset(size)
+        for method in methods:
+            if method == "super_learner":
+                # The convex combination must be re-fit for every subset size;
+                # callers that want SL curves should fit on a validation split
+                # beforehand via fit_super_learner_curve.
+                raise ValueError(
+                    "use fit_super_learner_curve for super-learner curves; it needs "
+                    "a validation split to re-fit the combination per size"
+                )
+            curves[method].append(subset.error_rate(x, y, method=method, batch_size=batch_size))
+    return curves
+
+
+def fit_super_learner_curve(
+    ensemble: Ensemble,
+    x_val: np.ndarray,
+    y_val: np.ndarray,
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+    sizes: Sequence[int],
+    batch_size: int = 256,
+) -> List[float]:
+    """Super-Learner error-rate series over ensemble sizes, re-fitting the
+    combination weights on the validation split for every size."""
+    series: List[float] = []
+    for size in sizes:
+        subset = ensemble.subset(int(size))
+        subset.fit_super_learner(x_val, y_val, batch_size=batch_size)
+        series.append(subset.error_rate(x_test, y_test, method="super_learner", batch_size=batch_size))
+    return series
+
+
+def oracle_curve(
+    ensemble: Ensemble,
+    x: np.ndarray,
+    y: np.ndarray,
+    sizes: Sequence[int],
+    batch_size: int = 256,
+) -> List[float]:
+    """Oracle error rate as the ensemble grows (Figure 10)."""
+    return [
+        ensemble.subset(int(size)).oracle_error_rate(x, y, batch_size=batch_size) for size in sizes
+    ]
+
+
+def member_quality_summary(
+    ensemble: Ensemble, x: np.ndarray, y: np.ndarray, batch_size: int = 256
+) -> Dict[str, float]:
+    """Mean / best / worst / spread of the individual member error rates —
+    the "quality of the ensemble networks remains consistently good" check
+    the paper makes alongside Figure 10."""
+    rates = list(ensemble.member_error_rates(x, y, batch_size=batch_size).values())
+    return {
+        "mean": float(np.mean(rates)),
+        "best": float(np.min(rates)),
+        "worst": float(np.max(rates)),
+        "spread": float(np.max(rates) - np.min(rates)),
+    }
+
+
+def pairwise_disagreement(ensemble: Ensemble, x: np.ndarray, batch_size: int = 256) -> float:
+    """Mean pairwise disagreement between member predictions."""
+    return ensemble.disagreement(x, batch_size=batch_size)

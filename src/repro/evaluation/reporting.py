@@ -1,0 +1,77 @@
+"""Plain-text reporting helpers used by the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures; these
+helpers turn the measured numbers into the same rows/series the paper
+reports so that the shape of the result can be compared at a glance (and so
+EXPERIMENTS.md can be filled from the bench output).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Render a fixed-width text table."""
+    rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(str(h)) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_series(series: Mapping[str, Sequence[float]], x_values: Sequence[object], x_label: str = "x") -> str:
+    """Render one or more named series over common x-values as a table (the
+    textual equivalent of a figure's line plot)."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x, *[values[i] for values in series.values()]])
+    return format_table(headers, rows)
+
+
+def format_error_rates(error_rates: Mapping[str, float], title: str = "error rate (%)") -> str:
+    """Render a mapping of inference-method -> error-rate."""
+    return format_table(
+        ["method", "error rate (%)"], [[k, v] for k, v in error_rates.items()], title=title
+    )
+
+
+def format_time_breakdown(breakdown: Mapping[str, float], title: str = "training time (s)") -> str:
+    """Render a per-network training-time breakdown (Figure 5b's stacked bars)."""
+    rows = [[name, seconds] for name, seconds in breakdown.items()]
+    rows.append(["TOTAL", float(sum(breakdown.values()))])
+    return format_table(["network", "seconds"], rows, title=title)
+
+
+def comparison_summary(
+    totals: Mapping[str, float], reference: str = "mothernets"
+) -> Dict[str, float]:
+    """Speedups of ``reference`` relative to every other approach (e.g. the
+    "up to 6x faster" headline numbers)."""
+    if reference not in totals:
+        raise KeyError(f"reference approach {reference!r} missing from totals")
+    ref = totals[reference]
+    if ref <= 0:
+        raise ValueError("reference total must be positive")
+    return {name: value / ref for name, value in totals.items() if name != reference}
+
+
+def expectation_note(lines: Sequence[str]) -> str:
+    """Format the paper's qualitative expectations next to measured output."""
+    return "\n".join(f"  [paper] {line}" for line in lines)

@@ -1,0 +1,78 @@
+"""Numpy neural-network substrate: layers, losses, optimizers, models, and the
+training loop used by the MotherNets ensemble trainers."""
+
+from repro.nn import initializers
+from repro.nn.layers import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAveragePool2D,
+    Layer,
+    MaxPool2D,
+    ReLU,
+    ResidualUnit,
+    Softmax,
+    softmax,
+)
+from repro.nn.losses import MeanSquaredError, SoftmaxCrossEntropy, get_loss
+from repro.nn.metrics import accuracy, confusion_matrix, error_rate, top_k_accuracy
+from repro.nn.model import Model
+from repro.nn.optimizers import (
+    Adam,
+    ConstantSchedule,
+    CosineSchedule,
+    SGD,
+    StepDecaySchedule,
+    get_optimizer,
+)
+from repro.nn.serialization import load_model, save_model
+from repro.nn.training import (
+    ConvergenceCriterion,
+    EpochRecord,
+    Trainer,
+    TrainingConfig,
+    TrainingResult,
+    evaluate,
+    iterate_minibatches,
+)
+
+__all__ = [
+    "initializers",
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "GlobalAveragePool2D",
+    "BatchNorm",
+    "ReLU",
+    "Softmax",
+    "softmax",
+    "Flatten",
+    "Dropout",
+    "ResidualUnit",
+    "SoftmaxCrossEntropy",
+    "MeanSquaredError",
+    "get_loss",
+    "accuracy",
+    "error_rate",
+    "top_k_accuracy",
+    "confusion_matrix",
+    "Model",
+    "save_model",
+    "load_model",
+    "SGD",
+    "Adam",
+    "ConstantSchedule",
+    "StepDecaySchedule",
+    "CosineSchedule",
+    "get_optimizer",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingResult",
+    "EpochRecord",
+    "ConvergenceCriterion",
+    "evaluate",
+    "iterate_minibatches",
+]

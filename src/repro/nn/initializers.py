@@ -1,0 +1,110 @@
+"""Weight initialisation schemes.
+
+The paper initialises all weights by sampling from a Gaussian with zero mean
+and unit standard deviation.  That works for the small networks of 2015-era
+papers but is numerically fragile for deeper nets, so the substrate also
+provides He/Glorot initialisers (the library default is He-normal, which is
+standard for ReLU networks); the paper's scheme is available as
+``gaussian(std=1.0)`` for faithful runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+Initializer = Callable[[Tuple[int, ...], np.random.Generator], np.ndarray]
+
+
+def _fan_in_out(shape: Sequence[int]) -> Tuple[int, int]:
+    """Compute fan-in / fan-out for dense ``(in, out)`` and conv
+    ``(out_c, in_c, kh, kw)`` weight shapes."""
+    if len(shape) == 2:
+        fan_in, fan_out = shape[0], shape[1]
+    elif len(shape) == 4:
+        out_c, in_c, kh, kw = shape
+        receptive = kh * kw
+        fan_in = in_c * receptive
+        fan_out = out_c * receptive
+    else:  # pragma: no cover - defensive
+        size = int(np.prod(shape))
+        fan_in = fan_out = max(1, size)
+    return int(fan_in), int(fan_out)
+
+
+def gaussian(std: float = 1.0, mean: float = 0.0) -> Initializer:
+    """Gaussian initialiser with fixed standard deviation (paper default)."""
+
+    def init(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        return rng.normal(mean, std, size=shape).astype(np.float64)
+
+    return init
+
+
+def he_normal() -> Initializer:
+    """He (Kaiming) normal initialiser, suited to ReLU activations."""
+
+    def init(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        fan_in, _ = _fan_in_out(shape)
+        std = np.sqrt(2.0 / fan_in)
+        return rng.normal(0.0, std, size=shape).astype(np.float64)
+
+    return init
+
+
+def glorot_uniform() -> Initializer:
+    """Glorot (Xavier) uniform initialiser."""
+
+    def init(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        fan_in, fan_out = _fan_in_out(shape)
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+
+    return init
+
+
+def zeros() -> Initializer:
+    """All-zeros initialiser (used for biases and zero-init residual convs)."""
+
+    def init(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        return np.zeros(shape, dtype=np.float64)
+
+    return init
+
+
+def constant(value: float) -> Initializer:
+    """Constant initialiser."""
+
+    def init(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        return np.full(shape, float(value), dtype=np.float64)
+
+    return init
+
+
+_REGISTRY = {
+    "gaussian": gaussian(),
+    "he_normal": he_normal(),
+    "glorot_uniform": glorot_uniform(),
+    "zeros": zeros(),
+}
+
+
+def get_initializer(name_or_fn) -> Initializer:
+    """Resolve an initialiser by name or pass a callable through."""
+    if callable(name_or_fn):
+        return name_or_fn
+    try:
+        return _REGISTRY[str(name_or_fn)]
+    except KeyError as exc:
+        raise ValueError(
+            f"Unknown initializer {name_or_fn!r}; known: {sorted(_REGISTRY)}"
+        ) from exc
+
+
+def initialize(shape: Tuple[int, ...], name_or_fn="he_normal", seed: SeedLike = None) -> np.ndarray:
+    """Convenience helper: materialise a tensor of ``shape`` with the given scheme."""
+    rng = as_rng(seed)
+    return get_initializer(name_or_fn)(tuple(int(s) for s in shape), rng)

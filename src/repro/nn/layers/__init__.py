@@ -1,0 +1,31 @@
+"""Layer zoo for the numpy neural-network substrate."""
+
+from repro.nn.layers.base import CompositeLayer, Layer
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.conv import Conv2D, im2col, col2im
+from repro.nn.layers.pooling import MaxPool2D, GlobalAveragePool2D
+from repro.nn.layers.normalization import BatchNorm
+from repro.nn.layers.activations import ReLU, LeakyReLU, Softmax, softmax
+from repro.nn.layers.reshape import Flatten
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.residual import ResidualUnit, identity_projection_kernel
+
+__all__ = [
+    "Layer",
+    "CompositeLayer",
+    "Dense",
+    "Conv2D",
+    "im2col",
+    "col2im",
+    "MaxPool2D",
+    "GlobalAveragePool2D",
+    "BatchNorm",
+    "ReLU",
+    "LeakyReLU",
+    "Softmax",
+    "softmax",
+    "Flatten",
+    "Dropout",
+    "ResidualUnit",
+    "identity_projection_kernel",
+]

@@ -1,0 +1,75 @@
+"""Activation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+class ReLU(Layer):
+    """Rectified linear unit, ``y = max(x, 0)``."""
+
+    def __init__(self, name: str = ""):
+        super().__init__(name=name or "relu")
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        mask = x > 0
+        if training:
+            self._mask = mask
+        return x * mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError(f"{self.name}: backward called before a training forward pass")
+        return grad_output * self._mask
+
+
+class LeakyReLU(Layer):
+    """Leaky ReLU with configurable negative slope."""
+
+    def __init__(self, negative_slope: float = 0.01, name: str = ""):
+        super().__init__(name=name or "leaky_relu")
+        self.negative_slope = float(negative_slope)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        mask = x > 0
+        if training:
+            self._mask = mask
+        return np.where(mask, x, self.negative_slope * x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError(f"{self.name}: backward called before a training forward pass")
+        return np.where(self._mask, grad_output, self.negative_slope * grad_output)
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax over ``axis``."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+class Softmax(Layer):
+    """Softmax layer (used only at inference; training uses the fused
+    softmax-cross-entropy loss for numerical stability)."""
+
+    def __init__(self, name: str = ""):
+        super().__init__(name=name or "softmax")
+        self._cache_output: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = softmax(x, axis=-1)
+        if training:
+            self._cache_output = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache_output is None:
+            raise RuntimeError(f"{self.name}: backward called before a training forward pass")
+        y = self._cache_output
+        dot = np.sum(grad_output * y, axis=-1, keepdims=True)
+        return y * (grad_output - dot)

@@ -1,0 +1,165 @@
+"""2-D convolution implemented with vectorised im2col / col2im.
+
+Only "same"-padded, stride-1 convolutions are needed by the VGG/ResNet-style
+architectures used in the paper (spatial down-sampling happens through
+max-pooling between blocks), but the layer supports arbitrary stride and
+padding for completeness.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.initializers import get_initializer
+from repro.nn.layers.base import Layer
+from repro.utils.rng import SeedLike, as_rng
+
+
+def im2col(x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int) -> np.ndarray:
+    """Rearrange image patches into columns.
+
+    Parameters
+    ----------
+    x: ``(N, C, H, W)`` input.
+    kernel: ``(kh, kw)`` kernel size.
+    stride: spatial stride.
+    padding: symmetric zero padding.
+
+    Returns
+    -------
+    ``(N, C * kh * kw, out_h * out_w)`` array of flattened patches.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    # Gather patches with stride tricks: shape (N, C, kh, kw, out_h, out_w)
+    strides = x.strides
+    shape = (n, c, kh, kw, out_h, out_w)
+    patch_strides = (
+        strides[0],
+        strides[1],
+        strides[2],
+        strides[3],
+        strides[2] * stride,
+        strides[3] * stride,
+    )
+    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=patch_strides)
+    return patches.reshape(n, c * kh * kw, out_h * out_w).copy()
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back to image space."""
+    n, c, h, w = input_shape
+    kh, kw = kernel
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    cols6 = cols.reshape(n, c, kh, kw, out_h, out_w)
+    for i in range(kh):
+        for j in range(kw):
+            padded[:, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride] += cols6[
+                :, :, i, j, :, :
+            ]
+    if padding > 0:
+        return padded[:, :, padding : padding + h, padding : padding + w]
+    return padded
+
+
+class Conv2D(Layer):
+    """2-D convolution over ``(N, C, H, W)`` inputs.
+
+    Weight shape is ``(out_channels, in_channels, kh, kw)``.  ``padding="same"``
+    keeps the spatial size for odd kernels at stride 1, which is the
+    configuration used throughout the VGG/ResNet architecture zoo.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: str | int = "same",
+        weight_init="he_normal",
+        bias_init="zeros",
+        use_bias: bool = True,
+        seed: SeedLike = None,
+        name: str = "",
+    ):
+        super().__init__(name=name or f"conv{kernel_size}x{kernel_size}_{out_channels}")
+        if in_channels <= 0 or out_channels <= 0 or kernel_size <= 0:
+            raise ValueError("Conv2D dimensions must be positive")
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride)
+        self.use_bias = bool(use_bias)
+        if padding == "same":
+            if kernel_size % 2 == 0:
+                raise ValueError("'same' padding requires an odd kernel size")
+            self.padding = (kernel_size - 1) // 2
+        else:
+            self.padding = int(padding)
+        rng = as_rng(seed)
+        self.params["W"] = get_initializer(weight_init)(
+            (self.out_channels, self.in_channels, self.kernel_size, self.kernel_size), rng
+        )
+        if self.use_bias:
+            self.params["b"] = get_initializer(bias_init)((self.out_channels,), rng)
+        self._cache: tuple | None = None
+
+    # ------------------------------------------------------------------ api
+    def output_spatial(self, h: int, w: int) -> Tuple[int, int]:
+        """Spatial output size for an ``h`` x ``w`` input."""
+        k, s, p = self.kernel_size, self.stride, self.padding
+        return (h + 2 * p - k) // s + 1, (w + 2 * p - k) // s + 1
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected input (N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        n, _, h, w = x.shape
+        out_h, out_w = self.output_spatial(h, w)
+        cols = im2col(x, (self.kernel_size, self.kernel_size), self.stride, self.padding)
+        w_mat = self.params["W"].reshape(self.out_channels, -1)
+        out = np.einsum("of,nfp->nop", w_mat, cols)
+        if self.use_bias:
+            out = out + self.params["b"][None, :, None]
+        out = out.reshape(n, self.out_channels, out_h, out_w)
+        if training:
+            self._cache = (x.shape, cols)
+        else:
+            self._cache = None
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward called before a training forward pass")
+        input_shape, cols = self._cache
+        n = grad_output.shape[0]
+        grad_mat = grad_output.reshape(n, self.out_channels, -1)
+        w_mat = self.params["W"].reshape(self.out_channels, -1)
+        grad_w = np.einsum("nop,nfp->of", grad_mat, cols)
+        self.grads["W"] = grad_w.reshape(self.params["W"].shape)
+        if self.use_bias:
+            self.grads["b"] = grad_mat.sum(axis=(0, 2))
+        grad_cols = np.einsum("of,nop->nfp", w_mat, grad_mat)
+        return col2im(
+            grad_cols,
+            input_shape,
+            (self.kernel_size, self.kernel_size),
+            self.stride,
+            self.padding,
+        )

@@ -1,0 +1,41 @@
+"""Inverted dropout.
+
+The paper lists Dropout among the implicit-ensembling / regularisation
+techniques that can be combined with MotherNets as per-member training
+optimisations; the architecture specs therefore optionally include dropout
+in the classifier head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+from repro.utils.rng import SeedLike, as_rng
+
+
+class Dropout(Layer):
+    """Inverted dropout: at training time zero each activation with
+    probability ``rate`` and scale the survivors by ``1 / (1 - rate)`` so that
+    inference is a plain identity."""
+
+    def __init__(self, rate: float = 0.5, seed: SeedLike = None, name: str = ""):
+        super().__init__(name=name or f"dropout_{rate}")
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = float(rate)
+        self.rng = as_rng(seed)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask

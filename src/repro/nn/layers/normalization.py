@@ -1,0 +1,93 @@
+"""Batch normalisation for dense and convolutional activations.
+
+The paper trains with batch normalisation (citing Ioffe & Szegedy) and the
+hatching step relies on being able to initialise a freshly inserted BatchNorm
+layer as an exact identity in inference mode; :meth:`BatchNorm.set_identity`
+provides that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+class BatchNorm(Layer):
+    """Batch normalisation over the feature/channel axis.
+
+    Works on both ``(N, F)`` dense activations and ``(N, C, H, W)`` feature
+    maps (normalising per channel over ``N, H, W``).
+    """
+
+    def __init__(self, num_features: int, momentum: float = 0.9, eps: float = 1e-5, name: str = ""):
+        super().__init__(name=name or f"batchnorm_{num_features}")
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        self.num_features = int(num_features)
+        self.momentum = float(momentum)
+        self.eps = float(eps)
+        self.params["gamma"] = np.ones(self.num_features, dtype=np.float64)
+        self.params["beta"] = np.zeros(self.num_features, dtype=np.float64)
+        self.state["running_mean"] = np.zeros(self.num_features, dtype=np.float64)
+        self.state["running_var"] = np.ones(self.num_features, dtype=np.float64)
+        self._cache: tuple | None = None
+
+    # ------------------------------------------------------------------ api
+    def set_identity(self) -> None:
+        """Configure the layer so that, in inference mode, it is exactly the
+        identity function.  Used when deepening a network during hatching."""
+        self.state["running_mean"] = np.zeros(self.num_features, dtype=np.float64)
+        self.state["running_var"] = np.ones(self.num_features, dtype=np.float64)
+        self.params["gamma"] = np.full(self.num_features, np.sqrt(1.0 + self.eps))
+        self.params["beta"] = np.zeros(self.num_features, dtype=np.float64)
+
+    def _reshape_stats(self, stat: np.ndarray, ndim: int) -> np.ndarray:
+        if ndim == 2:
+            return stat[None, :]
+        return stat[None, :, None, None]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim not in (2, 4) or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"{self.name}: expected (N, {self.num_features}[, H, W]) input, got {x.shape}"
+            )
+        axes = (0,) if x.ndim == 2 else (0, 2, 3)
+        if training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            count = x.size // self.num_features
+            unbiased = var * count / max(count - 1, 1)
+            self.state["running_mean"] = (
+                self.momentum * self.state["running_mean"] + (1 - self.momentum) * mean
+            )
+            self.state["running_var"] = (
+                self.momentum * self.state["running_var"] + (1 - self.momentum) * unbiased
+            )
+        else:
+            mean = self.state["running_mean"]
+            var = self.state["running_var"]
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - self._reshape_stats(mean, x.ndim)) * self._reshape_stats(inv_std, x.ndim)
+        out = self._reshape_stats(self.params["gamma"], x.ndim) * x_hat + self._reshape_stats(
+            self.params["beta"], x.ndim
+        )
+        if training:
+            self._cache = (x_hat, inv_std, axes, x.ndim)
+        else:
+            self._cache = None
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward called before a training forward pass")
+        x_hat, inv_std, axes, ndim = self._cache
+        m = grad_output.size // self.num_features
+        gamma = self._reshape_stats(self.params["gamma"], ndim)
+        self.grads["gamma"] = (grad_output * x_hat).sum(axis=axes)
+        self.grads["beta"] = grad_output.sum(axis=axes)
+        dxhat = grad_output * gamma
+        sum_dxhat = dxhat.sum(axis=axes, keepdims=True)
+        sum_dxhat_xhat = (dxhat * x_hat).sum(axis=axes, keepdims=True)
+        inv_std_b = self._reshape_stats(inv_std, ndim)
+        return (inv_std_b / m) * (m * dxhat - sum_dxhat - x_hat * sum_dxhat_xhat)

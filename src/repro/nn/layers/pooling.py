@@ -1,0 +1,79 @@
+"""Pooling layers: max pooling (between convolutional blocks) and global
+average pooling (before the classifier head)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+class MaxPool2D(Layer):
+    """Non-overlapping max pooling over ``(N, C, H, W)`` inputs.
+
+    ``pool_size`` must divide the spatial dimensions; the VGG/ResNet-style
+    architecture builder guarantees this by construction.
+    """
+
+    def __init__(self, pool_size: int = 2, name: str = ""):
+        super().__init__(name=name or f"maxpool{pool_size}")
+        if pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+        self.pool_size = int(pool_size)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, c, h, w = x.shape
+        p = self.pool_size
+        if h % p or w % p:
+            raise ValueError(
+                f"{self.name}: spatial size ({h}x{w}) not divisible by pool size {p}"
+            )
+        # Windows in (N, C, out_h, out_w, p, p) layout.
+        windows = x.reshape(n, c, h // p, p, w // p, p).transpose(0, 1, 2, 4, 3, 5)
+        out = windows.max(axis=(4, 5))
+        if training:
+            flat = windows.reshape(n, c, h // p, w // p, p * p)
+            # Route gradients only to the first maximum within each window so
+            # that ties do not duplicate gradient mass.
+            argmax = np.argmax(flat, axis=-1)
+            mask = np.zeros_like(flat, dtype=bool)
+            idx = np.indices(argmax.shape)
+            mask[idx[0], idx[1], idx[2], idx[3], argmax] = True
+            self._cache = (x.shape, mask.reshape(n, c, h // p, w // p, p, p))
+        else:
+            self._cache = None
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward called before a training forward pass")
+        input_shape, mask = self._cache
+        n, c, h, w = input_shape
+        p = self.pool_size
+        grad_windows = mask * grad_output[:, :, :, :, None, None]
+        # Back from (N, C, out_h, out_w, p, p) to (N, C, H, W).
+        grad = grad_windows.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, h, w)
+        return grad
+
+
+class GlobalAveragePool2D(Layer):
+    """Average over spatial dimensions, ``(N, C, H, W) -> (N, C)``."""
+
+    def __init__(self, name: str = ""):
+        super().__init__(name=name or "global_avg_pool")
+        self._cache_shape: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"{self.name}: expected 4-D input, got shape {x.shape}")
+        if training:
+            self._cache_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache_shape is None:
+            raise RuntimeError(f"{self.name}: backward called before a training forward pass")
+        n, c, h, w = self._cache_shape
+        grad = grad_output[:, :, None, None] / float(h * w)
+        return np.broadcast_to(grad, (n, c, h, w)).copy()

@@ -1,0 +1,25 @@
+"""Shape-manipulation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+class Flatten(Layer):
+    """Flatten all non-batch dimensions, ``(N, ...) -> (N, prod(...))``."""
+
+    def __init__(self, name: str = ""):
+        super().__init__(name=name or "flatten")
+        self._cache_shape: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._cache_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache_shape is None:
+            raise RuntimeError(f"{self.name}: backward called before a training forward pass")
+        return grad_output.reshape(self._cache_shape)

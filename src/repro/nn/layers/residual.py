@@ -1,0 +1,114 @@
+"""Residual units used by the ResNet-style members of an ensemble.
+
+A :class:`ResidualUnit` is ``y = ReLU(F(x) + S(x))`` where ``F`` is
+``conv -> BN -> ReLU -> conv -> BN`` and ``S`` is a 1x1 projection convolution
+(always present so that widening a unit can adjust both branches with the same
+channel-replication mapping; see ``repro.core.morphism``).
+
+When a unit is inserted by the hatching step it is configured as an exact
+identity: the final convolution and BatchNorm of ``F`` are zero-initialised so
+``F(x) = 0``, and the projection is an identity kernel, giving
+``y = ReLU(S(x)) = x`` for the non-negative activations that flow between
+ResNet units.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.nn.layers.activations import ReLU
+from repro.nn.layers.base import CompositeLayer, Layer
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.normalization import BatchNorm
+from repro.utils.rng import SeedLike, as_rng
+
+
+def identity_projection_kernel(in_channels: int, out_channels: int) -> np.ndarray:
+    """A 1x1 kernel mapping channel ``i`` of the input to channel ``i`` of the
+    output (extra output channels, if any, are zero)."""
+    kernel = np.zeros((out_channels, in_channels, 1, 1), dtype=np.float64)
+    for i in range(min(in_channels, out_channels)):
+        kernel[i, i, 0, 0] = 1.0
+    return kernel
+
+
+class ResidualUnit(CompositeLayer):
+    """Two-convolution residual unit with a 1x1 projection shortcut."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        channels: int,
+        kernel_size: int = 3,
+        use_batchnorm: bool = True,
+        seed: SeedLike = None,
+        name: str = "",
+    ):
+        super().__init__(name=name or f"resunit_{in_channels}to{channels}")
+        rng = as_rng(seed)
+        self.in_channels = int(in_channels)
+        self.channels = int(channels)
+        self.kernel_size = int(kernel_size)
+        self.use_batchnorm = bool(use_batchnorm)
+
+        self.conv1 = Conv2D(in_channels, channels, kernel_size, seed=rng, name=f"{self.name}.conv1")
+        self.bn1 = BatchNorm(channels, name=f"{self.name}.bn1") if use_batchnorm else None
+        self.relu1 = ReLU(name=f"{self.name}.relu1")
+        self.conv2 = Conv2D(channels, channels, kernel_size, seed=rng, name=f"{self.name}.conv2")
+        self.bn2 = BatchNorm(channels, name=f"{self.name}.bn2") if use_batchnorm else None
+        self.projection = Conv2D(
+            in_channels, channels, 1, seed=rng, name=f"{self.name}.proj", use_bias=False
+        )
+        self.relu_out = ReLU(name=f"{self.name}.relu_out")
+
+    # ----------------------------------------------------------- composition
+    def sublayers(self) -> List[Layer]:
+        layers: List[Layer] = [self.conv1]
+        if self.bn1 is not None:
+            layers.append(self.bn1)
+        layers.append(self.conv2)
+        if self.bn2 is not None:
+            layers.append(self.bn2)
+        layers.append(self.projection)
+        return layers
+
+    def set_identity(self) -> None:
+        """Make the unit an exact identity for non-negative inputs (inference
+        mode), as required by function-preserving deepening."""
+        if self.in_channels != self.channels:
+            raise ValueError("An identity residual unit requires in_channels == channels")
+        self.conv2.params["W"] = np.zeros_like(self.conv2.params["W"])
+        if self.conv2.use_bias:
+            self.conv2.params["b"] = np.zeros_like(self.conv2.params["b"])
+        if self.bn2 is not None:
+            self.bn2.set_identity()
+            # gamma * 0 == 0 regardless, but keep beta at zero explicitly.
+            self.bn2.params["beta"] = np.zeros_like(self.bn2.params["beta"])
+        self.projection.params["W"] = identity_projection_kernel(self.in_channels, self.channels)
+
+    # ------------------------------------------------------------------ pass
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        residual = self.conv1.forward(x, training)
+        if self.bn1 is not None:
+            residual = self.bn1.forward(residual, training)
+        residual = self.relu1.forward(residual, training)
+        residual = self.conv2.forward(residual, training)
+        if self.bn2 is not None:
+            residual = self.bn2.forward(residual, training)
+        shortcut = self.projection.forward(x, training)
+        return self.relu_out.forward(residual + shortcut, training)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.relu_out.backward(grad_output)
+        grad_shortcut = self.projection.backward(grad)
+        grad_residual = grad
+        if self.bn2 is not None:
+            grad_residual = self.bn2.backward(grad_residual)
+        grad_residual = self.conv2.backward(grad_residual)
+        grad_residual = self.relu1.backward(grad_residual)
+        if self.bn1 is not None:
+            grad_residual = self.bn1.backward(grad_residual)
+        grad_residual = self.conv1.backward(grad_residual)
+        return grad_residual + grad_shortcut

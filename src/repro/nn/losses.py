@@ -1,0 +1,97 @@
+"""Loss functions.
+
+Training uses the fused softmax-cross-entropy loss (numerically stable and
+with the simple ``softmax - onehot`` gradient); mean-squared error is provided
+for the Super Learner meta-training and for tests.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.layers.activations import softmax
+
+
+class Loss:
+    """Base class: ``forward`` returns the scalar loss, ``backward`` the
+    gradient with respect to the model output (logits)."""
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+        return self.forward(predictions, targets), self.backward(predictions, targets)
+
+
+def _to_onehot(targets: np.ndarray, num_classes: int) -> np.ndarray:
+    """Convert integer labels to one-hot; pass through matrices unchanged."""
+    targets = np.asarray(targets)
+    if targets.ndim == 1:
+        onehot = np.zeros((targets.shape[0], num_classes), dtype=np.float64)
+        onehot[np.arange(targets.shape[0]), targets.astype(int)] = 1.0
+        return onehot
+    if targets.shape[1] != num_classes:
+        raise ValueError(
+            f"target matrix has {targets.shape[1]} columns, expected {num_classes}"
+        )
+    return targets.astype(np.float64)
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Cross-entropy between softmax(logits) and integer or one-hot targets."""
+
+    def __init__(self, label_smoothing: float = 0.0):
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError("label_smoothing must be in [0, 1)")
+        self.label_smoothing = float(label_smoothing)
+
+    def _smooth(self, onehot: np.ndarray) -> np.ndarray:
+        if self.label_smoothing == 0.0:
+            return onehot
+        k = onehot.shape[1]
+        return onehot * (1.0 - self.label_smoothing) + self.label_smoothing / k
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        probs = softmax(logits)
+        onehot = self._smooth(_to_onehot(targets, logits.shape[1]))
+        log_probs = np.log(np.clip(probs, 1e-12, None))
+        return float(-(onehot * log_probs).sum(axis=1).mean())
+
+    def backward(self, logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        probs = softmax(logits)
+        onehot = self._smooth(_to_onehot(targets, logits.shape[1]))
+        return (probs - onehot) / logits.shape[0]
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error, averaged over samples and output dimensions."""
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        targets = np.asarray(targets, dtype=np.float64)
+        return float(np.mean((predictions - targets) ** 2))
+
+    def backward(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        targets = np.asarray(targets, dtype=np.float64)
+        return 2.0 * (predictions - targets) / predictions.size
+
+
+_LOSSES = {
+    "softmax_cross_entropy": SoftmaxCrossEntropy,
+    "cross_entropy": SoftmaxCrossEntropy,
+    "mse": MeanSquaredError,
+}
+
+
+def get_loss(name_or_loss) -> Loss:
+    """Resolve a loss by name or return the instance unchanged."""
+    if isinstance(name_or_loss, Loss):
+        return name_or_loss
+    try:
+        return _LOSSES[str(name_or_loss)]()
+    except KeyError as exc:
+        raise ValueError(f"Unknown loss {name_or_loss!r}; known: {sorted(_LOSSES)}") from exc

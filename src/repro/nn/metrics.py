@@ -1,0 +1,50 @@
+"""Classification metrics used throughout training and evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_labels(values: np.ndarray) -> np.ndarray:
+    """Collapse probability/logit matrices to integer label vectors."""
+    values = np.asarray(values)
+    if values.ndim == 2:
+        return values.argmax(axis=1)
+    return values.astype(int)
+
+
+def accuracy(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Fraction of correctly classified samples."""
+    pred_labels = _as_labels(predictions)
+    true_labels = _as_labels(targets)
+    if pred_labels.shape != true_labels.shape:
+        raise ValueError("predictions and targets must describe the same number of samples")
+    if pred_labels.size == 0:
+        raise ValueError("cannot compute accuracy of an empty batch")
+    return float(np.mean(pred_labels == true_labels))
+
+
+def error_rate(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Classification error in percent (the unit used by the paper's figures)."""
+    return 100.0 * (1.0 - accuracy(predictions, targets))
+
+
+def top_k_accuracy(probabilities: np.ndarray, targets: np.ndarray, k: int = 5) -> float:
+    """Top-k accuracy for probability/logit matrices."""
+    probabilities = np.asarray(probabilities)
+    if probabilities.ndim != 2:
+        raise ValueError("top_k_accuracy expects a (N, num_classes) matrix")
+    k = min(int(k), probabilities.shape[1])
+    true_labels = _as_labels(targets)
+    topk = np.argpartition(-probabilities, kth=k - 1, axis=1)[:, :k]
+    hits = (topk == true_labels[:, None]).any(axis=1)
+    return float(hits.mean())
+
+
+def confusion_matrix(predictions: np.ndarray, targets: np.ndarray, num_classes: int) -> np.ndarray:
+    """Dense ``(num_classes, num_classes)`` confusion matrix (rows = truth)."""
+    pred_labels = _as_labels(predictions)
+    true_labels = _as_labels(targets)
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (true_labels, pred_labels), 1)
+    return matrix

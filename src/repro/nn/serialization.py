@@ -1,0 +1,56 @@
+"""Model persistence.
+
+Saves a :class:`~repro.nn.model.Model` (its architecture spec plus every
+parameter and state tensor) into a single compressed ``.npz`` file, and loads
+it back.  Used to checkpoint trained MotherNets so that additional ensemble
+members can be hatched later without retraining (one of the practical
+benefits the paper highlights: the training cost of growing an ensemble is
+just the member fine-tuning).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.arch.serialization import spec_from_json, spec_to_json
+from repro.nn.model import Model
+
+_SPEC_KEY = "__spec_json__"
+
+
+def save_model(model: Model, path: Union[str, Path]) -> Path:
+    """Save ``model`` (spec + weights + state) to ``path`` as an ``.npz`` file."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    arrays = {}
+    for layer_name, layer_weights in model.get_weights().items():
+        for key, value in layer_weights.items():
+            arrays[f"{layer_name}|{key}"] = value
+    arrays[_SPEC_KEY] = np.frombuffer(spec_to_json(model.spec).encode("utf-8"), dtype=np.uint8)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_model(path: Union[str, Path]) -> Model:
+    """Load a model previously stored with :func:`save_model`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        if _SPEC_KEY not in archive:
+            raise ValueError(f"{path} does not look like a saved repro model (missing spec)")
+        spec_json = bytes(archive[_SPEC_KEY].tobytes()).decode("utf-8")
+        spec = spec_from_json(spec_json)
+        weights: dict = {}
+        for key in archive.files:
+            if key == _SPEC_KEY:
+                continue
+            layer_name, weight_key = key.split("|", 1)
+            weights.setdefault(layer_name, {})[weight_key] = archive[key]
+    model = Model.from_spec(spec, seed=0)
+    model.set_weights(weights)
+    return model

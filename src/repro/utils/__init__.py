@@ -1,0 +1,14 @@
+"""Shared utilities: seeded RNG management, timing, and lightweight logging."""
+
+from repro.utils.rng import RngManager, as_rng, derive_seed
+from repro.utils.timing import Timer, WallClockAccumulator
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "RngManager",
+    "as_rng",
+    "derive_seed",
+    "Timer",
+    "WallClockAccumulator",
+    "get_logger",
+]

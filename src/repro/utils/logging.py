@@ -1,0 +1,36 @@
+"""Lightweight logging configuration shared across the library."""
+
+from __future__ import annotations
+
+import logging
+import os
+
+_FORMAT = "%(asctime)s %(levelname)s %(name)s: %(message)s"
+_CONFIGURED = False
+
+
+def _configure_root() -> None:
+    global _CONFIGURED
+    if _CONFIGURED:
+        return
+    level_name = os.environ.get("REPRO_LOG_LEVEL", "WARNING").upper()
+    level = getattr(logging, level_name, logging.WARNING)
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    root = logging.getLogger("repro")
+    root.setLevel(level)
+    if not root.handlers:
+        root.addHandler(handler)
+    _CONFIGURED = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under ``repro``.
+
+    The verbosity of the whole library is controlled by the
+    ``REPRO_LOG_LEVEL`` environment variable (default ``WARNING``).
+    """
+    _configure_root()
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

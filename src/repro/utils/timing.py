@@ -1,0 +1,75 @@
+"""Wall-clock timing helpers used by the training-cost accounting layer."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+class Timer:
+    """A simple start/stop wall-clock timer.
+
+    Can be used directly or as a context manager::
+
+        with Timer() as t:
+            work()
+        print(t.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+@dataclass
+class WallClockAccumulator:
+    """Accumulates wall-clock time under named categories.
+
+    Used by the ensemble trainers to split total training time into
+    per-network contributions (the breakdown shown in Figure 5b of the paper).
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, category: str, seconds: float) -> None:
+        self.totals[category] = self.totals.get(category, 0.0) + float(seconds)
+
+    @contextmanager
+    def measure(self, category: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(category, time.perf_counter() - start)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.totals.values()))
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.totals)
+
+    def merge(self, other: "WallClockAccumulator") -> "WallClockAccumulator":
+        merged = WallClockAccumulator(dict(self.totals))
+        for key, value in other.totals.items():
+            merged.add(key, value)
+        return merged

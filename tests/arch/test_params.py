@@ -1,0 +1,109 @@
+"""Unit tests for parameter counting and size ordering."""
+
+import pytest
+
+from repro.arch import (
+    ArchitectureSpec,
+    count_parameters,
+    mlp,
+    parameter_breakdown,
+    resnet,
+    shared_parameter_fraction,
+    sort_by_size,
+    vgg,
+)
+from repro.nn import Model
+
+
+def test_dense_parameter_count_by_hand():
+    spec = ArchitectureSpec.dense("m", 10, [4], 3, use_batchnorm=False)
+    # 10*4+4 hidden + 4*3+3 classifier
+    assert count_parameters(spec) == 44 + 15
+
+
+def test_dense_with_batchnorm_adds_two_per_unit():
+    plain = ArchitectureSpec.dense("m", 10, [4], 3, use_batchnorm=False)
+    with_bn = ArchitectureSpec.dense("m", 10, [4], 3, use_batchnorm=True)
+    assert count_parameters(with_bn) == count_parameters(plain) + 2 * 4
+
+
+def test_conv_parameter_count_by_hand():
+    spec = ArchitectureSpec.convolutional(
+        "c", (3, 8, 8), [["3:4"]], num_classes=2, use_batchnorm=False
+    )
+    # conv: 4*3*9+4 = 112, classifier after GAP: 4*2+2 = 10
+    assert count_parameters(spec) == 122
+
+
+def test_residual_parameter_count_by_hand():
+    spec = ArchitectureSpec.convolutional(
+        "r", (3, 8, 8), [["3:4"]], num_classes=2, residual=True, use_batchnorm=False
+    )
+    # conv1 3->4: 112, conv2 4->4: 148, projection 3->4 1x1 no bias: 12, classifier: 10
+    assert count_parameters(spec) == 112 + 148 + 12 + 10
+
+
+@pytest.mark.parametrize(
+    "spec_factory",
+    [
+        lambda: mlp("m", 24, [16, 12], 5),
+        lambda: mlp("m", 24, [16, 12], 5, use_batchnorm=True),
+        lambda: vgg("V16", input_shape=(3, 8, 8), width_scale=0.05),
+        lambda: vgg("V16A", input_shape=(3, 8, 8), width_scale=0.05),
+        lambda: resnet(34, input_shape=(3, 8, 8), width_scale=0.05),
+        lambda: ArchitectureSpec.convolutional(
+            "mixed", (3, 8, 8), [["3:4", "1:6"], ["5:8"]], num_classes=7, dense_layers=[12]
+        ),
+    ],
+)
+def test_count_matches_built_model(spec_factory):
+    """The analytic count must equal the materialised model's count."""
+    spec = spec_factory()
+    assert count_parameters(spec) == Model.from_spec(spec, seed=0).parameter_count()
+
+
+def test_paper_scale_vgg_counts_are_plausible():
+    """Full-size VGG conv stacks are in the published 9M-20M range and ordered
+    V16A < V13 < V16 < V16B < V19."""
+    counts = {name: count_parameters(vgg(name)) for name in ("V13", "V16", "V16A", "V16B", "V19")}
+    assert 5e6 < counts["V16A"] < counts["V13"] < counts["V16"] < counts["V16B"] < counts["V19"] < 25e6
+
+
+def test_resnet_counts_grow_with_depth():
+    counts = [count_parameters(resnet(depth)) for depth in (18, 34, 50, 101, 152)]
+    assert counts == sorted(counts)
+    assert counts[0] > 1e6
+
+
+def test_parameter_breakdown_sums_to_total():
+    spec = vgg("V16", input_shape=(3, 32, 32), width_scale=0.1)
+    breakdown = parameter_breakdown(spec)
+    assert sum(breakdown.values()) == count_parameters(spec)
+    assert "classifier" in breakdown
+    assert sum(1 for key in breakdown if key.startswith("block_")) == 5
+
+
+def test_parameter_breakdown_dense_hidden_section():
+    spec = ArchitectureSpec.dense("m", 10, [4, 4], 3)
+    breakdown = parameter_breakdown(spec)
+    assert set(breakdown) == {"dense_hidden", "classifier"}
+
+
+def test_shared_parameter_fraction_bounds():
+    small = mlp("s", 16, [8], 4)
+    large = mlp("l", 16, [32, 32], 4)
+    fraction = shared_parameter_fraction(small, large)
+    assert 0.0 < fraction < 1.0
+    assert shared_parameter_fraction(large, large) == 1.0
+
+
+def test_shared_parameter_fraction_caps_at_one():
+    small = mlp("s", 16, [8], 4)
+    large = mlp("l", 16, [32, 32], 4)
+    assert shared_parameter_fraction(large, small) == 1.0
+
+
+def test_sort_by_size_is_ascending_and_stable_on_ties():
+    specs = [mlp("b", 16, [32], 4), mlp("a", 16, [8], 4), mlp("c", 16, [8], 4)]
+    ordered = sort_by_size(specs)
+    assert [s.name for s in ordered] == ["a", "c", "b"]

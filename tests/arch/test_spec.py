@@ -1,0 +1,140 @@
+"""Unit tests for architecture specifications."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch import ArchitectureSpec, ConvBlockSpec, ConvLayerSpec, DenseLayerSpec
+
+
+# ---------------------------------------------------------------------------
+# ConvLayerSpec
+# ---------------------------------------------------------------------------
+
+
+def test_conv_layer_notation_roundtrip():
+    layer = ConvLayerSpec(filter_size=3, filters=64)
+    assert layer.notation() == "3:64"
+    assert ConvLayerSpec.parse("3:64") == layer
+
+
+def test_conv_layer_rejects_even_or_nonpositive_filter_size():
+    with pytest.raises(ValueError):
+        ConvLayerSpec(filter_size=2, filters=8)
+    with pytest.raises(ValueError):
+        ConvLayerSpec(filter_size=0, filters=8)
+
+
+def test_conv_layer_rejects_nonpositive_filters():
+    with pytest.raises(ValueError):
+        ConvLayerSpec(filter_size=3, filters=0)
+
+
+# ---------------------------------------------------------------------------
+# ConvBlockSpec
+# ---------------------------------------------------------------------------
+
+
+def test_block_of_builds_from_notation():
+    block = ConvBlockSpec.of("3:64", "3:64", "1:128")
+    assert block.depth == 3
+    assert block.layers[2] == ConvLayerSpec(1, 128)
+
+
+def test_block_requires_at_least_one_layer():
+    with pytest.raises(ValueError):
+        ConvBlockSpec(())
+
+
+def test_block_notation_marks_residual_blocks():
+    block = ConvBlockSpec.of("3:16", residual=True)
+    assert block.notation().endswith("*")
+
+
+# ---------------------------------------------------------------------------
+# DenseLayerSpec / ArchitectureSpec
+# ---------------------------------------------------------------------------
+
+
+def test_dense_layer_requires_positive_units():
+    with pytest.raises(ValueError):
+        DenseLayerSpec(0)
+
+
+def test_dense_factory_and_properties():
+    spec = ArchitectureSpec.dense("net", 32, [16, 8], 4)
+    assert spec.kind == "dense"
+    assert spec.hidden_widths == (16, 8)
+    assert not spec.is_residual
+    assert spec.num_blocks == 0
+    assert spec.conv_depth() == 0
+
+
+def test_convolutional_factory_and_properties():
+    spec = ArchitectureSpec.convolutional(
+        "net", (3, 16, 16), [["3:8", "3:8"], ["3:16"]], num_classes=10
+    )
+    assert spec.kind == "conv"
+    assert spec.num_blocks == 2
+    assert spec.conv_depth() == 3
+
+
+def test_residual_conv_depth_counts_two_convs_per_unit():
+    spec = ArchitectureSpec.convolutional(
+        "net", (3, 16, 16), [["3:8", "3:8"]], num_classes=10, residual=True
+    )
+    assert spec.is_residual
+    assert spec.conv_depth() == 4
+
+
+def test_dense_spec_requires_1d_input_shape():
+    with pytest.raises(ValueError):
+        ArchitectureSpec(name="x", input_shape=(3, 8, 8), num_classes=10,
+                         dense_layers=(DenseLayerSpec(4),))
+
+
+def test_conv_spec_requires_3d_input_shape():
+    with pytest.raises(ValueError):
+        ArchitectureSpec.convolutional("x", (8,), [["3:4"]], num_classes=10)
+
+
+def test_spec_requires_at_least_two_classes():
+    with pytest.raises(ValueError):
+        ArchitectureSpec.dense("x", 8, [4], 1)
+
+
+def test_spec_requires_some_hidden_structure():
+    with pytest.raises(ValueError):
+        ArchitectureSpec(name="x", input_shape=(8,), num_classes=2)
+
+
+def test_spec_rejects_invalid_dropout():
+    with pytest.raises(ValueError):
+        ArchitectureSpec.dense("x", 8, [4], 2, dropout_rate=1.0)
+
+
+def test_spec_rejects_nonpositive_input_dimensions():
+    with pytest.raises(ValueError):
+        ArchitectureSpec.dense("x", 0, [4], 2)
+
+
+def test_describe_uses_paper_notation():
+    spec = ArchitectureSpec.convolutional(
+        "V-mini", (3, 8, 8), [["3:8"], ["5:16"]], num_classes=10, dense_layers=[32]
+    )
+    description = spec.describe()
+    assert "3:8" in description and "5:16" in description and "fc[32]" in description
+
+
+def test_with_name_returns_renamed_copy():
+    spec = ArchitectureSpec.dense("a", 8, [4], 2)
+    renamed = spec.with_name("b")
+    assert renamed.name == "b"
+    assert renamed.dense_layers == spec.dense_layers
+
+
+def test_spec_is_hashable_and_frozen():
+    spec = ArchitectureSpec.dense("a", 8, [4], 2)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        spec.name = "c"
+    assert hash(spec) == hash(dataclasses.replace(spec))

@@ -1,0 +1,136 @@
+"""Unit tests for structural validation and hatchability checks."""
+
+import pytest
+
+from repro.arch import (
+    ArchitectureSpec,
+    IncompatibleArchitectureError,
+    check_hatchable,
+    check_same_task,
+    hatchability_errors,
+    is_hatchable,
+    mlp,
+    vgg,
+)
+
+
+def _conv(name, blocks, residual=False, **kwargs):
+    return ArchitectureSpec.convolutional(
+        name, (3, 8, 8), blocks, num_classes=10, residual=residual, **kwargs
+    )
+
+
+# ---------------------------------------------------------------------------
+# check_same_task
+# ---------------------------------------------------------------------------
+
+
+def test_same_task_accepts_compatible_ensemble():
+    check_same_task([mlp("a", 16, [8], 4), mlp("b", 16, [12, 8], 4)])
+
+
+def test_same_task_rejects_empty_ensemble():
+    with pytest.raises(IncompatibleArchitectureError):
+        check_same_task([])
+
+
+def test_same_task_rejects_different_input_shapes():
+    with pytest.raises(IncompatibleArchitectureError, match="input shape"):
+        check_same_task([mlp("a", 16, [8], 4), mlp("b", 32, [8], 4)])
+
+
+def test_same_task_rejects_different_class_counts():
+    with pytest.raises(IncompatibleArchitectureError, match="num_classes"):
+        check_same_task([mlp("a", 16, [8], 4), mlp("b", 16, [8], 5)])
+
+
+def test_same_task_rejects_mixed_families():
+    with pytest.raises(IncompatibleArchitectureError, match="kind"):
+        check_same_task(
+            [
+                ArchitectureSpec.dense("a", 16, [8], 10),
+                _conv("b", [["3:8"]]),
+            ]
+        )
+
+
+def test_same_task_rejects_mixed_residual_flags():
+    with pytest.raises(IncompatibleArchitectureError, match="residual"):
+        check_same_task([_conv("a", [["3:8"]]), _conv("b", [["3:8"]], residual=True)])
+
+
+def test_same_task_rejects_different_block_counts():
+    with pytest.raises(IncompatibleArchitectureError, match="blocks"):
+        check_same_task([_conv("a", [["3:8"]]), _conv("b", [["3:8"], ["3:16"]])])
+
+
+def test_same_task_rejects_different_batchnorm_settings():
+    with pytest.raises(IncompatibleArchitectureError, match="use_batchnorm"):
+        check_same_task([_conv("a", [["3:8"]]), _conv("b", [["3:8"]], use_batchnorm=False)])
+
+
+# ---------------------------------------------------------------------------
+# hatchability
+# ---------------------------------------------------------------------------
+
+
+def test_identical_specs_are_hatchable():
+    spec = vgg("V16", input_shape=(3, 8, 8), width_scale=0.1)
+    assert is_hatchable(spec, spec)
+
+
+def test_narrower_shallower_parent_is_hatchable_into_child():
+    parent = _conv("p", [["3:4"], ["3:8"]])
+    child = _conv("c", [["3:8", "3:8"], ["5:8"]])
+    assert is_hatchable(parent, child)
+    check_hatchable(parent, child)
+
+
+def test_wider_parent_is_not_hatchable():
+    parent = _conv("p", [["3:16"]])
+    child = _conv("c", [["3:8"]])
+    errors = hatchability_errors(parent, child)
+    assert any("wider" in e for e in errors)
+    with pytest.raises(IncompatibleArchitectureError):
+        check_hatchable(parent, child)
+
+
+def test_deeper_parent_is_not_hatchable():
+    parent = _conv("p", [["3:8", "3:8"]])
+    child = _conv("c", [["3:8"]])
+    assert not is_hatchable(parent, child)
+
+
+def test_larger_parent_filter_is_not_hatchable():
+    parent = _conv("p", [["5:8"]])
+    child = _conv("c", [["3:8"]])
+    assert any("filter larger" in e for e in hatchability_errors(parent, child))
+
+
+def test_dense_hatchability_checks_units_per_position():
+    parent = mlp("p", 16, [8, 8], 4)
+    good_child = mlp("c", 16, [8, 16, 8], 4)
+    bad_child = mlp("c", 16, [4, 16], 4)
+    assert is_hatchable(parent, good_child)
+    assert not is_hatchable(parent, bad_child)
+
+
+def test_hatchability_requires_same_task():
+    parent = mlp("p", 16, [8], 4)
+    child = mlp("c", 16, [8], 5)
+    assert not is_hatchable(parent, child)
+
+
+def test_hatchability_requires_same_family():
+    parent = mlp("p", 16, [8], 10)
+    child = _conv("c", [["3:8"]])
+    assert not is_hatchable(parent, child)
+
+
+def test_vgg_family_members_hatchable_from_v13_like_parent():
+    parent = vgg("V13", input_shape=(3, 8, 8), width_scale=0.1)
+    # V13 is not the MotherNet of the Table-1 ensemble, but V16B and V19 only
+    # add layers/filters relative to it, so they are hatchable from it.
+    for name in ("V16B", "V19"):
+        child = vgg(name, input_shape=(3, 8, 8), width_scale=0.1)
+        assert is_hatchable(parent, child), name

@@ -1,0 +1,197 @@
+"""Unit tests for the architecture zoo (Table 1 and the variant families)."""
+
+import pytest
+
+from repro.arch import (
+    RESNET_DEPTHS,
+    VGG_VARIANT_NAMES,
+    count_parameters,
+    is_hatchable,
+    mlp_family,
+    resnet,
+    resnet_variant_family,
+    small_vgg_ensemble,
+    v16_variant_family,
+    vgg,
+)
+from repro.core import construct_mothernet
+
+
+# ---------------------------------------------------------------------------
+# Table-1 VGG variants
+# ---------------------------------------------------------------------------
+
+
+def test_table1_contains_the_five_published_variants():
+    assert set(VGG_VARIANT_NAMES) == {"V13", "V16", "V16A", "V16B", "V19"}
+
+
+def test_v13_structure_matches_table1():
+    spec = vgg("V13")
+    assert spec.num_blocks == 5
+    assert [block.depth for block in spec.conv_blocks] == [2, 2, 2, 2, 2]
+    assert [layer.filters for layer in spec.conv_blocks[0].layers] == [64, 64]
+    assert spec.conv_blocks[4].layers[0].filters == 512
+
+
+def test_v16_has_the_1x1_convolutions_of_table1():
+    spec = vgg("V16")
+    assert [block.depth for block in spec.conv_blocks] == [2, 2, 3, 3, 3]
+    assert spec.conv_blocks[2].layers[2].notation() == "1:256"
+    assert spec.conv_blocks[4].layers[2].notation() == "1:512"
+
+
+def test_v16a_first_block_is_wider_than_v16():
+    assert vgg("V16A").conv_blocks[0].layers[0].filters == 128
+    assert vgg("V16").conv_blocks[0].layers[0].filters == 64
+
+
+def test_v16b_uses_3x3_instead_of_1x1_third_layers():
+    spec = vgg("V16B")
+    assert spec.conv_blocks[2].layers[2].notation() == "3:256"
+
+
+def test_v19_has_four_layer_deep_blocks():
+    assert [block.depth for block in vgg("V19").conv_blocks] == [2, 2, 4, 4, 4]
+
+
+def test_vgg_conv_depths_match_names():
+    assert vgg("V13").conv_depth() == 10
+    assert vgg("V16").conv_depth() == 13
+    assert vgg("V19").conv_depth() == 16
+
+
+def test_unknown_vgg_variant_raises():
+    with pytest.raises(ValueError, match="unknown VGG variant"):
+        vgg("V99")
+
+
+def test_width_scale_shrinks_parameter_count():
+    assert count_parameters(vgg("V16", width_scale=0.1)) < count_parameters(vgg("V16")) / 20
+
+
+def test_small_vgg_ensemble_returns_five_distinct_members():
+    members = small_vgg_ensemble(width_scale=0.1)
+    assert len(members) == 5
+    assert len({m.name for m in members}) == 5
+
+
+# ---------------------------------------------------------------------------
+# V16 variant family (large ensembles)
+# ---------------------------------------------------------------------------
+
+
+def test_variant_family_size_and_uniqueness():
+    family = v16_variant_family(30, width_scale=0.25, seed=0)
+    assert len(family) == 30
+    assert len({member.name for member in family}) == 30
+
+
+def test_variant_family_base_member_is_v16():
+    family = v16_variant_family(5, width_scale=1.0, seed=0)
+    base = family[0]
+    assert base.conv_blocks == vgg("V16").conv_blocks
+
+
+def test_variant_family_members_differ_from_base_in_one_layer():
+    family = v16_variant_family(20, width_scale=1.0, seed=1)
+    base_blocks = family[0].conv_blocks
+    for member in family[1:]:
+        differences = 0
+        for base_block, block in zip(base_blocks, member.conv_blocks):
+            for base_layer, layer in zip(base_block.layers, block.layers):
+                if base_layer != layer:
+                    differences += 1
+                    assert layer.filters >= base_layer.filters
+                    assert layer.filter_size >= base_layer.filter_size
+        assert differences == 1, member.name
+
+
+def test_variant_family_is_hatchable_from_its_mothernet():
+    family = v16_variant_family(15, width_scale=0.25, seed=2)
+    mothernet = construct_mothernet(family)
+    assert all(is_hatchable(mothernet, member) for member in family)
+
+
+def test_variant_family_mothernet_equals_base_v16():
+    family = v16_variant_family(10, width_scale=0.5, seed=3)
+    mothernet = construct_mothernet(family)
+    assert mothernet.conv_blocks == family[0].conv_blocks
+
+
+def test_variant_family_is_deterministic_per_seed():
+    a = v16_variant_family(8, seed=5)
+    b = v16_variant_family(8, seed=5)
+    assert [m.conv_blocks for m in a] == [m.conv_blocks for m in b]
+
+
+def test_variant_family_rejects_zero_count():
+    with pytest.raises(ValueError):
+        v16_variant_family(0)
+
+
+# ---------------------------------------------------------------------------
+# ResNet family
+# ---------------------------------------------------------------------------
+
+
+def test_resnet_depths_available():
+    assert RESNET_DEPTHS == (18, 34, 50, 101, 152)
+
+
+def test_resnet18_unit_counts():
+    spec = resnet(18)
+    assert [block.depth for block in spec.conv_blocks] == [2, 2, 2, 2]
+    assert spec.is_residual
+
+
+def test_resnet152_unit_counts():
+    assert [block.depth for block in resnet(152).conv_blocks] == [3, 8, 36, 3]
+
+
+def test_unsupported_resnet_depth_raises():
+    with pytest.raises(ValueError):
+        resnet(42)
+
+
+def test_resnet_variant_family_has_25_members():
+    family = resnet_variant_family(width_scale=0.1)
+    assert len(family) == 25
+    assert len({member.name for member in family}) == 25
+
+
+def test_resnet_variants_are_at_least_as_large_as_their_base():
+    family = resnet_variant_family(width_scale=0.2)
+    by_name = {member.name: member for member in family}
+    for depth in RESNET_DEPTHS:
+        base = count_parameters(by_name[f"ResNet{depth}-base"])
+        for suffix in ("x2even", "x2odd", "p2even", "p2odd"):
+            assert count_parameters(by_name[f"ResNet{depth}-{suffix}"]) >= base
+
+
+def test_resnet_blocks_have_uniform_widths():
+    for member in resnet_variant_family(width_scale=0.2)[:6]:
+        for block in member.conv_blocks:
+            assert len({layer.filters for layer in block.layers}) == 1
+
+
+# ---------------------------------------------------------------------------
+# MLP family
+# ---------------------------------------------------------------------------
+
+
+def test_mlp_family_size_and_distinctness():
+    family = mlp_family(8, seed=0)
+    assert len(family) == 8
+    assert len({member.hidden_widths for member in family}) == 8
+
+
+def test_mlp_family_members_are_hatchable_from_mothernet():
+    family = mlp_family(6, base_width=16, seed=4)
+    mothernet = construct_mothernet(family)
+    assert all(is_hatchable(mothernet, member) for member in family)
+
+
+def test_mlp_family_rejects_zero_count():
+    with pytest.raises(ValueError):
+        mlp_family(0)

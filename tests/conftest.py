@@ -1,0 +1,84 @@
+"""Shared fixtures for the test suite.
+
+All fixtures are deliberately tiny (8x8 images, a few dozen samples, a handful
+of channels) so that the full suite — including the integration tests that
+train complete ensembles — runs in seconds on a CPU-only numpy substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch import ArchitectureSpec, mlp, resnet, vgg
+from repro.data import cifar10_like, synthetic_tabular_classification
+
+
+TINY_IMAGE_SHAPE = (3, 8, 8)
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_image_dataset():
+    """A small cifar10-like data set for convolutional integration tests."""
+    return cifar10_like(train_samples=192, test_samples=96, image_shape=TINY_IMAGE_SHAPE, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_tabular_dataset():
+    """A small tabular data set for fully-connected integration tests."""
+    return synthetic_tabular_classification(
+        train_samples=256,
+        test_samples=128,
+        num_classes=5,
+        num_features=24,
+        class_separation=2.5,
+        noise_std=1.0,
+        seed=0,
+    )
+
+
+@pytest.fixture
+def tiny_vgg_spec() -> ArchitectureSpec:
+    """A heavily scaled-down V13 used by model/morphism tests."""
+    return vgg("V13", num_classes=10, input_shape=TINY_IMAGE_SHAPE, width_scale=0.05)
+
+
+@pytest.fixture
+def tiny_resnet_spec() -> ArchitectureSpec:
+    """A heavily scaled-down ResNet-18 used by residual-path tests."""
+    return resnet(18, num_classes=10, input_shape=TINY_IMAGE_SHAPE, width_scale=0.05)
+
+
+@pytest.fixture
+def small_mlp_spec() -> ArchitectureSpec:
+    return mlp("mlp-test", input_features=24, hidden_units=[16, 12], num_classes=5)
+
+
+@pytest.fixture
+def conv_spec_small() -> ArchitectureSpec:
+    """A two-block plain convolutional spec small enough for gradient checks."""
+    return ArchitectureSpec.convolutional(
+        name="tiny-conv",
+        input_shape=(2, 6, 6),
+        blocks=[["3:4", "3:4"], ["3:6"]],
+        num_classes=3,
+        use_batchnorm=True,
+    )
+
+
+@pytest.fixture
+def residual_spec_small() -> ArchitectureSpec:
+    """A two-block residual spec small enough for gradient checks."""
+    return ArchitectureSpec.convolutional(
+        name="tiny-res",
+        input_shape=(2, 6, 6),
+        blocks=[["3:4", "3:4"], ["3:6"]],
+        num_classes=3,
+        residual=True,
+        use_batchnorm=True,
+    )

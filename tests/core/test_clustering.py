@@ -1,0 +1,146 @@
+"""Unit tests for the clustering algorithm (Algorithm 1, §2.3)."""
+
+import pytest
+
+from repro.arch import count_parameters, mlp, resnet_variant_family
+from repro.core import (
+    cluster_ensemble,
+    clustering_summary,
+    construct_mothernet,
+    minimum_cluster_count_bruteforce,
+    satisfies_clustering_condition,
+)
+
+
+def _mlp_family_with_sizes(widths_list):
+    return [mlp(f"net-{i}", 32, widths, 4) for i, widths in enumerate(widths_list)]
+
+
+# ---------------------------------------------------------------------------
+# Clustering condition
+# ---------------------------------------------------------------------------
+
+
+def test_condition_holds_for_identical_members():
+    members = _mlp_family_with_sizes([[16, 16], [16, 16]])
+    assert satisfies_clustering_condition(members, tau=1.0)
+
+
+def test_condition_fails_for_very_different_sizes_at_high_tau():
+    members = _mlp_family_with_sizes([[4], [256, 256]])
+    assert not satisfies_clustering_condition(members, tau=0.9)
+    assert satisfies_clustering_condition(members, tau=0.001)
+
+
+def test_condition_matches_parameter_fraction_definition():
+    members = _mlp_family_with_sizes([[8, 8], [16, 16]])
+    mothernet = construct_mothernet(members)
+    fraction = count_parameters(mothernet) / max(count_parameters(m) for m in members)
+    assert satisfies_clustering_condition(members, tau=fraction - 0.01)
+    assert not satisfies_clustering_condition(members, tau=fraction + 0.01)
+
+
+def test_condition_true_for_empty_cluster():
+    assert satisfies_clustering_condition([], tau=0.9)
+
+
+# ---------------------------------------------------------------------------
+# Greedy clustering (Algorithm 1)
+# ---------------------------------------------------------------------------
+
+
+def test_every_member_assigned_to_exactly_one_cluster():
+    members = _mlp_family_with_sizes([[8], [8, 8], [64, 64], [64, 64, 64], [512]])
+    clusters = cluster_ensemble(members, tau=0.5)
+    names = [m.name for cluster in clusters for m in cluster.members]
+    assert sorted(names) == sorted(member.name for member in members)
+
+
+def test_clusters_satisfy_the_condition():
+    members = _mlp_family_with_sizes([[8], [12, 8], [64, 48], [80, 64], [400, 300]])
+    for tau in (0.25, 0.5, 0.75):
+        for cluster in cluster_ensemble(members, tau=tau):
+            assert satisfies_clustering_condition(cluster.members, tau)
+            assert cluster.min_shared_fraction() >= tau
+
+
+def test_tau_one_puts_each_distinct_size_alone():
+    members = _mlp_family_with_sizes([[8], [16], [32], [64]])
+    clusters = cluster_ensemble(members, tau=1.0)
+    assert len(clusters) == 4
+
+
+def test_tau_zero_gives_single_cluster():
+    members = _mlp_family_with_sizes([[4], [64, 64], [512, 512]])
+    clusters = cluster_ensemble(members, tau=0.0)
+    assert len(clusters) == 1
+
+
+def test_similar_sizes_cluster_together_at_tau_half():
+    members = _mlp_family_with_sizes([[32], [33], [34], [512, 512], [520, 512]])
+    clusters = cluster_ensemble(members, tau=0.5)
+    assert len(clusters) == 2
+    sizes = sorted(cluster.size for cluster in clusters)
+    assert sizes == [2, 3]
+
+
+def test_cluster_count_decreases_monotonically_with_tau():
+    members = _mlp_family_with_sizes(
+        [[8], [12], [24, 16], [48, 32], [96, 64], [192, 128], [384, 256]]
+    )
+    taus = [0.9, 0.7, 0.5, 0.3, 0.1]
+    counts = [len(cluster_ensemble(members, tau=tau)) for tau in taus]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_greedy_matches_bruteforce_minimum():
+    members = _mlp_family_with_sizes([[8], [10], [14, 8], [40, 24], [44, 32], [200, 100]])
+    for tau in (0.3, 0.5, 0.7, 0.9):
+        greedy = len(cluster_ensemble(members, tau=tau))
+        optimal = minimum_cluster_count_bruteforce(members, tau=tau)
+        assert greedy == optimal, f"tau={tau}: greedy={greedy}, optimal={optimal}"
+
+
+def test_members_within_cluster_are_contiguous_in_size_order():
+    members = _mlp_family_with_sizes([[8], [16], [64], [70], [75], [300]])
+    clusters = cluster_ensemble(members, tau=0.5)
+    ordered = sorted(members, key=count_parameters)
+    position = {m.name: i for i, m in enumerate(ordered)}
+    for cluster in clusters:
+        indices = sorted(position[m.name] for m in cluster.members)
+        assert indices == list(range(indices[0], indices[-1] + 1))
+
+
+def test_resnet_family_tau_half_groups_by_depth_scale():
+    """The 25-network ResNet ensemble clusters into a handful of size-based
+    groups at tau=0.5 (the paper reports three); each cluster's MotherNet must
+    cover at least half of every member."""
+    family = resnet_variant_family(width_scale=0.25, input_shape=(3, 8, 8))
+    clusters = cluster_ensemble(family, tau=0.5)
+    assert 2 <= len(clusters) <= 10
+    for cluster in clusters:
+        assert cluster.min_shared_fraction() >= 0.5
+
+
+def test_invalid_tau_raises():
+    members = _mlp_family_with_sizes([[8], [16]])
+    with pytest.raises(ValueError):
+        cluster_ensemble(members, tau=1.5)
+    with pytest.raises(ValueError):
+        cluster_ensemble(members, tau=-0.1)
+
+
+def test_empty_ensemble_raises():
+    with pytest.raises(ValueError):
+        cluster_ensemble([], tau=0.5)
+
+
+def test_clustering_summary_fields():
+    members = _mlp_family_with_sizes([[8], [16], [256, 256]])
+    summary = clustering_summary(cluster_ensemble(members, tau=0.5))
+    assert all(
+        {"cluster_id", "size", "members", "mothernet_parameters", "min_shared_fraction"}
+        <= set(entry)
+        for entry in summary
+    )
+    assert sum(entry["size"] for entry in summary) == 3

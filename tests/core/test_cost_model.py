@@ -1,0 +1,115 @@
+"""Unit tests for the training-cost ledger and the analytical cost model."""
+
+import pytest
+
+from repro.arch import count_parameters, mlp, vgg
+from repro.core import AnalyticalCostModel, CostLedger, speedup
+
+
+def _ledger_with_records():
+    ledger = CostLedger(approach="mothernets")
+    ledger.add("mothernet-0", "mothernet", epochs=10, wall_clock_seconds=100.0,
+               parameters=1000, samples_per_epoch=500)
+    ledger.add("member-a", "member", epochs=2, wall_clock_seconds=20.0,
+               parameters=1200, samples_per_epoch=500)
+    ledger.add("member-b", "member", epochs=3, wall_clock_seconds=30.0,
+               parameters=1500, samples_per_epoch=500)
+    return ledger
+
+
+def test_ledger_totals():
+    ledger = _ledger_with_records()
+    assert ledger.total_seconds == pytest.approx(150.0)
+    assert ledger.total_epochs == 15
+    assert ledger.total_work_units == pytest.approx(
+        1000 * 500 * 10 + 1200 * 500 * 2 + 1500 * 500 * 3
+    )
+
+
+def test_ledger_seconds_by_phase_and_network():
+    ledger = _ledger_with_records()
+    assert ledger.seconds_by_phase() == {"mothernet": 100.0, "member": 50.0}
+    assert ledger.seconds_by_network()["member-a"] == 20.0
+
+
+def test_cumulative_member_seconds_counts_shared_cost_once():
+    ledger = _ledger_with_records()
+    assert ledger.cumulative_member_seconds() == [120.0, 150.0]
+
+
+def test_cumulative_series_for_scratch_baseline_has_no_offset():
+    ledger = CostLedger(approach="full_data")
+    ledger.add("a", "scratch", 5, 50.0, 100, 100)
+    ledger.add("b", "scratch", 5, 70.0, 120, 100)
+    assert ledger.cumulative_member_seconds() == [50.0, 120.0]
+
+
+def test_record_work_units():
+    ledger = _ledger_with_records()
+    assert ledger.records[0].work_units == 1000 * 500 * 10
+
+
+def test_cost_model_training_seconds_scale_with_work():
+    model = AnalyticalCostModel(seconds_per_unit=1e-6)
+    small, large = mlp("s", 32, [16], 4), mlp("l", 32, [64, 64], 4)
+    assert model.training_seconds(large, 10, 1000) > model.training_seconds(small, 10, 1000)
+    assert model.training_seconds(small, 20, 1000) == pytest.approx(
+        2 * model.training_seconds(small, 10, 1000)
+    )
+
+
+def test_cost_model_rejects_invalid_inputs():
+    with pytest.raises(ValueError):
+        AnalyticalCostModel(seconds_per_unit=0.0)
+    model = AnalyticalCostModel(1e-9)
+    with pytest.raises(ValueError):
+        model.training_seconds(mlp("m", 8, [4], 2), -1, 10)
+
+
+def test_calibration_reproduces_ledger_total():
+    ledger = _ledger_with_records()
+    model = AnalyticalCostModel.calibrate(ledger)
+    reproduced = model.seconds_per_unit * ledger.total_work_units
+    assert reproduced == pytest.approx(ledger.total_seconds)
+
+
+def test_calibration_requires_nonempty_ledger():
+    with pytest.raises(ValueError):
+        AnalyticalCostModel.calibrate(CostLedger(approach="x"))
+
+
+def test_ensemble_projection_mothernets_beats_full_data_at_scale():
+    """The projected cost of the MotherNets protocol (one shared full run plus
+    short member fine-tuning) must be far below full-data training as the
+    ensemble grows — the shape of Figures 6b-9b."""
+    cost = AnalyticalCostModel(seconds_per_unit=1e-9)
+    members = [vgg("V16", width_scale=0.25).with_name(f"m{i}") for i in range(50)]
+    mothernet = vgg("V16", width_scale=0.25).with_name("mn")
+    full_epochs, member_epochs = 60, 6
+    samples = 50_000
+    fd = cost.ensemble_training_seconds(members, full_epochs, samples)
+    mn = cost.ensemble_training_seconds(
+        members, member_epochs, samples, mothernet_specs=[mothernet], mothernet_epochs=full_epochs
+    )
+    assert speedup(fd, mn) > 4.0
+
+
+def test_cumulative_series_is_monotone_and_matches_total():
+    cost = AnalyticalCostModel(seconds_per_unit=1e-9)
+    members = [mlp(f"m{i}", 32, [64], 10) for i in range(10)]
+    series = cost.cumulative_series(members, epochs_per_member=5, samples=1000)
+    assert len(series) == 10
+    assert all(b > a for a, b in zip(series, series[1:]))
+    assert series[-1] == pytest.approx(cost.ensemble_training_seconds(members, 5, 1000))
+
+
+def test_speedup_validation():
+    assert speedup(100.0, 25.0) == pytest.approx(4.0)
+    with pytest.raises(ValueError):
+        speedup(10.0, 0.0)
+
+
+def test_projection_uses_spec_parameter_counts():
+    cost = AnalyticalCostModel(seconds_per_unit=1.0)
+    spec = mlp("m", 16, [8], 4)
+    assert cost.training_seconds(spec, 1, 1) == pytest.approx(count_parameters(spec))

@@ -1,0 +1,156 @@
+"""End-to-end pipeline invariants on a tiny convolutional workload.
+
+These integration tests tie together every stage of the MotherNets pipeline
+(construction -> clustering -> MotherNet training -> hatching -> bag
+training -> inference -> cost accounting) and check the cross-stage
+invariants that the unit tests cannot see in isolation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch import ArchitectureSpec, count_parameters
+from repro.core import MotherNetsTrainer, FullDataTrainer, construct_mothernet
+from repro.data import cifar10_like
+from repro.evaluation import incremental_error_curve, oracle_curve
+from repro.nn import TrainingConfig
+from repro.nn.metrics import error_rate
+
+
+def _tiny_conv_family(num_classes, input_shape):
+    """Four small two-block conv nets with diverse depth/width/filter size."""
+    blocks = [
+        [["3:4", "3:4"], ["3:6"]],
+        [["3:6", "3:4"], ["3:8", "3:8"]],
+        [["5:4", "3:6"], ["3:6"]],
+        [["3:4", "3:4", "3:8"], ["5:8"]],
+    ]
+    return [
+        ArchitectureSpec.convolutional(
+            f"tiny-{i}", input_shape, spec_blocks, num_classes=num_classes
+        )
+        for i, spec_blocks in enumerate(blocks)
+    ]
+
+
+@pytest.fixture(scope="module")
+def pipeline_run(tiny_image_dataset):
+    dataset = tiny_image_dataset
+    members = _tiny_conv_family(dataset.num_classes, dataset.input_shape)
+    config = TrainingConfig(
+        max_epochs=3, min_epochs=1, batch_size=64, learning_rate=0.05, momentum=0.9,
+        convergence_patience=2,
+    )
+    trainer = MotherNetsTrainer(config, tau=0.4, member_epoch_fraction=0.67)
+    run = trainer.train(members, dataset, seed=0)
+    return dataset, members, run
+
+
+def test_all_members_present_with_target_architectures(pipeline_run):
+    dataset, members, run = pipeline_run
+    assert [m.name for m in run.ensemble.members] == [s.name for s in members]
+    for member, spec in zip(run.ensemble.members, members):
+        assert member.model.spec.conv_blocks == spec.conv_blocks
+        assert member.model.parameter_count() == count_parameters(spec)
+
+
+def test_every_member_belongs_to_a_valid_cluster(pipeline_run):
+    _, members, run = pipeline_run
+    member_names = {m.name for m in run.ensemble.members}
+    clustered_names = {m.name for cluster in run.clusters for m in cluster.members}
+    assert member_names == clustered_names
+    for member in run.ensemble.members:
+        cluster = next(c for c in run.clusters if c.cluster_id == member.cluster_id)
+        assert member.name in {m.name for m in cluster.members}
+
+
+def test_mothernet_models_match_cluster_specs(pipeline_run):
+    _, _, run = pipeline_run
+    for cluster in run.clusters:
+        model = run.mothernet_models[cluster.cluster_id]
+        assert model.spec.conv_blocks == cluster.mothernet.conv_blocks
+        assert model.parameter_count() == count_parameters(cluster.mothernet)
+
+
+def test_ledger_contains_one_record_per_network(pipeline_run):
+    _, members, run = pipeline_run
+    member_records = [r for r in run.ledger.records if r.phase == "member"]
+    mothernet_records = [r for r in run.ledger.records if r.phase == "mothernet"]
+    assert len(member_records) == len(members)
+    assert len(mothernet_records) == len(run.clusters)
+    assert run.ledger.total_seconds == pytest.approx(
+        sum(r.wall_clock_seconds for r in run.ledger.records)
+    )
+
+
+def test_ledger_epochs_match_training_results(pipeline_run):
+    _, _, run = pipeline_run
+    by_network = {r.network: r for r in run.ledger.records if r.phase == "member"}
+    for name, result in run.member_results.items():
+        assert by_network[name].epochs == result.epochs_run
+
+
+def test_cumulative_series_ends_at_total(pipeline_run):
+    _, _, run = pipeline_run
+    series = run.cumulative_training_seconds()
+    assert series[-1] == pytest.approx(run.total_training_seconds)
+
+
+def test_member_error_not_catastrophically_worse_than_mothernet(pipeline_run):
+    """Hatched members, even after bag fine-tuning, should not lose the
+    MotherNet's learnt function entirely."""
+    dataset, _, run = pipeline_run
+    for cluster in run.clusters:
+        parent = run.mothernet_models[cluster.cluster_id]
+        parent_error = error_rate(parent.predict(dataset.x_test), dataset.y_test)
+        for member in run.ensemble.members:
+            if member.cluster_id != cluster.cluster_id:
+                continue
+            member_error = error_rate(member.model.predict(dataset.x_test), dataset.y_test)
+            assert member_error <= parent_error + 30.0
+
+
+def test_error_and_oracle_curves_have_expected_shape(pipeline_run):
+    dataset, members, run = pipeline_run
+    sizes = list(range(1, len(members) + 1))
+    curves = incremental_error_curve(
+        run.ensemble, dataset.x_test, dataset.y_test, sizes, methods=("average",)
+    )
+    oracle = oracle_curve(run.ensemble, dataset.x_test, dataset.y_test, sizes)
+    assert len(curves["average"]) == len(sizes)
+    assert all(b <= a + 1e-9 for a, b in zip(oracle, oracle[1:]))
+    assert oracle[-1] <= min(curves["average"])
+
+
+def test_mothernets_cheaper_than_full_data_on_same_workload(pipeline_run, tiny_image_dataset):
+    dataset, members, run = pipeline_run
+    config = TrainingConfig(
+        max_epochs=3, min_epochs=3, batch_size=64, learning_rate=0.05, momentum=0.9,
+        convergence_patience=5,
+    )
+    full = FullDataTrainer(config).train(members, dataset, seed=0)
+    # The member (fine-tuning) phase must be cheaper than training the same
+    # members from scratch — that is where MotherNets saves work; comparing
+    # work units (epochs weighted by parameters and samples) keeps the check
+    # independent of machine noise.  At this miniature scale (4 members,
+    # 3-epoch budget) the shared MotherNet phase is not yet amortised, which
+    # is exactly the paper's point about the savings growing with ensemble
+    # size (covered by the Figure 6-9 benches).
+    member_work = sum(r.work_units for r in run.ledger.records if r.phase == "member")
+    assert member_work < full.ledger.total_work_units
+
+
+def test_mothernet_of_family_is_trained_on_full_data(pipeline_run):
+    dataset, _, run = pipeline_run
+    for record in run.ledger.records:
+        if record.phase == "mothernet":
+            assert record.samples_per_epoch == dataset.train_size
+
+
+def test_members_trained_on_bagged_samples_of_full_size(pipeline_run):
+    dataset, _, run = pipeline_run
+    for record in run.ledger.records:
+        if record.phase == "member":
+            assert record.samples_per_epoch == dataset.train_size  # bags keep the original size

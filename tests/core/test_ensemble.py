@@ -1,0 +1,242 @@
+"""Unit tests for the ensemble container and inference methods (EA, Vote, SL, O)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import mlp
+from repro.core import Ensemble, EnsembleMember, METHOD_ABBREVIATIONS
+from repro.nn import Model
+
+
+class _ConstantModel:
+    """A stub model that always predicts a fixed probability matrix."""
+
+    def __init__(self, probabilities):
+        self.probabilities = np.asarray(probabilities, dtype=np.float64)
+
+    def predict_proba(self, x, batch_size=None):
+        return np.tile(self.probabilities, (len(x), 1)) if self.probabilities.ndim == 1 else self.probabilities
+
+    def predict(self, x, batch_size=None):
+        return self.predict_proba(x).argmax(axis=1)
+
+    def predict_logits(self, x, batch_size=None):
+        return np.log(np.clip(self.predict_proba(x), 1e-12, None))
+
+    def parameter_count(self):
+        return 0
+
+
+def _member(name, probabilities):
+    return EnsembleMember(name=name, model=_ConstantModel(probabilities))
+
+
+def _fixed_ensemble():
+    """Three members over 4 samples and 3 classes with known behaviour."""
+    x = np.zeros((4, 2))
+    y = np.array([0, 1, 2, 0])
+    m0 = _member("m0", np.array([
+        [0.8, 0.1, 0.1],
+        [0.2, 0.6, 0.2],
+        [0.3, 0.4, 0.3],   # wrong (predicts 1, truth 2)
+        [0.7, 0.2, 0.1],
+    ]))
+    m1 = _member("m1", np.array([
+        [0.6, 0.3, 0.1],
+        [0.1, 0.8, 0.1],
+        [0.1, 0.2, 0.7],
+        [0.2, 0.5, 0.3],   # wrong (predicts 1, truth 0)
+    ]))
+    m2 = _member("m2", np.array([
+        [0.1, 0.8, 0.1],   # wrong (predicts 1, truth 0)
+        [0.3, 0.5, 0.2],
+        [0.2, 0.2, 0.6],
+        [0.6, 0.2, 0.2],
+    ]))
+    return Ensemble([m0, m1, m2], num_classes=3), x, y
+
+
+# ---------------------------------------------------------------------------
+# Construction
+# ---------------------------------------------------------------------------
+
+
+def test_empty_ensemble_raises():
+    with pytest.raises(ValueError):
+        Ensemble([], num_classes=3)
+
+
+def test_invalid_class_count_raises():
+    with pytest.raises(ValueError):
+        Ensemble([_member("m", np.eye(3))], num_classes=1)
+
+
+def test_len_and_iteration():
+    ensemble, _, _ = _fixed_ensemble()
+    assert len(ensemble) == 3
+    assert [m.name for m in ensemble] == ["m0", "m1", "m2"]
+
+
+def test_subset_preserves_member_order():
+    ensemble, _, _ = _fixed_ensemble()
+    subset = ensemble.subset(2)
+    assert [m.name for m in subset.members] == ["m0", "m1"]
+    with pytest.raises(ValueError):
+        ensemble.subset(0)
+    with pytest.raises(ValueError):
+        ensemble.subset(4)
+
+
+def test_add_member_invalidates_super_learner():
+    ensemble, x, y = _fixed_ensemble()
+    ensemble.fit_super_learner(x, y, iterations=10)
+    ensemble.add_member(_member("m3", np.full((4, 3), 1 / 3)))
+    with pytest.raises(RuntimeError):
+        ensemble.predict_proba(x, method="super_learner")
+
+
+# ---------------------------------------------------------------------------
+# Inference methods
+# ---------------------------------------------------------------------------
+
+
+def test_member_probabilities_shape():
+    ensemble, x, _ = _fixed_ensemble()
+    assert ensemble.member_probabilities(x).shape == (3, 4, 3)
+
+
+def test_ensemble_averaging_matches_manual_mean():
+    ensemble, x, _ = _fixed_ensemble()
+    probs = ensemble.member_probabilities(x)
+    np.testing.assert_allclose(ensemble.predict_proba(x, method="average"), probs.mean(axis=0))
+
+
+def test_averaging_corrects_individual_mistakes():
+    ensemble, x, y = _fixed_ensemble()
+    predictions = ensemble.predict(x, method="average")
+    np.testing.assert_array_equal(predictions, y)
+    assert ensemble.error_rate(x, y, method="average") == 0.0
+
+
+def test_voting_uses_majority():
+    ensemble, x, y = _fixed_ensemble()
+    # Sample 0: votes are [0, 0, 1] -> majority 0; sample 3: [0, 1, 0] -> 0.
+    predictions = ensemble.predict(x, method="vote")
+    np.testing.assert_array_equal(predictions, y)
+
+
+def test_voting_tie_break_is_deterministic():
+    m0 = _member("a", np.array([[0.9, 0.1]]))
+    m1 = _member("b", np.array([[0.2, 0.8]]))
+    ensemble = Ensemble([m0, m1], num_classes=2)
+    x = np.zeros((1, 2))
+    first = ensemble.predict(x, method="vote")
+    for _ in range(3):
+        np.testing.assert_array_equal(ensemble.predict(x, method="vote"), first)
+
+
+def test_unknown_method_raises():
+    ensemble, x, _ = _fixed_ensemble()
+    with pytest.raises(ValueError, match="unknown inference method"):
+        ensemble.predict_proba(x, method="stacking")
+
+
+def test_super_learner_requires_fitting_first():
+    ensemble, x, _ = _fixed_ensemble()
+    with pytest.raises(RuntimeError, match="fit_super_learner"):
+        ensemble.predict_proba(x, method="super_learner")
+
+
+def test_super_learner_weights_form_a_distribution():
+    ensemble, x, y = _fixed_ensemble()
+    weights = ensemble.fit_super_learner(x, y, iterations=100)
+    assert weights.shape == (3,)
+    assert np.all(weights >= 0)
+    assert weights.sum() == pytest.approx(1.0)
+
+
+def test_super_learner_upweights_the_accurate_member():
+    """With one perfect member and one adversarial member, the learned
+    combination must put most of the mass on the perfect one."""
+    y = np.array([0, 1, 0, 1, 0, 1])
+    perfect = np.eye(2)[y]
+    adversarial = np.eye(2)[1 - y]
+    ensemble = Ensemble([_member("good", perfect), _member("bad", adversarial)], num_classes=2)
+    x = np.zeros((6, 2))
+    weights = ensemble.fit_super_learner(x, y, iterations=300)
+    assert weights[0] > 0.8
+    assert ensemble.error_rate(x, y, method="super_learner") == 0.0
+
+
+def test_oracle_error_zero_if_any_member_is_correct():
+    ensemble, x, y = _fixed_ensemble()
+    assert ensemble.oracle_error_rate(x, y) == 0.0
+
+
+def test_oracle_error_counts_jointly_missed_samples():
+    y = np.array([0, 1])
+    both_wrong_on_second = np.array([[0.9, 0.1], [0.9, 0.1]])
+    ensemble = Ensemble(
+        [_member("a", both_wrong_on_second), _member("b", both_wrong_on_second)], num_classes=2
+    )
+    assert ensemble.oracle_error_rate(np.zeros((2, 2)), y) == pytest.approx(50.0)
+
+
+def test_oracle_never_worse_than_any_single_member():
+    ensemble, x, y = _fixed_ensemble()
+    member_errors = ensemble.member_error_rates(x, y)
+    assert ensemble.oracle_error_rate(x, y) <= min(member_errors.values())
+
+
+def test_evaluate_returns_requested_methods():
+    ensemble, x, y = _fixed_ensemble()
+    ensemble.fit_super_learner(x, y, iterations=20)
+    results = ensemble.evaluate(x, y)
+    assert set(results) == {"average", "vote", "super_learner", "oracle"}
+
+
+def test_evaluate_skips_unfitted_super_learner():
+    ensemble, x, y = _fixed_ensemble()
+    results = ensemble.evaluate(x, y)
+    assert "super_learner" not in results
+
+
+def test_method_abbreviations_match_paper():
+    assert METHOD_ABBREVIATIONS == {
+        "average": "EA",
+        "vote": "Vote",
+        "super_learner": "SL",
+        "oracle": "O",
+    }
+
+
+def test_disagreement_bounds():
+    ensemble, x, _ = _fixed_ensemble()
+    assert 0.0 <= ensemble.disagreement(x) <= 1.0
+    single = Ensemble(ensemble.members[:1], num_classes=3)
+    assert single.disagreement(x) == 0.0
+
+
+def test_identical_members_have_zero_disagreement():
+    probs = np.array([[0.9, 0.1], [0.1, 0.9]])
+    ensemble = Ensemble([_member("a", probs), _member("b", probs)], num_classes=2)
+    assert ensemble.disagreement(np.zeros((2, 2))) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# With real models
+# ---------------------------------------------------------------------------
+
+
+def test_ensemble_of_real_models_end_to_end(tiny_tabular_dataset):
+    ds = tiny_tabular_dataset
+    members = []
+    for i in range(3):
+        spec = mlp(f"m{i}", ds.input_shape[0], [12 + 4 * i], ds.num_classes)
+        members.append(EnsembleMember(name=spec.name, model=Model.from_spec(spec, seed=i)))
+    ensemble = Ensemble(members, num_classes=ds.num_classes)
+    probs = ensemble.predict_proba(ds.x_test, method="average")
+    assert probs.shape == (ds.test_size, ds.num_classes)
+    np.testing.assert_allclose(probs.sum(axis=1), np.ones(ds.test_size))
+    error = ensemble.error_rate(ds.x_test, ds.y_test)
+    assert 0.0 <= error <= 100.0

@@ -1,0 +1,217 @@
+"""Unit and integration tests for hatching (§2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    count_parameters,
+    mlp,
+    mlp_family,
+    resnet_variant_family,
+    small_vgg_ensemble,
+    v16_variant_family,
+)
+from repro.core import (
+    HatchingError,
+    cluster_ensemble,
+    construct_mothernet,
+    hatch,
+    hatch_ensemble,
+    plan_hatching,
+    verify_function_preservation,
+)
+from repro.core.hatching import apply_step
+from repro.nn import Model, Trainer, TrainingConfig
+
+TINY = (3, 8, 8)
+
+
+# ---------------------------------------------------------------------------
+# Planning
+# ---------------------------------------------------------------------------
+
+
+def test_plan_for_identical_specs_is_empty():
+    spec = mlp("m", 16, [8, 8], 4)
+    plan = plan_hatching(spec, spec.with_name("copy"))
+    assert plan.num_steps == 0
+    assert plan.new_parameter_count() == 0
+
+
+def test_plan_orders_deepen_before_widen_within_a_block():
+    parent = small_vgg_ensemble(input_shape=TINY, width_scale=0.1)
+    mothernet = construct_mothernet(parent)
+    target = parent[4]  # V19: deeper blocks
+    plan = plan_hatching(mothernet, target)
+    ops = [step.op for step in plan.steps if step.block == 2]
+    deepen_positions = [i for i, op in enumerate(ops) if op == "deepen_conv"]
+    widen_positions = [i for i, op in enumerate(ops) if op == "widen_conv"]
+    if deepen_positions and widen_positions:
+        assert max(deepen_positions) < min(widen_positions)
+
+
+def test_plan_counts_new_parameters():
+    parent = mlp("p", 16, [8], 4)
+    child = mlp("c", 16, [16, 16], 4)
+    plan = plan_hatching(parent, child)
+    assert plan.new_parameter_count() == count_parameters(child) - count_parameters(parent)
+
+
+def test_plan_describe_lists_steps():
+    parent = mlp("p", 16, [8], 4)
+    child = mlp("c", 16, [16, 16], 4)
+    description = plan_hatching(parent, child).describe()
+    assert "widen_dense" in description and "deepen_dense" in description
+
+
+def test_plan_rejects_narrower_appended_tail():
+    parent = mlp("p", 16, [32], 4)
+    child = mlp("c", 16, [32, 8], 4)  # appended layer narrower than the tail
+    with pytest.raises(HatchingError, match="narrower"):
+        plan_hatching(parent, child)
+
+
+def test_plan_rejects_nonuniform_residual_target():
+    import dataclasses
+
+    from repro.arch import ConvBlockSpec, ConvLayerSpec
+
+    family = resnet_variant_family(width_scale=0.1, input_shape=TINY)
+    parent = construct_mothernet(family[:2])
+    target = family[1]
+    blocks = list(target.conv_blocks)
+    blocks[0] = ConvBlockSpec(
+        (blocks[0].layers[0], ConvLayerSpec(3, blocks[0].layers[0].filters + 4)), residual=True
+    )
+    bad = dataclasses.replace(target, conv_blocks=tuple(blocks))
+    with pytest.raises(HatchingError, match="uniform"):
+        plan_hatching(parent, bad)
+
+
+def test_apply_step_rejects_unknown_op():
+    from repro.core.hatching import HatchingStep
+
+    model = Model.from_spec(mlp("m", 8, [4], 2), seed=0)
+    with pytest.raises(ValueError, match="unknown hatching step"):
+        apply_step(model, HatchingStep(op="fold"))
+
+
+# ---------------------------------------------------------------------------
+# Hatching end-to-end: function preservation
+# ---------------------------------------------------------------------------
+
+
+def test_hatch_small_vgg_ensemble_preserves_function():
+    members = small_vgg_ensemble(input_shape=TINY, width_scale=0.08)
+    mothernet = construct_mothernet(members)
+    parent = Model.from_spec(mothernet, seed=0)
+    for member in members:
+        child = hatch(parent, member, seed=1)
+        deviation = verify_function_preservation(parent, child, num_samples=4, atol=1e-8)
+        assert deviation < 1e-8
+        assert child.spec.name == member.name
+        assert child.parameter_count() == count_parameters(member)
+
+
+def test_hatch_v16_variant_family_preserves_function():
+    members = v16_variant_family(6, input_shape=TINY, width_scale=0.08, seed=3)
+    mothernet = construct_mothernet(members)
+    parent = Model.from_spec(mothernet, seed=1)
+    for member in members[1:]:
+        child = hatch(parent, member, seed=2)
+        verify_function_preservation(parent, child, num_samples=3, atol=1e-8)
+
+
+def test_hatch_resnet_cluster_preserves_function():
+    family = resnet_variant_family(width_scale=0.08, input_shape=TINY)
+    clusters = cluster_ensemble(family, tau=0.5)
+    cluster = clusters[0]
+    parent = Model.from_spec(cluster.mothernet, seed=2)
+    for member in cluster.members[:3]:
+        child = hatch(parent, member, seed=3)
+        verify_function_preservation(parent, child, num_samples=3, atol=1e-7)
+
+
+def test_hatch_mlp_family_preserves_function():
+    members = mlp_family(5, input_features=20, num_classes=4, base_width=12, seed=4)
+    mothernet = construct_mothernet(members)
+    parent = Model.from_spec(mothernet, seed=3)
+    for member in members:
+        child = hatch(parent, member, seed=4)
+        verify_function_preservation(parent, child, num_samples=8, atol=1e-9)
+
+
+def test_hatch_after_training_transfers_learnt_function(tiny_tabular_dataset):
+    """Hatching a *trained* MotherNet gives children with the MotherNet's
+    (non-trivial) accuracy before any further training — the warm start that
+    makes members converge in a few epochs."""
+    ds = tiny_tabular_dataset
+    members = mlp_family(4, input_features=ds.input_shape[0], num_classes=ds.num_classes,
+                         base_width=24, seed=5)
+    mothernet = construct_mothernet(members)
+    parent = Model.from_spec(mothernet, seed=0)
+    Trainer(TrainingConfig(max_epochs=15, batch_size=32, learning_rate=0.1, momentum=0.9)).fit(
+        parent, ds.x_train, ds.y_train, seed=0
+    )
+    parent_accuracy = float(np.mean(parent.predict(ds.x_test) == ds.y_test))
+    assert parent_accuracy > 0.5
+    for member in members:
+        child = hatch(parent, member, seed=1)
+        child_accuracy = float(np.mean(child.predict(ds.x_test) == ds.y_test))
+        assert child_accuracy == pytest.approx(parent_accuracy, abs=1e-12)
+
+
+def test_hatch_with_noise_is_close_but_not_identical():
+    members = small_vgg_ensemble(input_shape=TINY, width_scale=0.08)
+    mothernet = construct_mothernet(members)
+    parent = Model.from_spec(mothernet, seed=5)
+    child = hatch(parent, members[3], seed=6, noise_std=1e-3)
+    x = np.random.default_rng(0).normal(size=(4, *TINY))
+    deviation = np.max(np.abs(parent.predict_logits(x) - child.predict_logits(x)))
+    assert 0 < deviation < 1.0
+
+
+def test_hatch_is_deterministic_per_seed():
+    members = small_vgg_ensemble(input_shape=TINY, width_scale=0.08)
+    mothernet = construct_mothernet(members)
+    parent = Model.from_spec(mothernet, seed=6)
+    x = np.random.default_rng(1).normal(size=(3, *TINY))
+    a = hatch(parent, members[2], seed=9).predict_logits(x)
+    b = hatch(parent, members[2], seed=9).predict_logits(x)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_hatch_rejects_incompatible_target():
+    parent = Model.from_spec(mlp("p", 16, [32], 4), seed=0)
+    with pytest.raises(Exception):
+        hatch(parent, mlp("c", 16, [8], 4), seed=0)  # narrower than parent
+
+
+def test_hatch_ensemble_returns_one_model_per_spec():
+    members = mlp_family(4, input_features=12, num_classes=3, base_width=8, seed=7)
+    mothernet = construct_mothernet(members)
+    parent = Model.from_spec(mothernet, seed=7)
+    children = hatch_ensemble(parent, members, seed=0)
+    assert len(children) == 4
+    assert [child.spec.name for child in children] == [member.name for member in members]
+
+
+def test_verify_function_preservation_raises_on_mismatch():
+    a = Model.from_spec(mlp("a", 8, [8], 3), seed=1)
+    b = Model.from_spec(mlp("a", 8, [8], 3), seed=2)
+    with pytest.raises(AssertionError, match="not preserved"):
+        verify_function_preservation(a, b, num_samples=4, atol=1e-6)
+
+
+def test_every_intermediate_hatching_step_preserves_function():
+    """Not just the end-to-end hatch: every prefix of the transformation
+    sequence is itself function preserving."""
+    members = small_vgg_ensemble(input_shape=TINY, width_scale=0.08)
+    mothernet = construct_mothernet(members)
+    parent = Model.from_spec(mothernet, seed=8)
+    target = members[4]  # V19, the deepest member
+    plan = plan_hatching(mothernet, target)
+    model = parent
+    for index, step in enumerate(plan.steps):
+        model = apply_step(model, step, seed=index)
+        verify_function_preservation(parent, model, num_samples=2, atol=1e-8)

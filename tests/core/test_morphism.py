@@ -1,0 +1,281 @@
+"""Unit tests for the function-preserving transformations (Figure 3).
+
+Every transformation is verified numerically: the transformed model must
+compute exactly the same inference-mode function as the source model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import ArchitectureSpec, count_parameters, mlp
+from repro.core import (
+    deepen_conv_block,
+    deepen_dense,
+    deepen_residual_block,
+    expand_conv_filter,
+    transfer_matching_weights,
+    widen_conv_layer,
+    widen_dense_layer,
+    widen_residual_block,
+)
+from repro.core.hatching import verify_function_preservation
+from repro.nn import Model, Trainer, TrainingConfig
+
+
+def _trained_model(spec, dataset=None, seed=0):
+    """A model with non-trivial weights (and, if a dataset is given, non-trivial
+    BatchNorm running statistics from a brief training run)."""
+    model = Model.from_spec(spec, seed=seed)
+    if dataset is not None:
+        config = TrainingConfig(max_epochs=1, batch_size=64, learning_rate=0.05)
+        Trainer(config).fit(model, dataset.x_train, dataset.y_train, seed=seed)
+    return model
+
+
+def _inputs(spec, n=6, seed=0):
+    return np.random.default_rng(seed).normal(size=(n, *spec.input_shape))
+
+
+# ---------------------------------------------------------------------------
+# transfer_matching_weights
+# ---------------------------------------------------------------------------
+
+
+def test_transfer_copies_identical_structures(conv_spec_small):
+    source = Model.from_spec(conv_spec_small, seed=0)
+    target = Model.from_spec(conv_spec_small, seed=9)
+    skipped = transfer_matching_weights(source, target)
+    assert skipped == []
+    x = _inputs(conv_spec_small)
+    np.testing.assert_allclose(source.predict_logits(x), target.predict_logits(x), atol=1e-12)
+
+
+def test_transfer_reports_mismatched_layers(conv_spec_small):
+    import dataclasses
+
+    from repro.arch import ConvBlockSpec, ConvLayerSpec
+
+    source = Model.from_spec(conv_spec_small, seed=0)
+    wider_blocks = list(conv_spec_small.conv_blocks)
+    wider_blocks[1] = ConvBlockSpec((ConvLayerSpec(3, 12),))
+    wider = dataclasses.replace(conv_spec_small, conv_blocks=tuple(wider_blocks))
+    target = Model.from_spec(wider, seed=1)
+    skipped = transfer_matching_weights(source, target)
+    assert any("conv.1.0" in name for name in skipped)
+
+
+# ---------------------------------------------------------------------------
+# Widening
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("block_idx,layer_idx", [(0, 0), (0, 1), (1, 0)])
+def test_widen_conv_layer_preserves_function(conv_spec_small, tiny_image_dataset, block_idx, layer_idx):
+    spec = conv_spec_small
+    model = _trained_model(spec, seed=1)
+    old_filters = spec.conv_blocks[block_idx].layers[layer_idx].filters
+    widened = widen_conv_layer(model, block_idx, layer_idx, old_filters + 3, seed=7)
+    verify_function_preservation(model, widened, num_samples=5, atol=1e-8)
+    assert widened.spec.conv_blocks[block_idx].layers[layer_idx].filters == old_filters + 3
+
+
+def test_widen_last_conv_layer_adjusts_classifier(conv_spec_small):
+    model = _trained_model(conv_spec_small, seed=2)
+    widened = widen_conv_layer(model, 1, 0, 11, seed=3)
+    assert widened.classifier.in_features == 11
+    verify_function_preservation(model, widened, num_samples=5, atol=1e-8)
+
+
+def test_widen_conv_layer_with_batchnorm_statistics(tiny_image_dataset):
+    """Widening must replicate BatchNorm running statistics, so a briefly
+    trained model (with non-trivial statistics) is still preserved exactly."""
+    spec = ArchitectureSpec.convolutional(
+        "bn-net", tiny_image_dataset.input_shape, [["3:6", "3:6"], ["3:8"]], num_classes=10
+    )
+    model = _trained_model(spec, tiny_image_dataset, seed=3)
+    widened = widen_conv_layer(model, 0, 0, 9, seed=5)
+    verify_function_preservation(model, widened, num_samples=5, atol=1e-8)
+
+
+def test_widen_conv_noise_breaks_symmetry_but_stays_close(conv_spec_small):
+    model = _trained_model(conv_spec_small, seed=4)
+    widened = widen_conv_layer(model, 0, 0, 8, seed=5, noise_std=1e-3)
+    x = _inputs(conv_spec_small)
+    deviation = np.max(np.abs(model.predict_logits(x) - widened.predict_logits(x)))
+    assert 0 < deviation < 0.5
+
+
+def test_widen_conv_to_same_width_is_identity_copy(conv_spec_small):
+    model = _trained_model(conv_spec_small, seed=5)
+    same = widen_conv_layer(model, 0, 0, conv_spec_small.conv_blocks[0].layers[0].filters)
+    verify_function_preservation(model, same, num_samples=3, atol=1e-12)
+
+
+def test_widen_conv_cannot_shrink(conv_spec_small):
+    model = Model.from_spec(conv_spec_small, seed=0)
+    with pytest.raises(ValueError, match="cannot widen"):
+        widen_conv_layer(model, 0, 0, 1)
+
+
+def test_widen_conv_rejects_residual_blocks(residual_spec_small):
+    model = Model.from_spec(residual_spec_small, seed=0)
+    with pytest.raises(ValueError, match="widen_residual_block"):
+        widen_conv_layer(model, 0, 0, 10)
+
+
+def test_widen_dense_layer_preserves_function(small_mlp_spec):
+    model = _trained_model(small_mlp_spec, seed=6)
+    widened = widen_dense_layer(model, 0, 24, seed=1)
+    verify_function_preservation(model, widened, num_samples=6, atol=1e-9)
+    assert widened.spec.hidden_widths == (24, 12)
+
+
+def test_widen_last_dense_layer_adjusts_classifier(small_mlp_spec):
+    model = _trained_model(small_mlp_spec, seed=7)
+    widened = widen_dense_layer(model, 1, 20, seed=2)
+    assert widened.classifier.in_features == 20
+    verify_function_preservation(model, widened, num_samples=6, atol=1e-9)
+
+
+def test_widen_dense_increases_parameter_count(small_mlp_spec):
+    model = Model.from_spec(small_mlp_spec, seed=0)
+    widened = widen_dense_layer(model, 0, 32, seed=0)
+    assert widened.parameter_count() > model.parameter_count()
+    assert widened.parameter_count() == count_parameters(widened.spec)
+
+
+def test_widen_residual_block_preserves_function(residual_spec_small):
+    model = _trained_model(residual_spec_small, seed=8)
+    widened = widen_residual_block(model, 0, 7, seed=3)
+    verify_function_preservation(model, widened, num_samples=4, atol=1e-8)
+    assert all(layer.filters == 7 for layer in widened.spec.conv_blocks[0].layers)
+
+
+def test_widen_last_residual_block_adjusts_classifier(residual_spec_small):
+    model = _trained_model(residual_spec_small, seed=9)
+    widened = widen_residual_block(model, 1, 9, seed=4)
+    assert widened.classifier.in_features == 9
+    verify_function_preservation(model, widened, num_samples=4, atol=1e-8)
+
+
+def test_widen_residual_block_requires_residual(conv_spec_small):
+    model = Model.from_spec(conv_spec_small, seed=0)
+    with pytest.raises(ValueError, match="requires a residual block"):
+        widen_residual_block(model, 0, 10)
+
+
+# ---------------------------------------------------------------------------
+# Deepening
+# ---------------------------------------------------------------------------
+
+
+def test_deepen_conv_block_preserves_function(conv_spec_small):
+    model = _trained_model(conv_spec_small, seed=10)
+    deeper = deepen_conv_block(model, 0, 2)
+    verify_function_preservation(model, deeper, num_samples=5, atol=1e-8)
+    assert deeper.spec.conv_blocks[0].depth == conv_spec_small.conv_blocks[0].depth + 2
+
+
+def test_deepen_conv_block_with_custom_filter_size(conv_spec_small):
+    model = _trained_model(conv_spec_small, seed=11)
+    deeper = deepen_conv_block(model, 1, 1, filter_size=1)
+    assert deeper.spec.conv_blocks[1].layers[-1].filter_size == 1
+    verify_function_preservation(model, deeper, num_samples=5, atol=1e-8)
+
+
+def test_deepen_conv_block_zero_layers_is_copy(conv_spec_small):
+    model = _trained_model(conv_spec_small, seed=12)
+    same = deepen_conv_block(model, 0, 0)
+    verify_function_preservation(model, same, num_samples=3, atol=1e-12)
+
+
+def test_deepen_residual_block_preserves_function(residual_spec_small):
+    model = _trained_model(residual_spec_small, seed=13)
+    deeper = deepen_residual_block(model, 0, 2)
+    verify_function_preservation(model, deeper, num_samples=4, atol=1e-8)
+    assert deeper.spec.conv_blocks[0].depth == residual_spec_small.conv_blocks[0].depth + 2
+
+
+def test_deepen_residual_requires_residual_block(conv_spec_small):
+    model = Model.from_spec(conv_spec_small, seed=0)
+    with pytest.raises(ValueError, match="requires a residual block"):
+        deepen_residual_block(model, 0, 1)
+
+
+def test_deepen_dense_preserves_function(small_mlp_spec):
+    model = _trained_model(small_mlp_spec, seed=14)
+    deeper = deepen_dense(model, 2)
+    verify_function_preservation(model, deeper, num_samples=6, atol=1e-9)
+    assert len(deeper.spec.dense_layers) == len(small_mlp_spec.dense_layers) + 2
+
+
+def test_deepen_dense_on_conv_model_uses_channel_width(conv_spec_small):
+    model = _trained_model(conv_spec_small, seed=15)
+    deeper = deepen_dense(model, 1)
+    assert deeper.spec.dense_layers[-1].units == conv_spec_small.conv_blocks[-1].layers[-1].filters
+    verify_function_preservation(model, deeper, num_samples=4, atol=1e-8)
+
+
+def test_deepening_is_composable_with_widening(conv_spec_small):
+    model = _trained_model(conv_spec_small, seed=16)
+    transformed = deepen_conv_block(model, 0, 1)
+    transformed = widen_conv_layer(transformed, 0, 2, 9, seed=1)
+    transformed = widen_conv_layer(transformed, 1, 0, 8, seed=2)
+    verify_function_preservation(model, transformed, num_samples=4, atol=1e-8)
+
+
+# ---------------------------------------------------------------------------
+# Filter growth
+# ---------------------------------------------------------------------------
+
+
+def test_expand_filter_preserves_function(conv_spec_small):
+    model = _trained_model(conv_spec_small, seed=17)
+    expanded = expand_conv_filter(model, 0, 0, 5)
+    verify_function_preservation(model, expanded, num_samples=5, atol=1e-8)
+    assert expanded.spec.conv_blocks[0].layers[0].filter_size == 5
+
+
+def test_expand_filter_on_residual_unit(residual_spec_small):
+    model = _trained_model(residual_spec_small, seed=18)
+    expanded = expand_conv_filter(model, 0, 0, 5)
+    verify_function_preservation(model, expanded, num_samples=4, atol=1e-8)
+
+
+def test_expand_filter_to_same_size_is_copy(conv_spec_small):
+    model = _trained_model(conv_spec_small, seed=19)
+    same = expand_conv_filter(model, 0, 0, 3)
+    verify_function_preservation(model, same, num_samples=3, atol=1e-12)
+
+
+def test_expand_filter_cannot_shrink(conv_spec_small):
+    model = Model.from_spec(conv_spec_small, seed=0)
+    with pytest.raises(ValueError):
+        expand_conv_filter(model, 0, 0, 1)
+
+
+def test_expanded_kernel_is_zero_padded(conv_spec_small):
+    model = Model.from_spec(conv_spec_small, seed=0)
+    expanded = expand_conv_filter(model, 0, 0, 7)
+    kernel = expanded.conv_blocks[0].units[0].conv.params["W"]
+    assert kernel.shape[-2:] == (7, 7)
+    np.testing.assert_array_equal(kernel[:, :, 0, :], 0.0)
+    np.testing.assert_array_equal(kernel[:, :, :, 0], 0.0)
+    original = model.conv_blocks[0].units[0].conv.params["W"]
+    np.testing.assert_array_equal(kernel[:, :, 2:5, 2:5], original)
+
+
+# ---------------------------------------------------------------------------
+# Source model is never mutated
+# ---------------------------------------------------------------------------
+
+
+def test_transformations_do_not_mutate_source(conv_spec_small):
+    model = _trained_model(conv_spec_small, seed=20)
+    x = _inputs(conv_spec_small)
+    before = model.predict_logits(x)
+    widen_conv_layer(model, 0, 0, 10, seed=1)
+    deepen_conv_block(model, 1, 1)
+    expand_conv_filter(model, 0, 1, 5)
+    np.testing.assert_array_equal(model.predict_logits(x), before)
+    assert model.spec == conv_spec_small

@@ -1,0 +1,164 @@
+"""Unit tests for MotherNet construction (§2.1)."""
+
+import pytest
+
+from repro.arch import (
+    ArchitectureSpec,
+    IncompatibleArchitectureError,
+    count_parameters,
+    is_hatchable,
+    mlp,
+    small_vgg_ensemble,
+    vgg,
+)
+from repro.core import construct_mothernet
+
+
+def _conv(name, blocks, residual=False):
+    return ArchitectureSpec.convolutional(
+        name, (3, 8, 8), blocks, num_classes=10, residual=residual
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fully-connected construction
+# ---------------------------------------------------------------------------
+
+
+def test_dense_mothernet_uses_shallowest_depth():
+    members = [mlp("a", 16, [32, 32, 32], 4), mlp("b", 16, [64, 64], 4)]
+    mothernet = construct_mothernet(members)
+    assert len(mothernet.dense_layers) == 2
+
+
+def test_dense_mothernet_takes_minimum_width_per_position():
+    members = [mlp("a", 16, [32, 64], 4), mlp("b", 16, [48, 16], 4)]
+    mothernet = construct_mothernet(members)
+    assert mothernet.hidden_widths == (32, 16)
+
+
+def test_paper_figure2_example_three_and_four_layer_networks():
+    """Figure 2a: two three-layer networks and one four-layer network give a
+    three-layer MotherNet built from the smallest layer at each position."""
+    members = [
+        mlp("n0", 16, [20, 30, 20], 4),
+        mlp("n1", 16, [30, 10, 30], 4),
+        mlp("n2", 16, [25, 25, 25, 25], 4),
+    ]
+    mothernet = construct_mothernet(members)
+    assert mothernet.hidden_widths == (20, 10, 20)
+
+
+def test_mothernet_is_single_member_for_singleton_ensemble():
+    member = mlp("solo", 16, [32, 16], 4)
+    mothernet = construct_mothernet([member])
+    assert mothernet.hidden_widths == member.hidden_widths
+
+
+# ---------------------------------------------------------------------------
+# Convolutional construction (block-by-block)
+# ---------------------------------------------------------------------------
+
+
+def test_conv_mothernet_block_depths_are_minimum_per_block():
+    members = [
+        _conv("a", [["3:8", "3:8"], ["3:16", "3:16", "3:16"]]),
+        _conv("b", [["3:8", "3:8", "3:8"], ["3:16", "3:16"]]),
+    ]
+    mothernet = construct_mothernet(members)
+    assert [block.depth for block in mothernet.conv_blocks] == [2, 2]
+
+
+def test_conv_mothernet_takes_min_filters_and_min_size_per_position():
+    members = [
+        _conv("a", [["5:8", "3:16"]]),
+        _conv("b", [["3:12", "5:12"]]),
+    ]
+    mothernet = construct_mothernet(members)
+    layers = mothernet.conv_blocks[0].layers
+    assert (layers[0].filter_size, layers[0].filters) == (3, 8)
+    assert (layers[1].filter_size, layers[1].filters) == (3, 12)
+
+
+def test_paper_figure4_example():
+    """The three-network example of Figure 4 (block structure only)."""
+    net1 = _conv("net1", [["3:64", "3:64"], ["3:32", "1:64"], ["3:64", "3:64", "3:64"]])
+    net2 = _conv("net2", [["3:64"], ["3:64", "5:64"], ["3:64", "3:72"]])
+    net3 = _conv("net3", [["3:64", "5:64"], ["1:64", "3:32"], ["3:64", "3:64"]])
+    mothernet = construct_mothernet([net1, net2, net3])
+    blocks = [
+        [layer.notation() for layer in block.layers] for block in mothernet.conv_blocks
+    ]
+    assert blocks == [["3:64"], ["1:32", "1:32"], ["3:64", "3:64"]]
+
+
+def test_conv_mothernet_smaller_or_equal_to_smallest_member():
+    members = small_vgg_ensemble(input_shape=(3, 8, 8), width_scale=0.1)
+    mothernet = construct_mothernet(members)
+    smallest = min(count_parameters(member) for member in members)
+    assert count_parameters(mothernet) <= smallest
+
+
+def test_conv_mothernet_is_hatchable_into_every_member():
+    members = small_vgg_ensemble(input_shape=(3, 8, 8), width_scale=0.1)
+    mothernet = construct_mothernet(members)
+    assert all(is_hatchable(mothernet, member) for member in members)
+
+
+def test_mothernet_of_full_scale_table1_ensemble():
+    members = small_vgg_ensemble()
+    mothernet = construct_mothernet(members)
+    # Block depths are the per-block minima of Table 1: [2, 2, 2, 2, 2].
+    assert [block.depth for block in mothernet.conv_blocks] == [2, 2, 2, 2, 2]
+    # Block 0 width is min(64, 128) = 64; block 2 width is min(256, 128) = 128.
+    assert mothernet.conv_blocks[0].layers[0].filters == 64
+    assert mothernet.conv_blocks[2].layers[0].filters == 128
+    assert all(is_hatchable(mothernet, member) for member in members)
+
+
+def test_residual_mothernet_keeps_uniform_block_width():
+    members = [
+        _conv("a", [["3:8", "3:8"], ["3:16", "3:16"]], residual=True),
+        _conv("b", [["3:12", "3:12", "3:12"], ["3:24", "3:24"]], residual=True),
+    ]
+    mothernet = construct_mothernet(members)
+    for block in mothernet.conv_blocks:
+        assert block.residual
+        assert len({layer.filters for layer in block.layers}) == 1
+    assert mothernet.conv_blocks[0].layers[0].filters == 8
+    assert mothernet.conv_blocks[1].layers[0].filters == 16
+
+
+def test_mothernet_preserves_input_output_structure():
+    members = small_vgg_ensemble(num_classes=100, input_shape=(3, 16, 16), width_scale=0.1)
+    mothernet = construct_mothernet(members, name="mn")
+    assert mothernet.name == "mn"
+    assert mothernet.input_shape == (3, 16, 16)
+    assert mothernet.num_classes == 100
+
+
+def test_mothernet_includes_dense_head_only_if_all_members_have_one():
+    with_head = ArchitectureSpec.convolutional(
+        "a", (3, 8, 8), [["3:8"]], num_classes=10, dense_layers=[32]
+    )
+    without_head = _conv("b", [["3:8"]])
+    assert construct_mothernet([with_head, without_head]).dense_layers == ()
+    both = [
+        ArchitectureSpec.convolutional(
+            "a", (3, 8, 8), [["3:8"]], num_classes=10, dense_layers=[32]
+        ),
+        ArchitectureSpec.convolutional(
+            "b", (3, 8, 8), [["3:8"]], num_classes=10, dense_layers=[16, 16]
+        ),
+    ]
+    assert construct_mothernet(both).hidden_widths == (16,)
+
+
+def test_incompatible_members_raise():
+    with pytest.raises(IncompatibleArchitectureError):
+        construct_mothernet([mlp("a", 16, [8], 4), mlp("b", 16, [8], 6)])
+
+
+def test_empty_ensemble_raises():
+    with pytest.raises(IncompatibleArchitectureError):
+        construct_mothernet([])

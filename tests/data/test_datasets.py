@@ -1,0 +1,133 @@
+"""Unit tests for the synthetic data-set generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Dataset,
+    cifar10_like,
+    cifar100_like,
+    load_dataset,
+    svhn_like,
+    synthetic_image_classification,
+    synthetic_tabular_classification,
+)
+
+
+def test_dataset_shapes_and_properties():
+    ds = cifar10_like(train_samples=128, test_samples=64, image_shape=(3, 8, 8), seed=0)
+    assert ds.x_train.shape == (128, 3, 8, 8)
+    assert ds.x_test.shape == (64, 3, 8, 8)
+    assert ds.input_shape == (3, 8, 8)
+    assert ds.train_size == 128 and ds.test_size == 64
+    assert ds.num_classes == 10
+
+
+def test_dataset_validation():
+    with pytest.raises(ValueError):
+        Dataset("bad", np.zeros((4, 2)), np.zeros(3), np.zeros((2, 2)), np.zeros(2), 2)
+    with pytest.raises(ValueError):
+        Dataset("bad", np.zeros((4, 2)), np.zeros(4), np.zeros((2, 2)), np.zeros(2), 1)
+
+
+def test_labels_are_balanced():
+    ds = cifar10_like(train_samples=200, test_samples=100, image_shape=(3, 8, 8), seed=1)
+    counts = np.bincount(ds.y_train, minlength=10)
+    assert counts.max() - counts.min() <= 1
+
+
+def test_labels_cover_all_classes():
+    ds = cifar100_like(train_samples=300, test_samples=200, num_classes=30, seed=2,
+                       image_shape=(3, 8, 8))
+    assert set(np.unique(ds.y_train)) == set(range(30))
+
+
+def test_generation_is_deterministic_per_seed():
+    a = cifar10_like(train_samples=64, test_samples=32, image_shape=(3, 8, 8), seed=5)
+    b = cifar10_like(train_samples=64, test_samples=32, image_shape=(3, 8, 8), seed=5)
+    np.testing.assert_array_equal(a.x_train, b.x_train)
+    np.testing.assert_array_equal(a.y_test, b.y_test)
+
+
+def test_different_seeds_give_different_data():
+    a = cifar10_like(train_samples=64, test_samples=32, image_shape=(3, 8, 8), seed=1)
+    b = cifar10_like(train_samples=64, test_samples=32, image_shape=(3, 8, 8), seed=2)
+    assert not np.allclose(a.x_train, b.x_train)
+
+
+def test_training_data_is_normalised():
+    ds = cifar10_like(train_samples=256, test_samples=64, image_shape=(3, 8, 8), seed=3)
+    assert abs(ds.x_train.mean()) < 0.05
+    assert abs(ds.x_train.std() - 1.0) < 0.05
+
+
+def test_svhn_like_has_lower_intra_class_variation_than_cifar_like():
+    """The SVHN stand-in must be the easier task (the paper's explanation for
+    the small ensemble gains on SVHN): within-class scatter relative to
+    between-class scatter is smaller."""
+
+    def within_over_between(ds):
+        centroids = np.stack([ds.x_train[ds.y_train == c].mean(axis=0) for c in range(10)])
+        within = np.mean(
+            [np.var(ds.x_train[ds.y_train == c] - centroids[c]) for c in range(10)]
+        )
+        between = np.var(centroids)
+        return within / between
+
+    cifar = cifar10_like(train_samples=500, test_samples=50, image_shape=(3, 8, 8), seed=0)
+    svhn = svhn_like(train_samples=500, test_samples=50, image_shape=(3, 8, 8), seed=0)
+    assert within_over_between(svhn) < within_over_between(cifar)
+
+
+def test_images_have_spatial_structure():
+    """Neighbouring pixels of the class prototypes are correlated, unlike
+    i.i.d. noise, so convolutional features are genuinely useful."""
+    ds = cifar10_like(train_samples=256, test_samples=32, image_shape=(3, 16, 16), seed=4)
+    image = ds.x_train[0, 0]
+    horizontal_diff = np.mean(np.abs(np.diff(image, axis=1)))
+    random_pairs = np.mean(np.abs(image.reshape(-1)[:-1] - np.random.default_rng(0).permutation(image.reshape(-1))[:-1]))
+    assert horizontal_diff < random_pairs
+
+
+def test_subset_view():
+    ds = cifar10_like(train_samples=100, test_samples=50, image_shape=(3, 8, 8), seed=0)
+    small = ds.subset(20, 10)
+    assert small.train_size == 20 and small.test_size == 10
+    np.testing.assert_array_equal(small.x_train, ds.x_train[:20])
+
+
+def test_synthetic_image_classification_validation():
+    with pytest.raises(ValueError):
+        synthetic_image_classification("x", num_classes=1)
+    with pytest.raises(ValueError):
+        synthetic_image_classification("x", num_classes=10, train_samples=5)
+
+
+def test_tabular_generator_shapes_and_separability():
+    ds = synthetic_tabular_classification(
+        num_classes=4, num_features=16, train_samples=256, test_samples=64,
+        class_separation=3.0, noise_std=0.5, seed=0,
+    )
+    assert ds.x_train.shape == (256, 16)
+    # With high separation a nearest-centroid rule is nearly perfect.
+    centroids = np.stack([ds.x_train[ds.y_train == c].mean(axis=0) for c in range(4)])
+    distances = ((ds.x_test[:, None, :] - centroids[None]) ** 2).sum(axis=2)
+    accuracy = float((distances.argmin(axis=1) == ds.y_test).mean())
+    assert accuracy > 0.9
+
+
+def test_tabular_generator_validation():
+    with pytest.raises(ValueError):
+        synthetic_tabular_classification(num_features=0)
+
+
+def test_load_dataset_by_name():
+    ds = load_dataset("svhn", train_samples=64, test_samples=32, image_shape=(3, 8, 8))
+    assert ds.name.startswith("svhn")
+    with pytest.raises(ValueError, match="unknown dataset"):
+        load_dataset("imagenet")
+
+
+def test_cifar100_like_default_has_100_classes():
+    ds = cifar100_like(train_samples=400, test_samples=200, image_shape=(3, 8, 8))
+    assert ds.num_classes == 100

@@ -1,0 +1,133 @@
+"""Unit tests for bagging and data-split utilities."""
+
+import numpy as np
+import pytest
+
+from repro.data import bootstrap_sample, stratified_subset, train_validation_split
+
+
+def _data(n=200, features=4, classes=5, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, features)), rng.integers(0, classes, size=n)
+
+
+# ---------------------------------------------------------------------------
+# bootstrap_sample (bagging)
+# ---------------------------------------------------------------------------
+
+
+def test_bootstrap_sample_has_original_size_by_default():
+    x, y = _data()
+    bag = bootstrap_sample(x, y, seed=0)
+    assert bag.size == 200
+    assert bag.x.shape == x.shape
+
+
+def test_bootstrap_sample_draws_with_replacement():
+    x, y = _data()
+    bag = bootstrap_sample(x, y, seed=1)
+    assert np.unique(bag.indices).size < 200
+
+
+def test_bootstrap_unique_fraction_near_632():
+    """Sampling n items with replacement keeps ~63.2% unique items for large n
+    (the quantity behind bagging's higher bias for data-hungry networks)."""
+    x, y = _data(n=2000)
+    fractions = [bootstrap_sample(x, y, seed=s).unique_fraction for s in range(5)]
+    assert abs(np.mean(fractions) - 0.632) < 0.02
+
+
+def test_bootstrap_sample_rows_come_from_original_data():
+    x, y = _data(n=50)
+    bag = bootstrap_sample(x, y, seed=2)
+    np.testing.assert_array_equal(bag.x, x[bag.indices])
+    np.testing.assert_array_equal(bag.y, y[bag.indices])
+
+
+def test_bootstrap_sample_custom_size():
+    x, y = _data(n=100)
+    bag = bootstrap_sample(x, y, seed=3, sample_size=40)
+    assert bag.size == 40
+
+
+def test_bootstrap_is_deterministic_per_seed():
+    x, y = _data()
+    a = bootstrap_sample(x, y, seed=7)
+    b = bootstrap_sample(x, y, seed=7)
+    np.testing.assert_array_equal(a.indices, b.indices)
+
+
+def test_different_seeds_give_different_bags():
+    x, y = _data()
+    a = bootstrap_sample(x, y, seed=1)
+    b = bootstrap_sample(x, y, seed=2)
+    assert not np.array_equal(a.indices, b.indices)
+
+
+def test_bootstrap_validation():
+    x, y = _data()
+    with pytest.raises(ValueError):
+        bootstrap_sample(x, y[:-1])
+    with pytest.raises(ValueError):
+        bootstrap_sample(np.zeros((0, 3)), np.zeros(0))
+    with pytest.raises(ValueError):
+        bootstrap_sample(x, y, sample_size=0)
+
+
+# ---------------------------------------------------------------------------
+# train/validation split
+# ---------------------------------------------------------------------------
+
+
+def test_split_sizes():
+    x, y = _data(n=100)
+    x_train, y_train, x_val, y_val = train_validation_split(x, y, validation_fraction=0.2, seed=0)
+    assert x_train.shape[0] == 80 and x_val.shape[0] == 20
+    assert y_train.shape[0] == 80 and y_val.shape[0] == 20
+
+
+def test_split_partitions_the_data():
+    x, y = _data(n=60, features=1)
+    x_train, _, x_val, _ = train_validation_split(x, y, 0.25, seed=1)
+    combined = np.sort(np.concatenate([x_train, x_val]).ravel())
+    np.testing.assert_allclose(combined, np.sort(x.ravel()))
+
+
+def test_split_validation_fraction_bounds():
+    x, y = _data(n=10)
+    with pytest.raises(ValueError):
+        train_validation_split(x, y, 0.0)
+    with pytest.raises(ValueError):
+        train_validation_split(x, y, 1.0)
+
+
+def test_split_is_deterministic_per_seed():
+    x, y = _data()
+    a = train_validation_split(x, y, 0.1, seed=5)
+    b = train_validation_split(x, y, 0.1, seed=5)
+    np.testing.assert_array_equal(a[0], b[0])
+
+
+# ---------------------------------------------------------------------------
+# stratified subset
+# ---------------------------------------------------------------------------
+
+
+def test_stratified_subset_balances_classes():
+    x, y = _data(n=500, classes=5, seed=2)
+    sub_x, sub_y = stratified_subset(x, y, samples_per_class=10, seed=0)
+    assert sub_x.shape[0] == 50
+    assert np.all(np.bincount(sub_y, minlength=5) == 10)
+
+
+def test_stratified_subset_requires_enough_samples():
+    x = np.zeros((4, 2))
+    y = np.array([0, 0, 1, 1])
+    with pytest.raises(ValueError, match="only"):
+        stratified_subset(x, y, samples_per_class=3)
+
+
+def test_stratified_subset_validation():
+    x, y = _data()
+    with pytest.raises(ValueError):
+        stratified_subset(x, y, samples_per_class=0)

@@ -1,0 +1,118 @@
+"""Unit tests for ensemble-level evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import Ensemble, EnsembleMember
+from repro.evaluation import (
+    evaluate_ensemble,
+    fit_super_learner_curve,
+    incremental_error_curve,
+    member_quality_summary,
+    oracle_curve,
+    pairwise_disagreement,
+)
+
+
+class _FixedModel:
+    def __init__(self, correct_mask, num_classes, y):
+        # Predicts the true label where mask is True, (label+1) % classes otherwise.
+        self.predictions = np.where(correct_mask, y, (y + 1) % num_classes)
+        self.num_classes = num_classes
+
+    def predict_proba(self, x, batch_size=None):
+        probs = np.full((len(self.predictions), self.num_classes), 0.05)
+        probs[np.arange(len(self.predictions)), self.predictions] = 0.9
+        return probs / probs.sum(axis=1, keepdims=True)
+
+    def predict(self, x, batch_size=None):
+        return self.predictions
+
+    def predict_logits(self, x, batch_size=None):
+        return np.log(self.predict_proba(x))
+
+    def parameter_count(self):
+        return 0
+
+
+@pytest.fixture
+def setup():
+    rng = np.random.default_rng(0)
+    n, classes = 40, 4
+    y = rng.integers(0, classes, size=n)
+    x = np.zeros((n, 3))
+    accuracies = [0.9, 0.7, 0.5]
+    members = []
+    for i, acc in enumerate(accuracies):
+        mask = rng.random(n) < acc
+        members.append(EnsembleMember(name=f"m{i}", model=_FixedModel(mask, classes, y)))
+    return Ensemble(members, num_classes=classes), x, y
+
+
+def test_evaluate_ensemble_uses_paper_abbreviations(setup):
+    ensemble, x, y = setup
+    results = evaluate_ensemble(ensemble, x, y, methods=("average", "vote", "oracle"))
+    assert set(results) == {"EA", "Vote", "O"}
+    assert all(0 <= value <= 100 for value in results.values())
+
+
+def test_evaluate_ensemble_includes_sl_after_fitting(setup):
+    ensemble, x, y = setup
+    ensemble.fit_super_learner(x, y, iterations=30)
+    results = evaluate_ensemble(ensemble, x, y)
+    assert "SL" in results
+
+
+def test_incremental_error_curve_lengths(setup):
+    ensemble, x, y = setup
+    curves = incremental_error_curve(ensemble, x, y, sizes=[1, 2, 3], methods=("average", "vote"))
+    assert set(curves) == {"average", "vote"}
+    assert all(len(series) == 3 for series in curves.values())
+
+
+def test_incremental_error_curve_first_point_is_single_member(setup):
+    ensemble, x, y = setup
+    curves = incremental_error_curve(ensemble, x, y, sizes=[1], methods=("average",))
+    single = ensemble.subset(1).error_rate(x, y, method="average")
+    assert curves["average"][0] == pytest.approx(single)
+
+
+def test_incremental_error_curve_validates_sizes(setup):
+    ensemble, x, y = setup
+    with pytest.raises(ValueError):
+        incremental_error_curve(ensemble, x, y, sizes=[0])
+    with pytest.raises(ValueError):
+        incremental_error_curve(ensemble, x, y, sizes=[4])
+
+
+def test_incremental_error_curve_rejects_super_learner(setup):
+    ensemble, x, y = setup
+    with pytest.raises(ValueError, match="fit_super_learner_curve"):
+        incremental_error_curve(ensemble, x, y, sizes=[1], methods=("super_learner",))
+
+
+def test_fit_super_learner_curve(setup):
+    ensemble, x, y = setup
+    series = fit_super_learner_curve(ensemble, x, y, x, y, sizes=[1, 3])
+    assert len(series) == 2
+    assert all(0 <= value <= 100 for value in series)
+
+
+def test_oracle_curve_is_monotone_non_increasing(setup):
+    """Adding members can only help the oracle (Figure 10's shape)."""
+    ensemble, x, y = setup
+    series = oracle_curve(ensemble, x, y, sizes=[1, 2, 3])
+    assert all(b <= a + 1e-9 for a, b in zip(series, series[1:]))
+
+
+def test_member_quality_summary_fields(setup):
+    ensemble, x, y = setup
+    summary = member_quality_summary(ensemble, x, y)
+    assert set(summary) == {"mean", "best", "worst", "spread"}
+    assert summary["best"] <= summary["mean"] <= summary["worst"]
+    assert summary["spread"] == pytest.approx(summary["worst"] - summary["best"])
+
+
+def test_pairwise_disagreement_positive_for_different_members(setup):
+    ensemble, x, y = setup
+    assert pairwise_disagreement(ensemble, x) > 0.0

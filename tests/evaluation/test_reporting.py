@@ -1,0 +1,63 @@
+"""Unit tests for the plain-text reporting helpers used by the benches."""
+
+import pytest
+
+from repro.evaluation import (
+    comparison_summary,
+    expectation_note,
+    format_error_rates,
+    format_series,
+    format_table,
+    format_time_breakdown,
+)
+
+
+def test_format_table_contains_headers_and_rows():
+    text = format_table(["name", "value"], [["a", 1.0], ["b", 2.5]], title="demo")
+    assert "demo" in text
+    assert "name" in text and "value" in text
+    assert "1.000" in text and "2.500" in text
+
+
+def test_format_table_aligns_columns():
+    text = format_table(["x", "longer_header"], [["aaaa", 1]])
+    lines = text.splitlines()
+    assert len(lines[0]) == len(lines[1]) == len(lines[2])
+
+
+def test_format_series_rows_per_x_value():
+    text = format_series({"fd": [1.0, 2.0], "mn": [0.5, 0.7]}, x_values=[10, 20], x_label="size")
+    assert text.count("\n") == 3  # header + separator + two rows
+    assert "size" in text and "fd" in text and "mn" in text
+
+
+def test_format_error_rates():
+    text = format_error_rates({"EA": 8.5, "Vote": 9.0})
+    assert "EA" in text and "8.500" in text
+
+
+def test_format_time_breakdown_includes_total():
+    text = format_time_breakdown({"net-a": 2.0, "net-b": 3.0})
+    assert "TOTAL" in text and "5.000" in text
+
+
+def test_comparison_summary_computes_speedups():
+    speedups = comparison_summary(
+        {"mothernets": 10.0, "full_data": 60.0, "bagging": 40.0}, reference="mothernets"
+    )
+    assert speedups == {"full_data": 6.0, "bagging": 4.0}
+
+
+def test_comparison_summary_missing_reference():
+    with pytest.raises(KeyError):
+        comparison_summary({"full_data": 1.0}, reference="mothernets")
+
+
+def test_comparison_summary_zero_reference():
+    with pytest.raises(ValueError):
+        comparison_summary({"mothernets": 0.0, "full_data": 1.0})
+
+
+def test_expectation_note_prefixes_lines():
+    note = expectation_note(["line one", "line two"])
+    assert note.count("[paper]") == 2

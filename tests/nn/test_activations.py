@@ -1,0 +1,73 @@
+"""Unit tests for activation layers and the softmax helper."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import ReLU, Softmax, softmax
+from repro.nn.layers.activations import LeakyReLU
+from tests.gradcheck import check_layer_gradients
+
+
+def test_relu_forward_clamps_negatives():
+    layer = ReLU()
+    x = np.array([[-1.0, 0.0, 2.0]])
+    np.testing.assert_array_equal(layer.forward(x), [[0.0, 0.0, 2.0]])
+
+
+def test_relu_backward_masks_gradient():
+    layer = ReLU()
+    x = np.array([[-1.0, 0.5, 2.0]])
+    layer.forward(x, training=True)
+    grad = layer.backward(np.ones_like(x))
+    np.testing.assert_array_equal(grad, [[0.0, 1.0, 1.0]])
+
+
+def test_relu_gradcheck():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(4, 6)) + 0.01  # avoid the kink at exactly zero
+    check_layer_gradients(ReLU(), x)
+
+
+def test_relu_backward_requires_training_forward():
+    layer = ReLU()
+    layer.forward(np.ones((1, 2)), training=False)
+    with pytest.raises(RuntimeError):
+        layer.backward(np.ones((1, 2)))
+
+
+def test_leaky_relu_forward_and_backward():
+    layer = LeakyReLU(negative_slope=0.1)
+    x = np.array([[-2.0, 3.0]])
+    np.testing.assert_allclose(layer.forward(x, training=True), [[-0.2, 3.0]])
+    grad = layer.backward(np.array([[1.0, 1.0]]))
+    np.testing.assert_allclose(grad, [[0.1, 1.0]])
+
+
+def test_softmax_rows_sum_to_one():
+    logits = np.random.default_rng(0).normal(size=(5, 7))
+    probs = softmax(logits)
+    np.testing.assert_allclose(probs.sum(axis=1), np.ones(5))
+    assert np.all(probs > 0)
+
+
+def test_softmax_is_shift_invariant():
+    logits = np.array([[1.0, 2.0, 3.0]])
+    np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0))
+
+
+def test_softmax_handles_large_logits_without_overflow():
+    logits = np.array([[1000.0, 0.0, -1000.0]])
+    probs = softmax(logits)
+    assert np.isfinite(probs).all()
+    assert probs[0, 0] == pytest.approx(1.0)
+
+
+def test_softmax_layer_gradcheck():
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(3, 4))
+    check_layer_gradients(Softmax(), x)
+
+
+def test_softmax_layer_forward_matches_helper():
+    x = np.random.default_rng(2).normal(size=(2, 5))
+    np.testing.assert_allclose(Softmax().forward(x), softmax(x))

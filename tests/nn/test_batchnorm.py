@@ -1,0 +1,88 @@
+"""Unit tests for BatchNorm (dense and convolutional activations)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import BatchNorm
+from tests.gradcheck import check_layer_gradients
+
+
+def test_training_forward_normalises_batch():
+    layer = BatchNorm(3)
+    x = np.random.default_rng(0).normal(loc=5.0, scale=2.0, size=(64, 3))
+    out = layer.forward(x, training=True)
+    np.testing.assert_allclose(out.mean(axis=0), np.zeros(3), atol=1e-7)
+    np.testing.assert_allclose(out.std(axis=0), np.ones(3), atol=1e-3)
+
+
+def test_conv_input_normalised_per_channel():
+    layer = BatchNorm(4)
+    x = np.random.default_rng(1).normal(loc=-3.0, scale=0.5, size=(8, 4, 5, 5))
+    out = layer.forward(x, training=True)
+    np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), np.zeros(4), atol=1e-7)
+
+
+def test_running_statistics_converge_to_data_statistics():
+    layer = BatchNorm(2, momentum=0.5)
+    rng = np.random.default_rng(2)
+    for _ in range(50):
+        layer.forward(rng.normal(loc=2.0, scale=3.0, size=(128, 2)), training=True)
+    np.testing.assert_allclose(layer.state["running_mean"], [2.0, 2.0], atol=0.3)
+    np.testing.assert_allclose(layer.state["running_var"], [9.0, 9.0], rtol=0.2)
+
+
+def test_inference_uses_running_statistics():
+    layer = BatchNorm(2)
+    layer.state["running_mean"] = np.array([1.0, -1.0])
+    layer.state["running_var"] = np.array([4.0, 4.0])
+    x = np.array([[3.0, 1.0]])
+    out = layer.forward(x, training=False)
+    expected = (x - [1.0, -1.0]) / np.sqrt(4.0 + layer.eps)
+    np.testing.assert_allclose(out, expected)
+
+
+def test_set_identity_makes_inference_exact_identity():
+    layer = BatchNorm(5)
+    layer.set_identity()
+    x = np.random.default_rng(3).normal(size=(7, 5))
+    np.testing.assert_allclose(layer.forward(x, training=False), x, atol=1e-12)
+
+
+def test_set_identity_is_exact_for_conv_activations():
+    layer = BatchNorm(3)
+    layer.set_identity()
+    x = np.random.default_rng(4).normal(size=(2, 3, 4, 4))
+    np.testing.assert_allclose(layer.forward(x, training=False), x, atol=1e-12)
+
+
+def test_rejects_wrong_feature_count():
+    layer = BatchNorm(3)
+    with pytest.raises(ValueError, match="expected"):
+        layer.forward(np.zeros((4, 5)), training=True)
+
+
+def test_invalid_num_features():
+    with pytest.raises(ValueError):
+        BatchNorm(0)
+
+
+def test_gradcheck_dense_input():
+    rng = np.random.default_rng(5)
+    layer = BatchNorm(3)
+    # Non-trivial gamma/beta so their gradients are exercised.
+    layer.params["gamma"] = rng.uniform(0.5, 1.5, size=3)
+    layer.params["beta"] = rng.normal(size=3)
+    x = rng.normal(size=(6, 3))
+    check_layer_gradients(layer, x, rtol=1e-3, atol=1e-5)
+
+
+def test_gradcheck_conv_input():
+    rng = np.random.default_rng(6)
+    layer = BatchNorm(2)
+    x = rng.normal(size=(3, 2, 3, 3))
+    check_layer_gradients(layer, x, rtol=1e-3, atol=1e-5)
+
+
+def test_parameter_count_excludes_running_statistics():
+    layer = BatchNorm(8)
+    assert layer.parameter_count() == 16

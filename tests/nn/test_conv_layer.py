@@ -1,0 +1,111 @@
+"""Unit tests for Conv2D and the im2col/col2im helpers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Conv2D, col2im, im2col
+from tests.gradcheck import check_layer_gradients
+
+
+def test_im2col_shapes():
+    x = np.arange(2 * 3 * 4 * 4, dtype=float).reshape(2, 3, 4, 4)
+    cols = im2col(x, (3, 3), stride=1, padding=1)
+    assert cols.shape == (2, 3 * 9, 16)
+
+
+def test_im2col_col2im_adjointness():
+    """col2im must be the adjoint of im2col: <im2col(x), c> == <x, col2im(c)>."""
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(2, 3, 5, 5))
+    cols = im2col(x, (3, 3), stride=1, padding=1)
+    c = rng.normal(size=cols.shape)
+    lhs = float(np.sum(cols * c))
+    rhs = float(np.sum(x * col2im(c, x.shape, (3, 3), stride=1, padding=1)))
+    assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+def test_same_padding_preserves_spatial_size():
+    layer = Conv2D(3, 5, kernel_size=3, padding="same", seed=0)
+    out = layer.forward(np.zeros((2, 3, 7, 7)))
+    assert out.shape == (2, 5, 7, 7)
+
+
+def test_one_by_one_convolution():
+    layer = Conv2D(3, 4, kernel_size=1, padding="same", seed=0)
+    out = layer.forward(np.zeros((1, 3, 6, 6)))
+    assert out.shape == (1, 4, 6, 6)
+
+
+def test_same_padding_requires_odd_kernel():
+    with pytest.raises(ValueError, match="odd kernel"):
+        Conv2D(3, 4, kernel_size=2, padding="same")
+
+
+def test_invalid_channel_counts_raise():
+    with pytest.raises(ValueError):
+        Conv2D(0, 4, 3)
+    with pytest.raises(ValueError):
+        Conv2D(4, 0, 3)
+
+
+def test_forward_rejects_wrong_channel_count():
+    layer = Conv2D(3, 4, 3, seed=0)
+    with pytest.raises(ValueError, match="expected input"):
+        layer.forward(np.zeros((1, 2, 6, 6)))
+
+
+def test_identity_kernel_reproduces_input():
+    channels = 3
+    layer = Conv2D(channels, channels, 3, seed=0)
+    kernel = np.zeros_like(layer.params["W"])
+    for c in range(channels):
+        kernel[c, c, 1, 1] = 1.0
+    layer.params["W"] = kernel
+    layer.params["b"] = np.zeros(channels)
+    x = np.random.default_rng(1).normal(size=(2, channels, 5, 5))
+    np.testing.assert_allclose(layer.forward(x), x, atol=1e-12)
+
+
+def test_matches_explicit_convolution():
+    """Cross-check the im2col implementation against a naive loop."""
+    rng = np.random.default_rng(2)
+    layer = Conv2D(2, 3, 3, seed=3)
+    x = rng.normal(size=(1, 2, 4, 4))
+    out = layer.forward(x)
+
+    padded = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+    expected = np.zeros_like(out)
+    w = layer.params["W"]
+    b = layer.params["b"]
+    for o in range(3):
+        for i in range(4):
+            for j in range(4):
+                patch = padded[0, :, i : i + 3, j : j + 3]
+                expected[0, o, i, j] = np.sum(patch * w[o]) + b[o]
+    np.testing.assert_allclose(out, expected, atol=1e-10)
+
+
+def test_stride_two_output_shape():
+    layer = Conv2D(2, 3, 3, stride=2, padding=1, seed=0)
+    out = layer.forward(np.zeros((1, 2, 8, 8)))
+    assert out.shape == (1, 3, 4, 4)
+
+
+def test_gradients_match_finite_differences():
+    rng = np.random.default_rng(3)
+    layer = Conv2D(2, 3, 3, seed=4)
+    x = rng.normal(size=(2, 2, 5, 5))
+    check_layer_gradients(layer, x, rtol=1e-3, atol=1e-5)
+
+
+def test_gradients_without_bias():
+    rng = np.random.default_rng(4)
+    layer = Conv2D(2, 2, 3, seed=5, use_bias=False)
+    assert "b" not in layer.params
+    x = rng.normal(size=(1, 2, 4, 4))
+    check_layer_gradients(layer, x, rtol=1e-3, atol=1e-5)
+
+
+def test_parameter_count():
+    layer = Conv2D(3, 8, 5, seed=0)
+    assert layer.parameter_count() == 8 * 3 * 25 + 8

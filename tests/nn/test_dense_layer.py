@@ -1,0 +1,77 @@
+"""Unit tests for the Dense layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense
+from tests.gradcheck import check_layer_gradients
+
+
+def test_forward_shape_and_value():
+    layer = Dense(3, 2, seed=0)
+    layer.params["W"] = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+    layer.params["b"] = np.array([0.5, -0.5])
+    x = np.array([[1.0, 2.0, 3.0]])
+    out = layer.forward(x)
+    np.testing.assert_allclose(out, [[1 + 3 + 0.5, 2 + 3 - 0.5]])
+
+
+def test_forward_rejects_wrong_input_width():
+    layer = Dense(4, 2, seed=0)
+    with pytest.raises(ValueError, match="expected input of shape"):
+        layer.forward(np.zeros((1, 3)))
+
+
+def test_invalid_dimensions_raise():
+    with pytest.raises(ValueError):
+        Dense(0, 3)
+    with pytest.raises(ValueError):
+        Dense(3, -1)
+
+
+def test_backward_requires_training_forward():
+    layer = Dense(3, 2, seed=0)
+    layer.forward(np.zeros((1, 3)), training=False)
+    with pytest.raises(RuntimeError, match="backward called before"):
+        layer.backward(np.zeros((1, 2)))
+
+
+def test_gradients_match_finite_differences():
+    rng = np.random.default_rng(0)
+    layer = Dense(5, 4, seed=1)
+    x = rng.normal(size=(6, 5))
+    check_layer_gradients(layer, x)
+
+
+def test_parameter_count():
+    layer = Dense(7, 3, seed=0)
+    assert layer.parameter_count() == 7 * 3 + 3
+
+
+def test_deterministic_initialization_with_seed():
+    a = Dense(4, 4, seed=11)
+    b = Dense(4, 4, seed=11)
+    np.testing.assert_array_equal(a.params["W"], b.params["W"])
+
+
+def test_copy_weights_between_layers():
+    a = Dense(4, 3, seed=1)
+    b = Dense(4, 3, seed=2)
+    b.copy_weights_from(a)
+    np.testing.assert_array_equal(a.params["W"], b.params["W"])
+    np.testing.assert_array_equal(a.params["b"], b.params["b"])
+
+
+def test_copy_weights_shape_mismatch_raises():
+    a = Dense(4, 3, seed=1)
+    b = Dense(4, 5, seed=2)
+    with pytest.raises(ValueError, match="Cannot copy weights"):
+        b.copy_weights_from(a)
+
+
+def test_get_set_weights_roundtrip():
+    a = Dense(3, 3, seed=1)
+    snapshot = a.get_weights()
+    a.params["W"][:] = 0.0
+    a.set_weights(snapshot)
+    assert not np.all(a.params["W"] == 0.0)

@@ -1,0 +1,69 @@
+"""Unit tests for Dropout and Flatten layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dropout, Flatten
+
+
+def test_dropout_is_identity_at_inference():
+    layer = Dropout(0.5, seed=0)
+    x = np.random.default_rng(0).normal(size=(10, 10))
+    np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+
+def test_dropout_zero_rate_is_identity_in_training():
+    layer = Dropout(0.0, seed=0)
+    x = np.ones((5, 5))
+    np.testing.assert_array_equal(layer.forward(x, training=True), x)
+
+
+def test_dropout_preserves_expected_activation_scale():
+    layer = Dropout(0.5, seed=1)
+    x = np.ones((200, 200))
+    out = layer.forward(x, training=True)
+    assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+
+def test_dropout_zeroes_approximately_rate_fraction():
+    layer = Dropout(0.3, seed=2)
+    out = layer.forward(np.ones((100, 100)), training=True)
+    zero_fraction = float((out == 0).mean())
+    assert zero_fraction == pytest.approx(0.3, abs=0.03)
+
+
+def test_dropout_backward_uses_same_mask():
+    layer = Dropout(0.5, seed=3)
+    x = np.ones((50, 50))
+    out = layer.forward(x, training=True)
+    grad = layer.backward(np.ones_like(x))
+    np.testing.assert_array_equal(grad == 0, out == 0)
+
+
+def test_dropout_invalid_rate():
+    with pytest.raises(ValueError):
+        Dropout(1.0)
+    with pytest.raises(ValueError):
+        Dropout(-0.1)
+
+
+def test_flatten_forward_shape():
+    layer = Flatten()
+    out = layer.forward(np.zeros((4, 3, 2, 2)))
+    assert out.shape == (4, 12)
+
+
+def test_flatten_backward_restores_shape():
+    layer = Flatten()
+    x = np.random.default_rng(0).normal(size=(4, 3, 2, 2))
+    layer.forward(x, training=True)
+    grad = layer.backward(np.ones((4, 12)))
+    assert grad.shape == x.shape
+
+
+def test_flatten_roundtrip_preserves_values():
+    layer = Flatten()
+    x = np.random.default_rng(1).normal(size=(2, 3, 4))
+    out = layer.forward(x, training=True)
+    back = layer.backward(out)
+    np.testing.assert_array_equal(back, x)

@@ -1,0 +1,79 @@
+"""Unit tests for weight initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import initializers
+
+
+def test_gaussian_matches_requested_moments():
+    rng = np.random.default_rng(0)
+    values = initializers.gaussian(std=1.0)((200, 200), rng)
+    assert abs(values.mean()) < 0.05
+    assert abs(values.std() - 1.0) < 0.05
+
+
+def test_gaussian_custom_std_and_mean():
+    rng = np.random.default_rng(0)
+    values = initializers.gaussian(std=0.1, mean=2.0)((100, 100), rng)
+    assert abs(values.mean() - 2.0) < 0.05
+    assert abs(values.std() - 0.1) < 0.02
+
+
+def test_he_normal_scales_with_fan_in_dense():
+    rng = np.random.default_rng(1)
+    values = initializers.he_normal()((512, 64), rng)
+    expected_std = np.sqrt(2.0 / 512)
+    assert abs(values.std() - expected_std) < 0.1 * expected_std
+
+
+def test_he_normal_scales_with_fan_in_conv():
+    rng = np.random.default_rng(1)
+    values = initializers.he_normal()((32, 16, 3, 3), rng)
+    expected_std = np.sqrt(2.0 / (16 * 9))
+    assert abs(values.std() - expected_std) < 0.1 * expected_std
+
+
+def test_glorot_uniform_bounds():
+    rng = np.random.default_rng(2)
+    shape = (64, 32)
+    values = initializers.glorot_uniform()(shape, rng)
+    limit = np.sqrt(6.0 / (64 + 32))
+    assert values.min() >= -limit
+    assert values.max() <= limit
+
+
+def test_zeros_and_constant():
+    rng = np.random.default_rng(3)
+    assert np.all(initializers.zeros()((4, 4), rng) == 0.0)
+    assert np.all(initializers.constant(3.5)((2, 2), rng) == 3.5)
+
+
+def test_registry_lookup_by_name():
+    init = initializers.get_initializer("he_normal")
+    values = init((8, 8), np.random.default_rng(0))
+    assert values.shape == (8, 8)
+
+
+def test_registry_passes_callable_through():
+    def custom(shape, rng):
+        return np.full(shape, 7.0)
+
+    assert initializers.get_initializer(custom) is custom
+
+
+def test_registry_unknown_name_raises():
+    with pytest.raises(ValueError, match="Unknown initializer"):
+        initializers.get_initializer("not-a-real-initializer")
+
+
+def test_initialize_is_deterministic_for_a_seed():
+    a = initializers.initialize((5, 5), "he_normal", seed=42)
+    b = initializers.initialize((5, 5), "he_normal", seed=42)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_initialize_differs_across_seeds():
+    a = initializers.initialize((5, 5), "he_normal", seed=1)
+    b = initializers.initialize((5, 5), "he_normal", seed=2)
+    assert not np.array_equal(a, b)

@@ -1,0 +1,98 @@
+"""Unit tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import MeanSquaredError, SoftmaxCrossEntropy, get_loss
+from repro.nn.layers.activations import softmax
+from tests.gradcheck import numerical_gradient
+
+
+def test_cross_entropy_of_perfect_prediction_is_small():
+    loss = SoftmaxCrossEntropy()
+    logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+    targets = np.array([0, 1])
+    assert loss.forward(logits, targets) < 1e-6
+
+
+def test_cross_entropy_of_uniform_prediction():
+    loss = SoftmaxCrossEntropy()
+    logits = np.zeros((4, 10))
+    targets = np.array([0, 3, 5, 9])
+    assert loss.forward(logits, targets) == pytest.approx(np.log(10), rel=1e-6)
+
+
+def test_cross_entropy_accepts_onehot_targets():
+    loss = SoftmaxCrossEntropy()
+    logits = np.random.default_rng(0).normal(size=(5, 3))
+    labels = np.array([0, 1, 2, 1, 0])
+    onehot = np.eye(3)[labels]
+    assert loss.forward(logits, labels) == pytest.approx(loss.forward(logits, onehot))
+
+
+def test_cross_entropy_rejects_wrong_onehot_width():
+    loss = SoftmaxCrossEntropy()
+    with pytest.raises(ValueError, match="columns"):
+        loss.forward(np.zeros((2, 3)), np.zeros((2, 4)))
+
+
+def test_cross_entropy_gradient_is_softmax_minus_onehot():
+    loss = SoftmaxCrossEntropy()
+    logits = np.random.default_rng(1).normal(size=(6, 4))
+    targets = np.array([0, 1, 2, 3, 0, 1])
+    grad = loss.backward(logits, targets)
+    onehot = np.eye(4)[targets]
+    np.testing.assert_allclose(grad, (softmax(logits) - onehot) / 6)
+
+
+def test_cross_entropy_gradient_matches_finite_differences():
+    loss = SoftmaxCrossEntropy()
+    rng = np.random.default_rng(2)
+    logits = rng.normal(size=(3, 5))
+    targets = np.array([1, 4, 0])
+    analytic = loss.backward(logits, targets)
+    numeric = numerical_gradient(lambda: loss.forward(logits, targets), logits)
+    np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-7)
+
+
+def test_label_smoothing_increases_loss_of_confident_predictions():
+    logits = np.array([[20.0, -20.0]])
+    targets = np.array([0])
+    plain = SoftmaxCrossEntropy().forward(logits, targets)
+    smoothed = SoftmaxCrossEntropy(label_smoothing=0.1).forward(logits, targets)
+    assert smoothed > plain
+
+
+def test_label_smoothing_validation():
+    with pytest.raises(ValueError):
+        SoftmaxCrossEntropy(label_smoothing=1.0)
+
+
+def test_mse_forward_and_backward():
+    loss = MeanSquaredError()
+    predictions = np.array([[1.0, 2.0]])
+    targets = np.array([[0.0, 0.0]])
+    assert loss.forward(predictions, targets) == pytest.approx(2.5)
+    np.testing.assert_allclose(loss.backward(predictions, targets), [[1.0, 2.0]])
+
+
+def test_mse_gradient_matches_finite_differences():
+    loss = MeanSquaredError()
+    rng = np.random.default_rng(3)
+    predictions = rng.normal(size=(4, 3))
+    targets = rng.normal(size=(4, 3))
+    analytic = loss.backward(predictions, targets)
+    numeric = numerical_gradient(lambda: loss.forward(predictions, targets), predictions)
+    np.testing.assert_allclose(analytic, numeric, rtol=1e-5, atol=1e-8)
+
+
+def test_get_loss_by_name_and_instance():
+    assert isinstance(get_loss("cross_entropy"), SoftmaxCrossEntropy)
+    assert isinstance(get_loss("mse"), MeanSquaredError)
+    instance = SoftmaxCrossEntropy()
+    assert get_loss(instance) is instance
+
+
+def test_get_loss_unknown_name():
+    with pytest.raises(ValueError, match="Unknown loss"):
+        get_loss("hinge")

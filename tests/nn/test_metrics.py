@@ -1,0 +1,79 @@
+"""Unit tests for classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.nn.metrics import accuracy, confusion_matrix, error_rate, top_k_accuracy
+
+
+def test_accuracy_with_label_vectors():
+    assert accuracy(np.array([0, 1, 2, 2]), np.array([0, 1, 2, 0])) == pytest.approx(0.75)
+
+
+def test_accuracy_with_probability_matrix():
+    probs = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+    targets = np.array([0, 1, 1])
+    assert accuracy(probs, targets) == pytest.approx(2 / 3)
+
+
+def test_accuracy_empty_batch_raises():
+    with pytest.raises(ValueError):
+        accuracy(np.array([]), np.array([]))
+
+
+def test_accuracy_shape_mismatch_raises():
+    with pytest.raises(ValueError):
+        accuracy(np.array([0, 1]), np.array([0, 1, 2]))
+
+
+def test_error_rate_is_percent():
+    predictions = np.array([0, 0, 0, 0])
+    targets = np.array([0, 0, 1, 1])
+    assert error_rate(predictions, targets) == pytest.approx(50.0)
+
+
+def test_perfect_predictions_have_zero_error():
+    predictions = np.array([1, 2, 3])
+    assert error_rate(predictions, predictions.copy()) == 0.0
+
+
+def test_top_k_accuracy():
+    probs = np.array(
+        [
+            [0.1, 0.5, 0.4],
+            [0.3, 0.4, 0.3],
+            [0.8, 0.1, 0.1],
+        ]
+    )
+    targets = np.array([2, 0, 2])
+    assert top_k_accuracy(probs, targets, k=1) == pytest.approx(0.0)
+    assert top_k_accuracy(probs, targets, k=2) == pytest.approx(2 / 3)
+    assert top_k_accuracy(probs, targets, k=3) == pytest.approx(1.0)
+
+
+def test_top_k_requires_matrix():
+    with pytest.raises(ValueError):
+        top_k_accuracy(np.array([0.5, 0.5]), np.array([0]))
+
+
+def test_top_k_clamps_k_to_num_classes():
+    probs = np.array([[0.6, 0.4]])
+    assert top_k_accuracy(probs, np.array([1]), k=10) == pytest.approx(1.0)
+
+
+def test_confusion_matrix_counts():
+    predictions = np.array([0, 1, 1, 2, 2, 2])
+    targets = np.array([0, 1, 2, 2, 2, 0])
+    matrix = confusion_matrix(predictions, targets, num_classes=3)
+    assert matrix[0, 0] == 1  # true 0 predicted 0
+    assert matrix[2, 1] == 1  # true 2 predicted 1
+    assert matrix[2, 2] == 2
+    assert matrix.sum() == 6
+
+
+def test_confusion_matrix_diagonal_equals_accuracy():
+    rng = np.random.default_rng(0)
+    targets = rng.integers(0, 4, size=100)
+    predictions = rng.integers(0, 4, size=100)
+    matrix = confusion_matrix(predictions, targets, num_classes=4)
+    assert np.trace(matrix) / 100 == pytest.approx(accuracy(predictions, targets))

@@ -1,0 +1,85 @@
+"""Unit tests for max pooling and global average pooling."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import GlobalAveragePool2D, MaxPool2D
+from tests.gradcheck import check_layer_gradients
+
+
+def test_maxpool_forward_values():
+    layer = MaxPool2D(2)
+    x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+    out = layer.forward(x)
+    np.testing.assert_array_equal(out[0, 0], [[5.0, 7.0], [13.0, 15.0]])
+
+
+def test_maxpool_output_shape():
+    layer = MaxPool2D(2)
+    out = layer.forward(np.zeros((3, 5, 8, 8)))
+    assert out.shape == (3, 5, 4, 4)
+
+
+def test_maxpool_rejects_indivisible_spatial_size():
+    layer = MaxPool2D(2)
+    with pytest.raises(ValueError, match="not divisible"):
+        layer.forward(np.zeros((1, 1, 5, 5)))
+
+
+def test_maxpool_invalid_pool_size():
+    with pytest.raises(ValueError):
+        MaxPool2D(0)
+
+
+def test_maxpool_backward_routes_gradient_to_argmax():
+    layer = MaxPool2D(2)
+    x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+    layer.forward(x, training=True)
+    grad = layer.backward(np.array([[[[10.0]]]]))
+    np.testing.assert_array_equal(grad, [[[[0.0, 0.0], [0.0, 10.0]]]])
+
+
+def test_maxpool_ties_do_not_duplicate_gradient():
+    layer = MaxPool2D(2)
+    x = np.ones((1, 1, 2, 2))
+    layer.forward(x, training=True)
+    grad = layer.backward(np.array([[[[4.0]]]]))
+    assert grad.sum() == pytest.approx(4.0)
+    assert (grad != 0).sum() == 1
+
+
+def test_maxpool_gradcheck():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(2, 3, 4, 4)) * 10  # spread values so ties are unlikely
+    check_layer_gradients(MaxPool2D(2), x, rtol=1e-4, atol=1e-6)
+
+
+def test_global_average_pool_forward():
+    layer = GlobalAveragePool2D()
+    x = np.arange(8, dtype=float).reshape(1, 2, 2, 2)
+    out = layer.forward(x)
+    np.testing.assert_allclose(out, [[1.5, 5.5]])
+
+
+def test_global_average_pool_rejects_non_4d_input():
+    with pytest.raises(ValueError, match="4-D"):
+        GlobalAveragePool2D().forward(np.zeros((2, 3)))
+
+
+def test_global_average_pool_backward_spreads_gradient():
+    layer = GlobalAveragePool2D()
+    x = np.zeros((1, 1, 2, 2))
+    layer.forward(x, training=True)
+    grad = layer.backward(np.array([[4.0]]))
+    np.testing.assert_allclose(grad, np.full((1, 1, 2, 2), 1.0))
+
+
+def test_global_average_pool_gradcheck():
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(2, 3, 4, 4))
+    check_layer_gradients(GlobalAveragePool2D(), x)
+
+
+def test_pooling_layers_have_no_parameters():
+    assert MaxPool2D(2).parameter_count() == 0
+    assert GlobalAveragePool2D().parameter_count() == 0

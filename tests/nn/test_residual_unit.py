@@ -1,0 +1,90 @@
+"""Unit tests for the residual unit."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import ResidualUnit, identity_projection_kernel
+from tests.gradcheck import numerical_gradient
+
+
+def test_output_shape_with_channel_change():
+    unit = ResidualUnit(in_channels=3, channels=6, seed=0)
+    out = unit.forward(np.zeros((2, 3, 5, 5)))
+    assert out.shape == (2, 6, 5, 5)
+
+
+def test_identity_projection_kernel_square():
+    kernel = identity_projection_kernel(3, 3)
+    assert kernel.shape == (3, 3, 1, 1)
+    np.testing.assert_array_equal(kernel[:, :, 0, 0], np.eye(3))
+
+
+def test_identity_projection_kernel_expanding():
+    kernel = identity_projection_kernel(2, 4)
+    np.testing.assert_array_equal(kernel[:2, :, 0, 0], np.eye(2))
+    assert np.all(kernel[2:] == 0)
+
+
+def test_set_identity_requires_matching_channels():
+    unit = ResidualUnit(in_channels=2, channels=4, seed=0)
+    with pytest.raises(ValueError, match="in_channels == channels"):
+        unit.set_identity()
+
+
+def test_set_identity_reproduces_nonnegative_inputs():
+    unit = ResidualUnit(in_channels=3, channels=3, seed=1)
+    unit.set_identity()
+    x = np.abs(np.random.default_rng(0).normal(size=(2, 3, 4, 4)))
+    np.testing.assert_allclose(unit.forward(x, training=False), x, atol=1e-10)
+
+
+def test_parameter_count_matches_sublayers():
+    unit = ResidualUnit(in_channels=2, channels=3, kernel_size=3, use_batchnorm=True, seed=0)
+    expected = (
+        (3 * 2 * 9 + 3)      # conv1
+        + (3 * 3 * 9 + 3)    # conv2
+        + (3 * 2 * 1)        # projection (no bias)
+        + 2 * (2 * 3)        # two BatchNorms
+    )
+    assert unit.parameter_count() == expected
+
+
+def test_without_batchnorm_has_no_bn_sublayers():
+    unit = ResidualUnit(in_channels=2, channels=2, use_batchnorm=False, seed=0)
+    assert unit.bn1 is None and unit.bn2 is None
+    out = unit.forward(np.zeros((1, 2, 4, 4)))
+    assert out.shape == (1, 2, 4, 4)
+
+
+def test_backward_produces_input_gradient_shape():
+    unit = ResidualUnit(in_channels=3, channels=5, seed=2)
+    x = np.random.default_rng(1).normal(size=(2, 3, 4, 4))
+    out = unit.forward(x, training=True)
+    grad = unit.backward(np.ones_like(out))
+    assert grad.shape == x.shape
+
+
+def test_input_gradient_matches_finite_differences():
+    rng = np.random.default_rng(3)
+    unit = ResidualUnit(in_channels=2, channels=3, use_batchnorm=False, seed=4)
+    x = rng.normal(size=(1, 2, 3, 3))
+    loss_weights = rng.normal(size=(1, 3, 3, 3))
+
+    def loss() -> float:
+        return float(np.sum(unit.forward(x, training=True) * loss_weights))
+
+    unit.forward(x, training=True)
+    analytic = unit.backward(loss_weights)
+    numeric = numerical_gradient(loss, x)
+    np.testing.assert_allclose(analytic, numeric, rtol=1e-3, atol=1e-5)
+
+
+def test_get_set_weights_roundtrip():
+    unit = ResidualUnit(in_channels=2, channels=3, seed=5)
+    x = np.random.default_rng(2).normal(size=(1, 2, 4, 4))
+    reference = unit.forward(x)
+    snapshot = unit.get_weights()
+
+    other = ResidualUnit(in_channels=2, channels=3, seed=99)
+    other.set_weights(snapshot)
+    np.testing.assert_allclose(other.forward(x), reference, atol=1e-12)

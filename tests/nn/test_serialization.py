@@ -1,0 +1,103 @@
+"""Unit tests for spec and model serialization."""
+
+import numpy as np
+import pytest
+
+from repro.arch import mlp, resnet, vgg
+from repro.arch.serialization import spec_from_dict, spec_from_json, spec_to_dict, spec_to_json
+from repro.nn import Model, Trainer, TrainingConfig
+from repro.nn.serialization import load_model, save_model
+
+
+# ---------------------------------------------------------------------------
+# Spec serialization
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "spec_factory",
+    [
+        lambda: mlp("m", 16, [8, 12], 4),
+        lambda: vgg("V16", input_shape=(3, 8, 8), width_scale=0.05),
+        lambda: resnet(18, input_shape=(3, 8, 8), width_scale=0.05),
+    ],
+)
+def test_spec_dict_roundtrip(spec_factory):
+    spec = spec_factory()
+    assert spec_from_dict(spec_to_dict(spec)) == spec
+
+
+def test_spec_json_roundtrip_preserves_structure():
+    spec = vgg("V16A", input_shape=(3, 16, 16), width_scale=0.1)
+    restored = spec_from_json(spec_to_json(spec))
+    assert restored.conv_blocks == spec.conv_blocks
+    assert restored.name == spec.name
+
+
+def test_spec_dict_is_json_compatible():
+    import json
+
+    spec = resnet(34, input_shape=(3, 8, 8), width_scale=0.05)
+    json.dumps(spec_to_dict(spec))  # must not raise
+
+
+def test_spec_from_dict_rejects_unknown_version():
+    data = spec_to_dict(mlp("m", 8, [4], 2))
+    data["format_version"] = 99
+    with pytest.raises(ValueError, match="format version"):
+        spec_from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# Model serialization
+# ---------------------------------------------------------------------------
+
+
+def test_model_roundtrip_preserves_function(tmp_path, tiny_vgg_spec):
+    model = Model.from_spec(tiny_vgg_spec, seed=3)
+    path = save_model(model, tmp_path / "model.npz")
+    restored = load_model(path)
+    x = np.random.default_rng(0).normal(size=(4, *tiny_vgg_spec.input_shape))
+    np.testing.assert_allclose(restored.predict_logits(x), model.predict_logits(x), atol=1e-12)
+    assert restored.spec == model.spec
+
+
+def test_trained_model_roundtrip_includes_batchnorm_state(tmp_path, tiny_tabular_dataset):
+    ds = tiny_tabular_dataset
+    spec = mlp("m", ds.input_shape[0], [16], ds.num_classes, use_batchnorm=True)
+    model = Model.from_spec(spec, seed=0)
+    Trainer(TrainingConfig(max_epochs=2, batch_size=64, learning_rate=0.05)).fit(
+        model, ds.x_train, ds.y_train, seed=0
+    )
+    restored = load_model(save_model(model, tmp_path / "trained"))
+    np.testing.assert_allclose(
+        restored.predict_proba(ds.x_test), model.predict_proba(ds.x_test), atol=1e-12
+    )
+
+
+def test_save_appends_npz_suffix(tmp_path, small_mlp_spec):
+    model = Model.from_spec(small_mlp_spec, seed=0)
+    path = save_model(model, tmp_path / "checkpoint")
+    assert path.suffix == ".npz"
+    assert path.exists()
+
+
+def test_load_rejects_foreign_npz(tmp_path):
+    foreign = tmp_path / "foreign.npz"
+    np.savez(foreign, array=np.zeros(3))
+    with pytest.raises(ValueError, match="missing spec"):
+        load_model(foreign)
+
+
+def test_saved_mothernet_can_hatch_members(tmp_path):
+    """The intended workflow: checkpoint a trained MotherNet, reload it later,
+    and hatch additional members without retraining."""
+    from repro.arch import small_vgg_ensemble
+    from repro.core import construct_mothernet, hatch, verify_function_preservation
+
+    members = small_vgg_ensemble(input_shape=(3, 8, 8), width_scale=0.05)
+    mothernet = construct_mothernet(members)
+    parent = Model.from_spec(mothernet, seed=1)
+    reloaded = load_model(save_model(parent, tmp_path / "mothernet"))
+    child = hatch(reloaded, members[2], seed=0)
+    verify_function_preservation(parent, child, num_samples=3, atol=1e-8)

@@ -1,0 +1,183 @@
+"""Unit and integration tests for the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.arch import mlp, vgg
+from repro.nn import Model, Trainer, TrainingConfig, evaluate
+from repro.nn.training import ConvergenceCriterion, iterate_minibatches
+
+
+# ---------------------------------------------------------------------------
+# TrainingConfig
+# ---------------------------------------------------------------------------
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TrainingConfig(max_epochs=0)
+    with pytest.raises(ValueError):
+        TrainingConfig(batch_size=0)
+    with pytest.raises(ValueError):
+        TrainingConfig(convergence_patience=0)
+    with pytest.raises(ValueError):
+        TrainingConfig(min_epochs=5, max_epochs=3)
+
+
+def test_config_scaled_reduces_epoch_budget():
+    config = TrainingConfig(max_epochs=20, min_epochs=2)
+    scaled = config.scaled(0.25)
+    assert scaled.max_epochs == 5
+    assert scaled.min_epochs == 2
+    assert scaled.batch_size == config.batch_size
+
+
+def test_config_scaled_never_drops_below_one_epoch():
+    assert TrainingConfig(max_epochs=3).scaled(0.01).max_epochs == 1
+
+
+def test_config_scaled_rejects_nonpositive_fraction():
+    with pytest.raises(ValueError):
+        TrainingConfig().scaled(0.0)
+
+
+# ---------------------------------------------------------------------------
+# Convergence criterion
+# ---------------------------------------------------------------------------
+
+
+def test_convergence_triggers_after_patience_stale_epochs():
+    criterion = ConvergenceCriterion(patience=2, tolerance=1e-3)
+    assert not criterion.update(1.0)
+    assert not criterion.update(0.5)   # improvement
+    assert not criterion.update(0.4999)  # below tolerance -> stale 1
+    assert criterion.update(0.4999)      # stale 2 -> stop
+
+
+def test_convergence_respects_min_epochs():
+    criterion = ConvergenceCriterion(patience=1, tolerance=0.0, min_epochs=5)
+    for _ in range(4):
+        assert not criterion.update(1.0)
+    assert criterion.update(1.0)
+
+
+def test_convergence_resets_on_improvement():
+    criterion = ConvergenceCriterion(patience=2, tolerance=1e-6)
+    criterion.update(1.0)
+    criterion.update(1.0)          # stale 1
+    assert not criterion.update(0.5)  # improvement resets
+    assert not criterion.update(0.5)
+    assert criterion.update(0.5)
+
+
+# ---------------------------------------------------------------------------
+# Mini-batch iterator
+# ---------------------------------------------------------------------------
+
+
+def test_minibatches_cover_all_samples():
+    x = np.arange(10)[:, None].astype(float)
+    y = np.arange(10)
+    seen = []
+    for xb, yb in iterate_minibatches(x, y, batch_size=3, shuffle=False):
+        seen.extend(yb.tolist())
+    assert sorted(seen) == list(range(10))
+
+
+def test_minibatch_sizes():
+    x = np.zeros((10, 2))
+    y = np.zeros(10)
+    sizes = [xb.shape[0] for xb, _ in iterate_minibatches(x, y, batch_size=4, shuffle=False)]
+    assert sizes == [4, 4, 2]
+
+
+def test_minibatch_shuffling_is_seeded():
+    x = np.arange(20)[:, None].astype(float)
+    y = np.arange(20)
+    order_a = [yb.tolist() for _, yb in iterate_minibatches(x, y, 5, True, np.random.default_rng(3))]
+    order_b = [yb.tolist() for _, yb in iterate_minibatches(x, y, 5, True, np.random.default_rng(3))]
+    assert order_a == order_b
+
+
+# ---------------------------------------------------------------------------
+# Trainer integration
+# ---------------------------------------------------------------------------
+
+
+def test_training_improves_accuracy_on_tabular_data(tiny_tabular_dataset):
+    ds = tiny_tabular_dataset
+    model = Model.from_spec(mlp("m", ds.input_shape[0], [32], ds.num_classes), seed=0)
+    before = evaluate(model, ds.x_test, ds.y_test)["accuracy"]
+    config = TrainingConfig(max_epochs=15, batch_size=32, learning_rate=0.1, momentum=0.9)
+    result = Trainer(config).fit(model, ds.x_train, ds.y_train, seed=0)
+    after = evaluate(model, ds.x_test, ds.y_test)["accuracy"]
+    assert after > before
+    assert after > 0.5
+    assert result.epochs_run >= 1
+    assert result.final_train_loss < result.history[0].train_loss
+
+
+def test_training_records_validation_metrics(tiny_tabular_dataset):
+    ds = tiny_tabular_dataset
+    model = Model.from_spec(mlp("m", ds.input_shape[0], [16], ds.num_classes), seed=0)
+    config = TrainingConfig(max_epochs=3, batch_size=64, learning_rate=0.05)
+    result = Trainer(config).fit(
+        model, ds.x_train, ds.y_train, x_val=ds.x_test, y_val=ds.y_test, seed=0
+    )
+    assert all(record.val_accuracy is not None for record in result.history)
+    assert result.final_val_accuracy is not None
+
+
+def test_training_is_deterministic_for_a_seed(tiny_tabular_dataset):
+    ds = tiny_tabular_dataset
+    config = TrainingConfig(max_epochs=4, batch_size=32, learning_rate=0.05)
+    losses = []
+    for _ in range(2):
+        model = Model.from_spec(mlp("m", ds.input_shape[0], [16], ds.num_classes), seed=3)
+        result = Trainer(config).fit(model, ds.x_train, ds.y_train, seed=11)
+        losses.append(result.loss_curve())
+    assert losses[0] == losses[1]
+
+
+def test_training_converges_early_on_trivial_data():
+    """A constant-label problem plateaus immediately and triggers early stop."""
+    x = np.random.default_rng(0).normal(size=(64, 8))
+    y = np.zeros(64, dtype=int)
+    spec = mlp("m", 8, [8], 2)
+    model = Model.from_spec(spec, seed=0)
+    config = TrainingConfig(
+        max_epochs=50, batch_size=16, learning_rate=0.1, convergence_patience=2
+    )
+    result = Trainer(config).fit(model, x, y, seed=0)
+    assert result.converged
+    assert result.epochs_run < 50
+
+
+def test_trainer_rejects_mismatched_inputs():
+    model = Model.from_spec(mlp("m", 4, [4], 2), seed=0)
+    with pytest.raises(ValueError):
+        Trainer(TrainingConfig(max_epochs=1)).fit(model, np.zeros((3, 4)), np.zeros(2))
+
+
+def test_trainer_rejects_empty_dataset():
+    model = Model.from_spec(mlp("m", 4, [4], 2), seed=0)
+    with pytest.raises(ValueError):
+        Trainer(TrainingConfig(max_epochs=1)).fit(model, np.zeros((0, 4)), np.zeros(0))
+
+
+def test_samples_seen_accounting(tiny_tabular_dataset):
+    ds = tiny_tabular_dataset
+    model = Model.from_spec(mlp("m", ds.input_shape[0], [8], ds.num_classes), seed=0)
+    config = TrainingConfig(max_epochs=2, min_epochs=2, batch_size=32, convergence_patience=5)
+    result = Trainer(config).fit(model, ds.x_train, ds.y_train, seed=0)
+    assert result.samples_seen == ds.train_size * result.epochs_run
+
+
+def test_small_conv_model_trains_on_images(tiny_image_dataset):
+    """End-to-end: a tiny VGG learns something on the cifar10-like data."""
+    ds = tiny_image_dataset
+    spec = vgg("V13", num_classes=ds.num_classes, input_shape=ds.input_shape, width_scale=0.03)
+    model = Model.from_spec(spec, seed=0)
+    config = TrainingConfig(max_epochs=3, batch_size=64, learning_rate=0.05, momentum=0.9)
+    result = Trainer(config).fit(model, ds.x_train, ds.y_train, seed=0)
+    assert result.history[-1].train_loss < result.history[0].train_loss or result.epochs_run == 1

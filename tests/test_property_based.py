@@ -1,0 +1,267 @@
+"""Property-based tests (hypothesis) for the core data structures and
+invariants of the library:
+
+* MotherNet construction — the MotherNet is never larger than any member and
+  is always hatchable into every member, for arbitrary compatible ensembles;
+* clustering — every member lands in exactly one cluster, every cluster
+  satisfies the τ condition, and τ=0 / τ=1 hit the documented extremes;
+* hatching — function preservation holds for randomly generated parent/child
+  spec pairs, not just the hand-written ones;
+* the numeric substrate — softmax, im2col/col2im, bagging composition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch import (
+    ArchitectureSpec,
+    count_parameters,
+    is_hatchable,
+    mlp,
+)
+from repro.core import (
+    cluster_ensemble,
+    construct_mothernet,
+    hatch,
+    satisfies_clustering_condition,
+    verify_function_preservation,
+)
+from repro.data import bootstrap_sample
+from repro.nn import Model, softmax
+from repro.nn.layers import col2im, im2col
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+dense_hidden_widths = st.lists(st.integers(min_value=2, max_value=24), min_size=1, max_size=4)
+
+
+@st.composite
+def dense_ensembles(draw, min_members=2, max_members=5):
+    count = draw(st.integers(min_members, max_members))
+    members = []
+    for i in range(count):
+        widths = draw(dense_hidden_widths)
+        members.append(mlp(f"net-{i}", input_features=6, hidden_units=widths, num_classes=3))
+    return members
+
+
+@st.composite
+def conv_ensembles(draw, min_members=2, max_members=4):
+    count = draw(st.integers(min_members, max_members))
+    num_blocks = draw(st.integers(1, 3))
+    members = []
+    for i in range(count):
+        blocks = []
+        for _ in range(num_blocks):
+            depth = draw(st.integers(1, 3))
+            layers = []
+            for _ in range(depth):
+                size = draw(st.sampled_from([1, 3, 5]))
+                filters = draw(st.integers(2, 8))
+                layers.append(f"{size}:{filters}")
+            blocks.append(layers)
+        members.append(
+            ArchitectureSpec.convolutional(
+                f"conv-{i}", (2, 8, 8), blocks, num_classes=3, use_batchnorm=True
+            )
+        )
+    return members
+
+
+@st.composite
+def hatchable_dense_pairs(draw):
+    """A (parent, child) pair where the child only deepens/widens the parent
+    with a tail that is at least as wide as the parent's last layer."""
+    parent_widths = draw(st.lists(st.integers(2, 12), min_size=1, max_size=3))
+    child_widths = [w + draw(st.integers(0, 8)) for w in parent_widths]
+    extra = draw(st.integers(0, 2))
+    tail = max(parent_widths[-1], 2)
+    child_widths += [tail + draw(st.integers(0, 6)) for _ in range(extra)]
+    parent = mlp("parent", 5, parent_widths, 3)
+    child = mlp("child", 5, child_widths, 3)
+    return parent, child
+
+
+# ---------------------------------------------------------------------------
+# MotherNet construction invariants
+# ---------------------------------------------------------------------------
+
+
+@SETTINGS
+@given(dense_ensembles())
+def test_dense_mothernet_is_never_larger_than_any_member(members):
+    mothernet = construct_mothernet(members)
+    smallest = min(count_parameters(member) for member in members)
+    assert count_parameters(mothernet) <= smallest
+
+
+@SETTINGS
+@given(dense_ensembles())
+def test_dense_mothernet_depth_is_minimum_depth(members):
+    mothernet = construct_mothernet(members)
+    assert len(mothernet.dense_layers) == min(len(m.dense_layers) for m in members)
+
+
+@SETTINGS
+@given(conv_ensembles())
+def test_conv_mothernet_is_structurally_dominated_by_every_member(members):
+    mothernet = construct_mothernet(members)
+    for member in members:
+        for mn_block, block in zip(mothernet.conv_blocks, member.conv_blocks):
+            assert mn_block.depth <= block.depth
+            for mn_layer, layer in zip(mn_block.layers, block.layers):
+                assert mn_layer.filters <= layer.filters
+                assert mn_layer.filter_size <= layer.filter_size
+
+
+@SETTINGS
+@given(conv_ensembles())
+def test_conv_mothernet_is_hatchable_into_every_member(members):
+    mothernet = construct_mothernet(members)
+    assert all(is_hatchable(mothernet, member) for member in members)
+
+
+@SETTINGS
+@given(dense_ensembles())
+def test_mothernet_construction_is_order_invariant(members):
+    forward = construct_mothernet(members)
+    backward = construct_mothernet(list(reversed(members)))
+    assert forward.dense_layers == backward.dense_layers
+
+
+@SETTINGS
+@given(dense_ensembles())
+def test_mothernet_is_idempotent(members):
+    """Adding the MotherNet itself to the ensemble does not change it."""
+    mothernet = construct_mothernet(members)
+    again = construct_mothernet([mothernet.with_name("as-member"), *members])
+    assert again.dense_layers == mothernet.dense_layers
+
+
+# ---------------------------------------------------------------------------
+# Clustering invariants
+# ---------------------------------------------------------------------------
+
+
+@SETTINGS
+@given(dense_ensembles(min_members=3, max_members=7), st.floats(0.1, 0.95))
+def test_clustering_partitions_the_ensemble(members, tau):
+    clusters = cluster_ensemble(members, tau=tau)
+    names = sorted(m.name for cluster in clusters for m in cluster.members)
+    assert names == sorted(m.name for m in members)
+
+
+@SETTINGS
+@given(dense_ensembles(min_members=3, max_members=7), st.floats(0.1, 0.95))
+def test_every_cluster_satisfies_the_condition(members, tau):
+    for cluster in cluster_ensemble(members, tau=tau):
+        assert satisfies_clustering_condition(cluster.members, tau)
+        assert cluster.min_shared_fraction() >= tau - 1e-12
+
+
+@SETTINGS
+@given(dense_ensembles(min_members=2, max_members=6))
+def test_tau_zero_yields_a_single_cluster(members):
+    assert len(cluster_ensemble(members, tau=0.0)) == 1
+
+
+@SETTINGS
+@given(dense_ensembles(min_members=3, max_members=6), st.floats(0.2, 0.8))
+def test_cluster_count_monotone_in_tau(members, tau):
+    low = len(cluster_ensemble(members, tau=tau * 0.5))
+    high = len(cluster_ensemble(members, tau=tau))
+    assert low <= high
+
+
+# ---------------------------------------------------------------------------
+# Hatching / function preservation
+# ---------------------------------------------------------------------------
+
+
+@SETTINGS
+@given(hatchable_dense_pairs())
+def test_hatching_random_dense_pairs_preserves_function(pair):
+    parent_spec, child_spec = pair
+    parent = Model.from_spec(parent_spec, seed=0)
+    child = hatch(parent, child_spec, seed=1)
+    deviation = verify_function_preservation(parent, child, num_samples=6, atol=1e-7)
+    assert deviation < 1e-7
+
+
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(conv_ensembles(min_members=2, max_members=3))
+def test_hatching_random_conv_mothernets_preserves_function(members):
+    mothernet = construct_mothernet(members)
+    parent = Model.from_spec(mothernet, seed=0)
+    for member in members:
+        blocks_ok = all(
+            layer.filters >= mn_block.layers[-1].filters
+            for mn_block, block in zip(mothernet.conv_blocks, member.conv_blocks)
+            for layer in block.layers[mn_block.depth:]
+        )
+        if not blocks_ok:
+            # Appended layers narrower than the MotherNet tail are explicitly
+            # rejected by plan_hatching; skip those members here.
+            continue
+        child = hatch(parent, member, seed=2)
+        verify_function_preservation(parent, child, num_samples=2, atol=1e-7)
+
+
+@SETTINGS
+@given(hatchable_dense_pairs())
+def test_hatched_model_has_target_parameter_count(pair):
+    parent_spec, child_spec = pair
+    parent = Model.from_spec(parent_spec, seed=3)
+    child = hatch(parent, child_spec, seed=4)
+    assert child.parameter_count() == count_parameters(child_spec)
+
+
+# ---------------------------------------------------------------------------
+# Numeric substrate properties
+# ---------------------------------------------------------------------------
+
+
+@SETTINGS
+@given(st.integers(1, 6), st.integers(2, 10))
+def test_softmax_rows_are_distributions(rows, cols):
+    logits = np.random.default_rng(0).normal(size=(rows, cols)) * 10
+    probs = softmax(logits)
+    np.testing.assert_allclose(probs.sum(axis=1), np.ones(rows), atol=1e-12)
+    assert np.all(probs >= 0)
+
+
+@SETTINGS
+@given(st.integers(1, 3), st.integers(1, 3), st.sampled_from([3, 5]), st.integers(5, 9))
+def test_im2col_col2im_adjoint_property(n, c, k, size):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(n, c, size, size))
+    pad = (k - 1) // 2
+    cols = im2col(x, (k, k), stride=1, padding=pad)
+    other = rng.normal(size=cols.shape)
+    lhs = float(np.sum(cols * other))
+    rhs = float(np.sum(x * col2im(other, x.shape, (k, k), stride=1, padding=pad)))
+    assert lhs == pytest.approx(rhs, rel=1e-9)
+
+
+@SETTINGS
+@given(st.integers(10, 300), st.integers(0, 2**31 - 1))
+def test_bootstrap_sample_indices_are_valid_and_full_size(n, seed):
+    x = np.arange(n, dtype=float)[:, None]
+    y = np.zeros(n, dtype=int)
+    bag = bootstrap_sample(x, y, seed=seed)
+    assert bag.size == n
+    assert bag.indices.min() >= 0 and bag.indices.max() < n
+    assert 0.0 < bag.unique_fraction <= 1.0

@@ -1,0 +1,124 @@
+"""Unit tests for the shared utilities (RNG management, timing, logging)."""
+
+import logging
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import RngManager, Timer, WallClockAccumulator, as_rng, derive_seed, get_logger
+
+
+# ---------------------------------------------------------------------------
+# RNG management
+# ---------------------------------------------------------------------------
+
+
+def test_as_rng_accepts_int_none_and_generator():
+    assert isinstance(as_rng(3), np.random.Generator)
+    assert isinstance(as_rng(None), np.random.Generator)
+    generator = np.random.default_rng(0)
+    assert as_rng(generator) is generator
+
+
+def test_as_rng_same_seed_same_stream():
+    assert as_rng(5).integers(1000) == as_rng(5).integers(1000)
+
+
+def test_derive_seed_is_deterministic_and_label_sensitive():
+    assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+    assert derive_seed(1, "a", 2) != derive_seed(1, "a", 3)
+    assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+def test_derive_seed_range():
+    seed = derive_seed(123, "anything")
+    assert 0 <= seed < 2**63 - 1
+
+
+def test_rng_manager_generators_are_independent_per_label():
+    manager = RngManager(7)
+    a = manager.generator("init", 0).normal(size=4)
+    b = manager.generator("init", 1).normal(size=4)
+    a_again = manager.generator("init", 0).normal(size=4)
+    np.testing.assert_array_equal(a, a_again)
+    assert not np.array_equal(a, b)
+
+
+def test_rng_manager_spawn_creates_derived_namespace():
+    manager = RngManager(7)
+    child = manager.spawn("member", 3)
+    assert isinstance(child, RngManager)
+    assert child.base_seed == manager.seed("member", 3)
+
+
+def test_rng_manager_none_seed_is_random_but_usable():
+    manager = RngManager(None)
+    assert isinstance(manager.generator("x"), np.random.Generator)
+
+
+# ---------------------------------------------------------------------------
+# Timing
+# ---------------------------------------------------------------------------
+
+
+def test_timer_measures_elapsed_time():
+    with Timer() as timer:
+        time.sleep(0.01)
+    assert timer.elapsed >= 0.009
+
+
+def test_timer_accumulates_across_starts():
+    timer = Timer()
+    timer.start()
+    time.sleep(0.005)
+    first = timer.stop()
+    timer.start()
+    time.sleep(0.005)
+    second = timer.stop()
+    assert second > first
+
+
+def test_timer_stop_without_start_raises():
+    with pytest.raises(RuntimeError):
+        Timer().stop()
+
+
+def test_wall_clock_accumulator_categories():
+    acc = WallClockAccumulator()
+    acc.add("mothernet", 1.5)
+    acc.add("member", 0.5)
+    acc.add("member", 0.25)
+    assert acc.totals["member"] == pytest.approx(0.75)
+    assert acc.total == pytest.approx(2.25)
+
+
+def test_wall_clock_accumulator_measure_context():
+    acc = WallClockAccumulator()
+    with acc.measure("work"):
+        time.sleep(0.01)
+    assert acc.totals["work"] >= 0.009
+
+
+def test_wall_clock_accumulator_merge():
+    a = WallClockAccumulator({"x": 1.0})
+    b = WallClockAccumulator({"x": 2.0, "y": 3.0})
+    merged = a.merge(b)
+    assert merged.totals == {"x": 3.0, "y": 3.0}
+    # merge is non-destructive
+    assert a.totals == {"x": 1.0}
+
+
+# ---------------------------------------------------------------------------
+# Logging
+# ---------------------------------------------------------------------------
+
+
+def test_get_logger_namespaces_under_repro():
+    logger = get_logger("core.trainer")
+    assert logger.name == "repro.core.trainer"
+    assert isinstance(logger, logging.Logger)
+
+
+def test_get_logger_keeps_existing_repro_prefix():
+    assert get_logger("repro.nn").name == "repro.nn"
