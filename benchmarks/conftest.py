@@ -50,7 +50,7 @@ from repro.evaluation import (
     incremental_error_curve,
     oracle_curve,
 )
-from repro.nn import TrainingConfig
+from repro.nn import TrainingConfig, default_dtype
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -262,7 +262,9 @@ def resnet_scenario() -> Dict:
     full_family = resnet_variant_family(width_scale=1.0)
     full_clusters = cluster_ensemble(full_family, tau=0.5)
 
-    # Scaled-down training run.
+    # Scaled-down training run.  This scenario's error-curve expectations sit
+    # close to their thresholds and were calibrated on the float64 reference
+    # path, so keep its training trajectory pinned to float64.
     dataset = _dataset("cifar10")
     members = resnet_variant_family(
         num_classes=dataset.num_classes,
@@ -271,10 +273,11 @@ def resnet_scenario() -> Dict:
         depths=(18, 34),
     )[: PARAMS["resnet_members"]]
     config = training_config()
-    mothernets_run = MotherNetsTrainer(
-        config, tau=0.5, member_epoch_fraction=PARAMS["member_fraction"]
-    ).train(members, dataset, seed=0)
-    full_data_run = FullDataTrainer(config).train(members, dataset, seed=0)
+    with default_dtype("float64"):
+        mothernets_run = MotherNetsTrainer(
+            config, tau=0.5, member_epoch_fraction=PARAMS["member_fraction"]
+        ).train(members, dataset, seed=0)
+        full_data_run = FullDataTrainer(config).train(members, dataset, seed=0)
 
     sizes = list(range(1, len(members) + 1))
     error_curves = incremental_error_curve(

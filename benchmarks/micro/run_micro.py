@@ -1,0 +1,287 @@
+"""Micro-benchmarks for the execution engine.
+
+Measures the hot paths the figure benchmarks are built on — conv
+forward/backward, dense, a full VGG training step, and batched ensemble
+inference — comparing the *fast* engine (float32, BLAS GEMM, workspace
+reuse, batched ensemble pass) against the *reference* seed path (float64,
+``np.einsum``, per-member inference loop).  Results are written as
+machine-readable JSON so the performance trajectory can be tracked PR over
+PR.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/micro/run_micro.py \
+        [--benchmarks all|conv_forward,vgg_step,...] [--repeats 5] \
+        [--output benchmarks/micro/BENCH_micro.json]
+
+Each benchmark reports the median over ``--repeats`` timed runs (after one
+untimed warm-up, which also pre-populates the workspace arenas — steady-state
+behaviour is what training loops see).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.arch import small_vgg_ensemble, vgg
+from repro.core import Ensemble, EnsembleMember
+from repro.nn import Model, SoftmaxCrossEntropy
+from repro.nn.layers import Conv2D, Dense, ResidualUnit
+from repro.nn.optimizers import SGD
+
+SCHEMA = "repro.bench.micro/v1"
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_micro.json"
+
+
+# ---------------------------------------------------------------------------
+# Harness plumbing
+# ---------------------------------------------------------------------------
+
+def _median_seconds(fn: Callable[[], None], repeats: int) -> float:
+    fn()  # warm-up: JIT-free but fills caches and workspace arenas
+    samples: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return float(statistics.median(samples))
+
+
+def set_conv_engine(model: Model, engine: str) -> None:
+    """Switch every convolution of a model to the given execution engine."""
+    for layer in model._sequence():
+        if isinstance(layer, Conv2D):
+            layer.engine = engine
+        elif isinstance(layer, ResidualUnit):
+            for sub in layer.sublayers():
+                if isinstance(sub, Conv2D):
+                    sub.engine = engine
+
+
+def _reference_model(spec, seed: int = 0) -> Model:
+    model = Model.from_spec(spec, seed=seed, dtype="float64")
+    set_conv_engine(model, "einsum")
+    return model
+
+
+def _fast_model(spec, seed: int = 0) -> Model:
+    return Model.from_spec(spec, seed=seed, dtype="float32")
+
+
+# ---------------------------------------------------------------------------
+# Benchmarks
+# ---------------------------------------------------------------------------
+
+def bench_conv_forward(repeats: int) -> Dict:
+    """Inference-mode forward of a mid-network convolution."""
+    params = {"batch": 64, "in_channels": 32, "out_channels": 64, "kernel": 3, "hw": 16}
+    rng = np.random.default_rng(0)
+    x64 = rng.normal(size=(params["batch"], params["in_channels"], params["hw"], params["hw"]))
+    x32 = x64.astype(np.float32)
+    ref = Conv2D(32, 64, 3, seed=1, dtype="float64", engine="einsum")
+    fast = Conv2D(32, 64, 3, seed=1, dtype="float32", engine="gemm")
+    return {
+        "params": params,
+        "reference_seconds": _median_seconds(lambda: ref.forward(x64, training=False), repeats),
+        "fast_seconds": _median_seconds(lambda: fast.forward(x32, training=False), repeats),
+    }
+
+
+def bench_conv_backward(repeats: int) -> Dict:
+    """Training-mode forward + backward of the same convolution."""
+    params = {"batch": 64, "in_channels": 32, "out_channels": 64, "kernel": 3, "hw": 16}
+    rng = np.random.default_rng(0)
+    x64 = rng.normal(size=(params["batch"], params["in_channels"], params["hw"], params["hw"]))
+    x32 = x64.astype(np.float32)
+    g64 = rng.normal(size=(params["batch"], params["out_channels"], params["hw"], params["hw"]))
+    g32 = g64.astype(np.float32)
+    ref = Conv2D(32, 64, 3, seed=1, dtype="float64", engine="einsum")
+    fast = Conv2D(32, 64, 3, seed=1, dtype="float32", engine="gemm")
+
+    def run_ref():
+        ref.forward(x64, training=True)
+        ref.backward(g64)
+
+    def run_fast():
+        fast.forward(x32, training=True)
+        fast.backward(g32)
+
+    return {
+        "params": params,
+        "reference_seconds": _median_seconds(run_ref, repeats),
+        "fast_seconds": _median_seconds(run_fast, repeats),
+    }
+
+
+def bench_dense(repeats: int) -> Dict:
+    """Training-mode forward + backward of a wide dense layer."""
+    params = {"batch": 256, "in_features": 512, "out_features": 512}
+    rng = np.random.default_rng(0)
+    x64 = rng.normal(size=(params["batch"], params["in_features"]))
+    x32 = x64.astype(np.float32)
+    g64 = rng.normal(size=(params["batch"], params["out_features"]))
+    g32 = g64.astype(np.float32)
+    ref = Dense(512, 512, seed=1, dtype="float64")
+    fast = Dense(512, 512, seed=1, dtype="float32")
+
+    def run_ref():
+        ref.forward(x64, training=True)
+        ref.backward(g64)
+
+    def run_fast():
+        fast.forward(x32, training=True)
+        fast.backward(g32)
+
+    return {
+        "params": params,
+        "reference_seconds": _median_seconds(run_ref, repeats),
+        "fast_seconds": _median_seconds(run_fast, repeats),
+    }
+
+
+def bench_vgg_step(repeats: int) -> Dict:
+    """One full training step (forward, loss, backward, SGD update) of a
+    scaled-down V16 on CIFAR-shaped inputs — the unit of work every
+    training-time figure accumulates."""
+    params = {"variant": "V16", "batch": 64, "input_shape": [3, 16, 16], "width_scale": 0.25}
+    spec = vgg("V16", num_classes=10, input_shape=(3, 16, 16), width_scale=0.25)
+    rng = np.random.default_rng(0)
+    x64 = rng.normal(size=(params["batch"], 3, 16, 16))
+    x32 = x64.astype(np.float32)
+    y = rng.integers(0, 10, size=params["batch"])
+    loss_fn = SoftmaxCrossEntropy()
+
+    def make_step(model: Model, x: np.ndarray) -> Callable[[], None]:
+        optimizer = SGD(learning_rate=0.01, momentum=0.9)
+
+        def step():
+            logits = model.forward(x, training=True)
+            _, grad = loss_fn(logits, y)
+            model.zero_grads()
+            model.backward(grad)
+            optimizer.step(model.iter_parameters())
+
+        return step
+
+    ref_step = make_step(_reference_model(spec), x64)
+    fast_step = make_step(_fast_model(spec), x32)
+    return {
+        "params": params,
+        "reference_seconds": _median_seconds(ref_step, repeats),
+        "fast_seconds": _median_seconds(fast_step, repeats),
+    }
+
+
+def bench_ensemble_predict(repeats: int) -> Dict:
+    """All-member probability tensor for a five-member VGG ensemble:
+    batched single pass (fast) versus the per-member sweep (reference)."""
+    params = {
+        "members": 5,
+        "samples": 256,
+        "batch_size": 128,
+        "input_shape": [3, 16, 16],
+        "width_scale": 0.25,
+    }
+    specs = small_vgg_ensemble(num_classes=10, input_shape=(3, 16, 16), width_scale=0.25)
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(params["samples"], 3, 16, 16))
+
+    ref_members = [
+        EnsembleMember(name=spec.name, model=_reference_model(spec, seed=i))
+        for i, spec in enumerate(specs)
+    ]
+    fast_members = [
+        EnsembleMember(name=spec.name, model=_fast_model(spec, seed=i))
+        for i, spec in enumerate(specs)
+    ]
+    fast_ensemble = Ensemble(fast_members, num_classes=10)
+
+    def run_ref():
+        # The seed implementation: one independent sweep per member.
+        np.stack(
+            [m.model.predict_proba(x, batch_size=params["batch_size"]) for m in ref_members]
+        )
+
+    def run_fast():
+        fast_ensemble.predict_proba_all(x, batch_size=params["batch_size"])
+
+    return {
+        "params": params,
+        "reference_seconds": _median_seconds(run_ref, repeats),
+        "fast_seconds": _median_seconds(run_fast, repeats),
+    }
+
+
+BENCHMARKS: Dict[str, Callable[[int], Dict]] = {
+    "conv_forward": bench_conv_forward,
+    "conv_backward": bench_conv_backward,
+    "dense": bench_dense,
+    "vgg_step": bench_vgg_step,
+    "ensemble_predict": bench_ensemble_predict,
+}
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def run(names: List[str], repeats: int) -> Dict:
+    results: Dict[str, Dict] = {}
+    for name in names:
+        entry = BENCHMARKS[name](repeats)
+        entry["speedup"] = entry["reference_seconds"] / entry["fast_seconds"]
+        results[name] = entry
+        print(
+            f"{name:>18}: reference {entry['reference_seconds'] * 1e3:8.2f} ms   "
+            f"fast {entry['fast_seconds'] * 1e3:8.2f} ms   "
+            f"speedup {entry['speedup']:5.2f}x"
+        )
+    return {
+        "schema": SCHEMA,
+        "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "repeats": repeats,
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "reference": "float64 + einsum conv + per-member inference loop (seed path)",
+        "fast": "float32 + GEMM conv with workspace reuse + batched ensemble inference",
+        "benchmarks": results,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--benchmarks",
+        default="all",
+        help="comma-separated subset of: " + ", ".join(BENCHMARKS) + " (default: all)",
+    )
+    parser.add_argument("--repeats", type=int, default=5, help="timed runs per benchmark")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT, help="JSON output path")
+    args = parser.parse_args()
+
+    if args.benchmarks == "all":
+        names = list(BENCHMARKS)
+    else:
+        names = [n.strip() for n in args.benchmarks.split(",") if n.strip()]
+        unknown = sorted(set(names) - set(BENCHMARKS))
+        if unknown:
+            parser.error(f"unknown benchmarks: {unknown}; known: {sorted(BENCHMARKS)}")
+
+    payload = run(names, max(1, args.repeats))
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,7 +16,6 @@ the monolithic-architecture restriction that MotherNets removes.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.arch.spec import ArchitectureSpec
@@ -27,7 +26,7 @@ from repro.data.datasets import Dataset
 from repro.data.sampling import bootstrap_sample
 from repro.nn.model import Model
 from repro.nn.optimizers import CosineSchedule
-from repro.nn.training import Trainer, TrainingConfig, TrainingResult
+from repro.nn.training import TrainingConfig, TrainingResult
 from repro.utils.logging import get_logger
 from repro.utils.rng import RngManager
 
@@ -58,7 +57,7 @@ class _ScratchTrainer(EnsembleTrainer):
                 x, y, samples = bag.x, bag.y, bag.size
             else:
                 x, y, samples = dataset.x_train, dataset.y_train, dataset.train_size
-            result, seconds = self._fit(
+            result, seconds, compute_phases = self._fit(
                 model, x, y, self.config, seed=rngs.seed("shuffle", index)
             )
             member_results[spec.name] = result
@@ -69,6 +68,7 @@ class _ScratchTrainer(EnsembleTrainer):
                 wall_clock_seconds=seconds,
                 parameters=model.parameter_count(),
                 samples_per_epoch=samples,
+                compute_phases=compute_phases,
             )
             members.append(
                 EnsembleMember(
@@ -123,8 +123,9 @@ class SnapshotEnsembleTrainer(EnsembleTrainer):
         config: Optional[TrainingConfig] = None,
         num_snapshots: int = 5,
         epochs_per_cycle: Optional[int] = None,
+        collect_phase_timings: bool = True,
     ):
-        super().__init__(config)
+        super().__init__(config, collect_phase_timings=collect_phase_timings)
         if num_snapshots < 1:
             raise ValueError("num_snapshots must be at least 1")
         self.num_snapshots = int(num_snapshots)
@@ -169,11 +170,13 @@ class SnapshotEnsembleTrainer(EnsembleTrainer):
         members: List[EnsembleMember] = []
         member_results: Dict[str, TrainingResult] = {}
         for cycle in range(self.num_snapshots):
-            start = time.perf_counter()
-            result = Trainer(cycle_config).fit(
-                model, dataset.x_train, dataset.y_train, seed=rngs.seed("shuffle", cycle)
+            result, seconds, compute_phases = self._fit(
+                model,
+                dataset.x_train,
+                dataset.y_train,
+                cycle_config,
+                seed=rngs.seed("shuffle", cycle),
             )
-            seconds = time.perf_counter() - start
             snapshot = model.copy()
             name = f"{spec.name}-snapshot-{cycle}"
             member_results[name] = result
@@ -184,6 +187,7 @@ class SnapshotEnsembleTrainer(EnsembleTrainer):
                 wall_clock_seconds=seconds,
                 parameters=snapshot.parameter_count(),
                 samples_per_epoch=dataset.train_size,
+                compute_phases=compute_phases,
             )
             members.append(
                 EnsembleMember(

@@ -36,6 +36,10 @@ class CostRecord:
     wall_clock_seconds: float
     parameters: int
     samples_per_epoch: int
+    # Optional compute-phase breakdown of the wall clock (e.g. "conv.im2col",
+    # "conv.gemm") reported by the execution engine via repro.utils.timing;
+    # empty when phase timing was not enabled for the run.
+    compute_phases: Dict[str, float] = field(default_factory=dict)
 
     @property
     def work_units(self) -> float:
@@ -58,6 +62,7 @@ class CostLedger:
         wall_clock_seconds: float,
         parameters: int,
         samples_per_epoch: int,
+        compute_phases: Optional[Dict[str, float]] = None,
     ) -> CostRecord:
         record = CostRecord(
             network=network,
@@ -67,6 +72,7 @@ class CostLedger:
             wall_clock_seconds=float(wall_clock_seconds),
             parameters=int(parameters),
             samples_per_epoch=int(samples_per_epoch),
+            compute_phases=dict(compute_phases) if compute_phases else {},
         )
         self.records.append(record)
         return record
@@ -88,6 +94,16 @@ class CostLedger:
         by_phase: Dict[str, float] = {}
         for record in self.records:
             by_phase[record.phase] = by_phase.get(record.phase, 0.0) + record.wall_clock_seconds
+        return by_phase
+
+    def seconds_by_compute_phase(self) -> Dict[str, float]:
+        """Aggregate compute-phase breakdown (``conv.im2col`` / ``conv.gemm``
+        / ...) across all records — distinguishes data movement from BLAS
+        compute when the run was trained with phase timing enabled."""
+        by_phase: Dict[str, float] = {}
+        for record in self.records:
+            for key, value in record.compute_phases.items():
+                by_phase[key] = by_phase.get(key, 0.0) + value
         return by_phase
 
     def seconds_by_network(self) -> Dict[str, float]:

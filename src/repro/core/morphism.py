@@ -91,7 +91,7 @@ def _widen_outgoing_dense(
 ) -> None:
     """Adjust a dense consumer whose *input* units were replicated."""
     old_w = old_dense.params["W"]
-    scale = counts[mapping].astype(np.float64)
+    scale = counts[mapping].astype(old_w.dtype)
     new_dense.params["W"] = old_w[mapping, :] / scale[:, None]
     new_dense.params["b"] = old_dense.params["b"].copy()
 
@@ -101,7 +101,7 @@ def _widen_outgoing_conv(
 ) -> None:
     """Adjust a convolutional consumer whose *input* channels were replicated."""
     old_w = old_conv.params["W"]
-    scale = counts[mapping].astype(np.float64)
+    scale = counts[mapping].astype(old_w.dtype)
     new_conv.params["W"] = old_w[:, mapping, :, :] / scale[None, :, None, None]
     if old_conv.use_bias:
         new_conv.params["b"] = old_conv.params["b"].copy()
@@ -163,9 +163,9 @@ def _pad_kernel(kernel: np.ndarray, new_size: int) -> np.ndarray:
     return np.pad(kernel, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
 
 
-def _identity_conv_kernel(channels: int, kernel_size: int) -> np.ndarray:
+def _identity_conv_kernel(channels: int, kernel_size: int, dtype=np.float64) -> np.ndarray:
     """A ``channels x channels`` convolution kernel that implements the identity."""
-    kernel = np.zeros((channels, channels, kernel_size, kernel_size), dtype=np.float64)
+    kernel = np.zeros((channels, channels, kernel_size, kernel_size), dtype=dtype)
     center = kernel_size // 2
     for c in range(channels):
         kernel[c, c, center, center] = 1.0
@@ -314,7 +314,7 @@ def widen_conv_layer(
     new_spec = _replace_conv_layer(
         spec, block_idx, layer_idx, dataclasses.replace(old_layer, filters=new_filters)
     )
-    new_model = Model.from_spec(new_spec, seed=0)
+    new_model = Model.from_spec(new_spec, seed=0, dtype=model.dtype)
     transfer_matching_weights(model, new_model)
 
     mapping, counts = _replication_mapping(old_layer.filters, new_filters, rng)
@@ -345,7 +345,7 @@ def widen_dense_layer(
         return model.copy()
     rng = as_rng(seed)
     new_spec = _replace_dense_layer(spec, layer_idx, DenseLayerSpec(units=new_units))
-    new_model = Model.from_spec(new_spec, seed=0)
+    new_model = Model.from_spec(new_spec, seed=0, dtype=model.dtype)
     transfer_matching_weights(model, new_model)
 
     mapping, counts = _replication_mapping(old_layer.units, new_units, rng)
@@ -396,7 +396,7 @@ def widen_residual_block(
         new_spec = _replace_conv_layer(
             new_spec, block_idx, i, dataclasses.replace(layer, filters=new_filters)
         )
-    new_model = Model.from_spec(new_spec, seed=0)
+    new_model = Model.from_spec(new_spec, seed=0, dtype=model.dtype)
     transfer_matching_weights(model, new_model)
 
     mapping, counts = _replication_mapping(old_filters, new_filters, rng)
@@ -408,7 +408,7 @@ def widen_residual_block(
         old_conv1_w = old_unit.conv1.params["W"]
         new_w = old_conv1_w[mapping, :, :, :].copy()
         if i > 0:
-            scale = counts[mapping].astype(np.float64)
+            scale = counts[mapping].astype(new_w.dtype)
             new_w = new_w[:, mapping, :, :] / scale[None, :, None, None]
         if noise_std > 0:
             new_w[old_filters:] += rng.normal(0.0, noise_std, size=new_w[old_filters:].shape)
@@ -418,7 +418,7 @@ def widen_residual_block(
 
         # conv2: outputs and inputs both live in the widened space.
         old_conv2_w = old_unit.conv2.params["W"]
-        scale = counts[mapping].astype(np.float64)
+        scale = counts[mapping].astype(old_conv2_w.dtype)
         new_conv2_w = old_conv2_w[mapping, :, :, :][:, mapping, :, :] / scale[None, :, None, None]
         new_unit.conv2.params["W"] = new_conv2_w
         new_unit.conv2.params["b"] = old_unit.conv2.params["b"][mapping].copy()
@@ -466,13 +466,15 @@ def deepen_conv_block(
     size = filter_size if filter_size is not None else last_layer.filter_size
     new_layers = [ConvLayerSpec(filter_size=size, filters=last_layer.filters)] * extra_layers
     new_spec = _append_conv_layers(spec, block_idx, new_layers)
-    new_model = Model.from_spec(new_spec, seed=0)
+    new_model = Model.from_spec(new_spec, seed=0, dtype=model.dtype)
     transfer_matching_weights(model, new_model)
 
     depth = len(block_spec.layers)
     for offset in range(extra_layers):
         unit: ConvUnit = new_model.conv_blocks[block_idx].units[depth + offset]
-        unit.conv.params["W"] = _identity_conv_kernel(last_layer.filters, size)
+        unit.conv.params["W"] = _identity_conv_kernel(
+            last_layer.filters, size, dtype=unit.conv.params["W"].dtype
+        )
         if unit.conv.use_bias:
             unit.conv.params["b"] = np.zeros_like(unit.conv.params["b"])
         if unit.bn is not None:
@@ -501,7 +503,7 @@ def deepen_residual_block(
     size = filter_size if filter_size is not None else last_layer.filter_size
     new_layers = [ConvLayerSpec(filter_size=size, filters=last_layer.filters)] * extra_units
     new_spec = _append_conv_layers(spec, block_idx, new_layers)
-    new_model = Model.from_spec(new_spec, seed=0)
+    new_model = Model.from_spec(new_spec, seed=0, dtype=model.dtype)
     transfer_matching_weights(model, new_model)
 
     depth = len(block_spec.layers)
@@ -525,13 +527,13 @@ def deepen_dense(model: Model, extra_layers: int) -> Model:
     else:  # pragma: no cover - unreachable (dense specs need >= 1 hidden layer)
         width = spec.input_shape[0]
     new_spec = _append_dense_layers(spec, [DenseLayerSpec(units=width)] * extra_layers)
-    new_model = Model.from_spec(new_spec, seed=0)
+    new_model = Model.from_spec(new_spec, seed=0, dtype=model.dtype)
     transfer_matching_weights(model, new_model)
 
     start = len(spec.dense_layers)
     for offset in range(extra_layers):
         unit: DenseUnit = new_model.dense_units[start + offset]
-        unit.dense.params["W"] = np.eye(width, dtype=np.float64)
+        unit.dense.params["W"] = np.eye(width, dtype=unit.dense.params["W"].dtype)
         unit.dense.params["b"] = np.zeros_like(unit.dense.params["b"])
         if unit.bn is not None:
             unit.bn.set_identity()
@@ -560,7 +562,7 @@ def expand_conv_filter(
         layer_idx,
         dataclasses.replace(old_layer, filter_size=new_filter_size),
     )
-    new_model = Model.from_spec(new_spec, seed=0)
+    new_model = Model.from_spec(new_spec, seed=0, dtype=model.dtype)
     transfer_matching_weights(model, new_model)
 
     old_unit = model.conv_blocks[block_idx].units[layer_idx]

@@ -34,6 +34,7 @@ from repro.nn.model import Model
 from repro.nn.training import Trainer, TrainingConfig, TrainingResult
 from repro.utils.logging import get_logger
 from repro.utils.rng import RngManager
+from repro.utils.timing import capture_phase_timings
 
 logger = get_logger("core.trainer")
 
@@ -69,12 +70,24 @@ class EnsembleTrainingRun:
 
 
 class EnsembleTrainer:
-    """Base class for the three ensemble-training approaches."""
+    """Base class for the three ensemble-training approaches.
+
+    ``collect_phase_timings`` (default on) captures the execution engine's
+    per-phase compute breakdown (``conv.im2col`` / ``conv.gemm`` / ...) for
+    every fitted network and stores it on the corresponding
+    :class:`~repro.core.cost_model.CostRecord`, so ledgers can separate data
+    movement from BLAS compute.  The instrumentation cost is a few
+    ``perf_counter`` calls per conv call (well under a percent); pass
+    ``False`` for fully uninstrumented timing runs.
+    """
 
     approach: str = "base"
 
-    def __init__(self, config: Optional[TrainingConfig] = None):
+    def __init__(
+        self, config: Optional[TrainingConfig] = None, collect_phase_timings: bool = True
+    ):
         self.config = config or TrainingConfig()
+        self.collect_phase_timings = bool(collect_phase_timings)
 
     # ------------------------------------------------------------ interface
     def train(
@@ -108,10 +121,17 @@ class EnsembleTrainer:
         config: TrainingConfig,
         seed: int,
     ) -> tuple:
-        """Train a model and return ``(result, wall_clock_seconds)``."""
+        """Train a model; returns ``(result, wall_clock_seconds, phases)``
+        where ``phases`` is the compute-phase breakdown of the fit (empty when
+        ``collect_phase_timings`` is off)."""
         start = time.perf_counter()
-        result = Trainer(config).fit(model, x, y, seed=seed)
-        return result, time.perf_counter() - start
+        if self.collect_phase_timings:
+            with capture_phase_timings() as phases:
+                result = Trainer(config).fit(model, x, y, seed=seed)
+        else:
+            phases = {}
+            result = Trainer(config).fit(model, x, y, seed=seed)
+        return result, time.perf_counter() - start, phases
 
 
 class MotherNetsTrainer(EnsembleTrainer):
@@ -148,8 +168,9 @@ class MotherNetsTrainer(EnsembleTrainer):
         member_config: Optional[TrainingConfig] = None,
         member_epoch_fraction: float = 1.0,
         noise_std: float = 0.0,
+        collect_phase_timings: bool = True,
     ):
-        super().__init__(config)
+        super().__init__(config, collect_phase_timings=collect_phase_timings)
         if not 0.0 <= tau <= 1.0:
             raise ValueError("tau must be in [0, 1]")
         if member_epoch_fraction <= 0 or member_epoch_fraction > 1:
@@ -180,7 +201,7 @@ class MotherNetsTrainer(EnsembleTrainer):
         mothernet_results: Dict[int, TrainingResult] = {}
         for cluster in clusters:
             model = Model.from_spec(cluster.mothernet, seed=rngs.seed("mothernet", cluster.cluster_id))
-            result, seconds = self._fit(
+            result, seconds, compute_phases = self._fit(
                 model,
                 dataset.x_train,
                 dataset.y_train,
@@ -196,6 +217,7 @@ class MotherNetsTrainer(EnsembleTrainer):
                 wall_clock_seconds=seconds,
                 parameters=model.parameter_count(),
                 samples_per_epoch=dataset.train_size,
+                compute_phases=compute_phases,
             )
             logger.info(
                 "trained %s (%d members) in %.2fs / %d epochs",
@@ -219,7 +241,7 @@ class MotherNetsTrainer(EnsembleTrainer):
             bag = bootstrap_sample(
                 dataset.x_train, dataset.y_train, seed=rngs.seed("bag", index)
             )
-            result, seconds = self._fit(
+            result, seconds, compute_phases = self._fit(
                 model, bag.x, bag.y, self.member_config, seed=rngs.seed("member-shuffle", index)
             )
             member_results[spec.name] = result
@@ -230,6 +252,7 @@ class MotherNetsTrainer(EnsembleTrainer):
                 wall_clock_seconds=seconds + hatch_seconds,
                 parameters=model.parameter_count(),
                 samples_per_epoch=bag.size,
+                compute_phases=compute_phases,
             )
             members.append(
                 EnsembleMember(
@@ -265,6 +288,9 @@ def summarize_run(run: EnsembleTrainingRun) -> Dict[str, object]:
         "total_epochs": run.ledger.total_epochs,
         "seconds_by_phase": run.ledger.seconds_by_phase(),
     }
+    compute_phases = run.ledger.seconds_by_compute_phase()
+    if compute_phases:
+        summary["seconds_by_compute_phase"] = compute_phases
     if run.clusters is not None:
         summary["num_clusters"] = len(run.clusters)
         summary["cluster_sizes"] = [cluster.size for cluster in run.clusters]

@@ -2,6 +2,13 @@
 training loop used by the MotherNets ensemble trainers."""
 
 from repro.nn import initializers
+from repro.nn.dtypes import (
+    default_dtype,
+    get_default_dtype,
+    resolve_dtype,
+    set_default_dtype,
+)
+from repro.nn.workspace import WorkspaceArena
 from repro.nn.layers import (
     BatchNorm,
     Conv2D,
@@ -40,6 +47,11 @@ from repro.nn.training import (
 
 __all__ = [
     "initializers",
+    "default_dtype",
+    "get_default_dtype",
+    "resolve_dtype",
+    "set_default_dtype",
+    "WorkspaceArena",
     "Layer",
     "Dense",
     "Conv2D",

@@ -1,0 +1,73 @@
+"""Compute-dtype configuration for the numpy substrate.
+
+The execution engine computes in ``float32`` by default: it halves memory
+traffic and doubles effective BLAS throughput relative to numpy's ``float64``
+default, which is what the training-cost figures of the paper are sensitive
+to.  ``float64`` remains available as an opt-in for numerically delicate work
+(gradient checking, reference runs):
+
+* globally, via :func:`set_default_dtype` or the :func:`default_dtype`
+  context manager, which every subsequently constructed layer/model picks up;
+* per model, via ``Model.from_spec(..., dtype="float64")``;
+* per layer, via the ``dtype=`` constructor argument.
+
+Only ``float32`` and ``float64`` are supported: the hand-written backward
+passes assume a real floating dtype, and ``float16`` accumulation is unsafe
+without loss scaling.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Union
+
+import numpy as np
+
+DTypeLike = Union[str, type, np.dtype]
+
+_ALLOWED = (np.dtype(np.float32), np.dtype(np.float64))
+_default_dtype = np.dtype(np.float32)
+
+
+def _validate(dtype: DTypeLike) -> np.dtype:
+    resolved = np.dtype(dtype)
+    if resolved not in _ALLOWED:
+        raise ValueError(
+            f"unsupported compute dtype {resolved}; supported: "
+            + ", ".join(str(d) for d in _ALLOWED)
+        )
+    return resolved
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype newly constructed layers/models compute in."""
+    return _default_dtype
+
+
+def set_default_dtype(dtype: DTypeLike) -> np.dtype:
+    """Set the global compute dtype; returns the resolved ``np.dtype``."""
+    global _default_dtype
+    _default_dtype = _validate(dtype)
+    return _default_dtype
+
+
+def resolve_dtype(dtype: Union[DTypeLike, None] = None) -> np.dtype:
+    """Resolve an optional dtype argument: ``None`` means the global default."""
+    if dtype is None:
+        return _default_dtype
+    return _validate(dtype)
+
+
+@contextmanager
+def default_dtype(dtype: DTypeLike) -> Iterator[np.dtype]:
+    """Temporarily switch the global compute dtype::
+
+        with default_dtype("float64"):
+            reference = Model.from_spec(spec)
+    """
+    previous = get_default_dtype()
+    resolved = set_default_dtype(dtype)
+    try:
+        yield resolved
+    finally:
+        set_default_dtype(previous)

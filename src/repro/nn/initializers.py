@@ -14,6 +14,7 @@ from typing import Callable, Sequence, Tuple
 
 import numpy as np
 
+from repro.nn.dtypes import DTypeLike, default_dtype, resolve_dtype
 from repro.utils.rng import SeedLike, as_rng
 
 Initializer = Callable[[Tuple[int, ...], np.random.Generator], np.ndarray]
@@ -39,7 +40,7 @@ def gaussian(std: float = 1.0, mean: float = 0.0) -> Initializer:
     """Gaussian initialiser with fixed standard deviation (paper default)."""
 
     def init(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
-        return rng.normal(mean, std, size=shape).astype(np.float64)
+        return rng.normal(mean, std, size=shape).astype(resolve_dtype())
 
     return init
 
@@ -50,7 +51,7 @@ def he_normal() -> Initializer:
     def init(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
         fan_in, _ = _fan_in_out(shape)
         std = np.sqrt(2.0 / fan_in)
-        return rng.normal(0.0, std, size=shape).astype(np.float64)
+        return rng.normal(0.0, std, size=shape).astype(resolve_dtype())
 
     return init
 
@@ -61,7 +62,7 @@ def glorot_uniform() -> Initializer:
     def init(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
         fan_in, fan_out = _fan_in_out(shape)
         limit = np.sqrt(6.0 / (fan_in + fan_out))
-        return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+        return rng.uniform(-limit, limit, size=shape).astype(resolve_dtype())
 
     return init
 
@@ -70,7 +71,7 @@ def zeros() -> Initializer:
     """All-zeros initialiser (used for biases and zero-init residual convs)."""
 
     def init(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
-        return np.zeros(shape, dtype=np.float64)
+        return np.zeros(shape, dtype=resolve_dtype())
 
     return init
 
@@ -79,7 +80,7 @@ def constant(value: float) -> Initializer:
     """Constant initialiser."""
 
     def init(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
-        return np.full(shape, float(value), dtype=np.float64)
+        return np.full(shape, float(value), dtype=resolve_dtype())
 
     return init
 
@@ -104,7 +105,17 @@ def get_initializer(name_or_fn) -> Initializer:
         ) from exc
 
 
-def initialize(shape: Tuple[int, ...], name_or_fn="he_normal", seed: SeedLike = None) -> np.ndarray:
+def initialize(
+    shape: Tuple[int, ...],
+    name_or_fn="he_normal",
+    seed: SeedLike = None,
+    dtype: DTypeLike | None = None,
+) -> np.ndarray:
     """Convenience helper: materialise a tensor of ``shape`` with the given scheme."""
     rng = as_rng(seed)
-    return get_initializer(name_or_fn)(tuple(int(s) for s in shape), rng)
+    resolved = resolve_dtype(dtype)
+    # Draw under the requested dtype so float64 callers get full-precision
+    # values rather than float32 draws widened after the fact.
+    with default_dtype(resolved):
+        values = get_initializer(name_or_fn)(tuple(int(s) for s in shape), rng)
+    return values.astype(resolved, copy=False)

@@ -34,10 +34,25 @@ class Layer:
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         """Given dL/d(output), accumulate parameter gradients and return
-        dL/d(input)."""
+        dL/d(input).
+
+        Ownership contract: the returned gradient is only guaranteed valid
+        until this layer's *next* forward/backward call — layers with
+        workspace arenas (e.g. the GEMM conv engine) hand out views into
+        reused scratch buffers.  Callers that retain gradients across steps
+        must copy; :meth:`repro.nn.model.Model.backward` does this at the
+        model boundary.
+        """
         raise NotImplementedError
 
     # ------------------------------------------------------------ utilities
+    def clear_workspaces(self) -> None:
+        """Release any reusable scratch buffers (no-op for most layers).
+
+        Layers with workspace arenas free them here; arenas rebuild lazily on
+        the next forward/backward, so this is safe to call between fits to
+        return training-batch-sized scratch memory."""
+
     def zero_grads(self) -> None:
         self.grads = {key: np.zeros_like(value) for key, value in self.params.items()}
 
@@ -92,6 +107,10 @@ class CompositeLayer(Layer):
 
     def sublayers(self) -> List[Layer]:
         raise NotImplementedError
+
+    def clear_workspaces(self) -> None:
+        for layer in self.sublayers():
+            layer.clear_workspaces()
 
     def parameter_count(self) -> int:
         return int(sum(layer.parameter_count() for layer in self.sublayers()))

@@ -1,43 +1,57 @@
-"""2-D convolution implemented with vectorised im2col / col2im.
+"""2-D convolution with a BLAS-GEMM hot path over im2col / col2im.
 
 Only "same"-padded, stride-1 convolutions are needed by the VGG/ResNet-style
 architectures used in the paper (spatial down-sampling happens through
 max-pooling between blocks), but the layer supports arbitrary stride and
 padding for completeness.
+
+Two execution engines are available:
+
+* ``"gemm"`` (default) — lowers the convolution to matrix multiplies
+  (``W_mat @ cols`` forward, ``tensordot``/``matmul`` backward) so the heavy
+  lifting runs inside BLAS.  All large temporaries (padded input, im2col
+  patch matrix, col2im scatter target) live in a per-layer
+  :class:`~repro.nn.workspace.WorkspaceArena` and are reused across batches,
+  so steady-state training allocates no per-call conv scratch.  Inference is
+  fused: no backward cache is written and the same workspace is recycled.
+  Consequence of the reuse: the gradient returned by :meth:`backward` is a
+  view into the arena, valid only until the layer's next call (forward
+  outputs are always fresh).  The sequential forward/backward training loop
+  consumes it immediately; ``Model.backward`` copies at the model boundary.
+* ``"einsum"`` — the original ``np.einsum`` formulation, kept as the
+  numerical reference the GEMM path is tested against.
+
+When the phase-timing registry (:mod:`repro.utils.timing`) is enabled, the
+layer reports ``conv.im2col`` / ``conv.gemm`` / ``conv.bias`` /
+``conv.col2im`` so cost breakdowns can separate data movement from compute.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+import time
+from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.nn.dtypes import DTypeLike, default_dtype, resolve_dtype
 from repro.nn.initializers import get_initializer
 from repro.nn.layers.base import Layer
+from repro.nn.workspace import WorkspaceArena
+from repro.utils import timing as _timing
 from repro.utils.rng import SeedLike, as_rng
 
+CONV_ENGINES = ("gemm", "einsum")
 
-def im2col(x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int) -> np.ndarray:
-    """Rearrange image patches into columns.
 
-    Parameters
-    ----------
-    x: ``(N, C, H, W)`` input.
-    kernel: ``(kh, kw)`` kernel size.
-    stride: spatial stride.
-    padding: symmetric zero padding.
-
-    Returns
-    -------
-    ``(N, C * kh * kw, out_h * out_w)`` array of flattened patches.
-    """
+def _patch_view(
+    x: np.ndarray, kernel: Tuple[int, int], stride: int
+) -> Tuple[np.ndarray, int, int]:
+    """Strided ``(N, C, kh, kw, out_h, out_w)`` view of an (already padded)
+    input, plus the output spatial size."""
     n, c, h, w = x.shape
     kh, kw = kernel
-    out_h = (h + 2 * padding - kh) // stride + 1
-    out_w = (w + 2 * padding - kw) // stride + 1
-    if padding > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-    # Gather patches with stride tricks: shape (N, C, kh, kw, out_h, out_w)
+    out_h = (h - kh) // stride + 1
+    out_w = (w - kw) // stride + 1
     strides = x.strides
     shape = (n, c, kh, kw, out_h, out_w)
     patch_strides = (
@@ -48,8 +62,49 @@ def im2col(x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int) ->
         strides[2] * stride,
         strides[3] * stride,
     )
-    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=patch_strides)
-    return patches.reshape(n, c * kh * kw, out_h * out_w).copy()
+    return np.lib.stride_tricks.as_strided(x, shape=shape, strides=patch_strides), out_h, out_w
+
+
+def im2col(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: int,
+    padding: int,
+    out: Optional[np.ndarray] = None,
+    copy: bool = True,
+) -> np.ndarray:
+    """Rearrange image patches into columns.
+
+    Parameters
+    ----------
+    x: ``(N, C, H, W)`` input.
+    kernel: ``(kh, kw)`` kernel size.
+    stride: spatial stride.
+    padding: symmetric zero padding.
+    out: optional preallocated ``(N, C * kh * kw, out_h * out_w)`` buffer to
+        gather into (workspace reuse); returned when given.
+    copy: when ``False`` the result may alias ``x`` (possible only for
+        patch layouts that reshape to a view, e.g. 1x1 kernels at stride 1);
+        callers that cache or mutate the columns must keep the default.
+
+    Returns
+    -------
+    ``(N, C * kh * kw, out_h * out_w)`` array of flattened patches.
+    """
+    n, c, _, _ = x.shape
+    kh, kw = kernel
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    patches, out_h, out_w = _patch_view(x, kernel, stride)
+    if out is not None:
+        np.copyto(out.reshape(n, c, kh, kw, out_h, out_w), patches)
+        return out
+    cols = patches.reshape(n, c * kh * kw, out_h * out_w)
+    # reshape of the overlapping patch view almost always materialises a fresh
+    # array already; only force a second copy if it managed to stay a view.
+    if copy and np.may_share_memory(cols, x):
+        cols = cols.copy()
+    return cols
 
 
 def col2im(
@@ -58,13 +113,23 @@ def col2im(
     kernel: Tuple[int, int],
     stride: int,
     padding: int,
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Inverse of :func:`im2col`: scatter-add columns back to image space."""
+    """Inverse of :func:`im2col`: scatter-add columns back to image space.
+
+    ``out`` is an optional preallocated *padded* buffer of shape
+    ``(N, C, H + 2 * padding, W + 2 * padding)``; it is cleared and used as the
+    scatter target, and the returned array is a view into it when padding > 0.
+    """
     n, c, h, w = input_shape
     kh, kw = kernel
     out_h = (h + 2 * padding - kh) // stride + 1
     out_w = (w + 2 * padding - kw) // stride + 1
-    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    if out is None:
+        padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    else:
+        padded = out
+        padded.fill(0)
     cols6 = cols.reshape(n, c, kh, kw, out_h, out_w)
     for i in range(kh):
         for j in range(kw):
@@ -82,6 +147,10 @@ class Conv2D(Layer):
     Weight shape is ``(out_channels, in_channels, kh, kw)``.  ``padding="same"``
     keeps the spatial size for odd kernels at stride 1, which is the
     configuration used throughout the VGG/ResNet architecture zoo.
+
+    ``dtype`` selects the compute dtype (default: the global compute dtype,
+    see :mod:`repro.nn.dtypes`); ``engine`` selects the execution path
+    (``"gemm"`` BLAS hot path or the ``"einsum"`` reference).
     """
 
     def __init__(
@@ -96,15 +165,21 @@ class Conv2D(Layer):
         use_bias: bool = True,
         seed: SeedLike = None,
         name: str = "",
+        dtype: Optional[DTypeLike] = None,
+        engine: str = "gemm",
     ):
         super().__init__(name=name or f"conv{kernel_size}x{kernel_size}_{out_channels}")
         if in_channels <= 0 or out_channels <= 0 or kernel_size <= 0:
             raise ValueError("Conv2D dimensions must be positive")
+        if engine not in CONV_ENGINES:
+            raise ValueError(f"unknown conv engine {engine!r}; known: {CONV_ENGINES}")
         self.in_channels = int(in_channels)
         self.out_channels = int(out_channels)
         self.kernel_size = int(kernel_size)
         self.stride = int(stride)
         self.use_bias = bool(use_bias)
+        self.dtype = resolve_dtype(dtype)
+        self.engine = engine
         if padding == "same":
             if kernel_size % 2 == 0:
                 raise ValueError("'same' padding requires an odd kernel size")
@@ -112,19 +187,55 @@ class Conv2D(Layer):
         else:
             self.padding = int(padding)
         rng = as_rng(seed)
-        self.params["W"] = get_initializer(weight_init)(
-            (self.out_channels, self.in_channels, self.kernel_size, self.kernel_size), rng
-        )
-        if self.use_bias:
-            self.params["b"] = get_initializer(bias_init)((self.out_channels,), rng)
+        # Initialise under the layer's dtype (not the ambient global default)
+        # so a float64 layer gets full-precision draws, then cast defensively
+        # for custom initialiser callables that ignore the default.
+        with default_dtype(self.dtype):
+            self.params["W"] = get_initializer(weight_init)(
+                (self.out_channels, self.in_channels, self.kernel_size, self.kernel_size), rng
+            ).astype(self.dtype, copy=False)
+            if self.use_bias:
+                self.params["b"] = get_initializer(bias_init)((self.out_channels,), rng).astype(
+                    self.dtype, copy=False
+                )
         self._cache: tuple | None = None
+        self._arena = WorkspaceArena()
+        # Forward-call counter guarding the GEMM cache: the cached column
+        # matrix lives in the shared arena, so an intervening forward
+        # invalidates it. Inference forwards clear the cache outright (caught
+        # above with a dedicated message); the generation check is defense in
+        # depth against stale caches restored by exotic callers.
+        self._forward_generation = 0
+        self._had_training_forward = False
 
     # ------------------------------------------------------------------ api
+    def clear_workspaces(self) -> None:
+        self._arena.clear()
+        self._cache = None
+
     def output_spatial(self, h: int, w: int) -> Tuple[int, int]:
         """Spatial output size for an ``h`` x ``w`` input."""
         k, s, p = self.kernel_size, self.stride, self.padding
         return (h + 2 * p - k) // s + 1, (w + 2 * p - k) // s + 1
 
+    # ----------------------------------------------------------- workspaces
+    def _gather_cols(self, x: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+        """im2col into the reusable workspace (padding handled in-arena)."""
+        n, c, h, w = x.shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        src = x
+        if p > 0:
+            # The zero border is written once at allocation and never touched
+            # again: subsequent batches only overwrite the interior.
+            padded = self._arena.get(
+                "pad_fwd", (n, c, h + 2 * p, w + 2 * p), x.dtype, zero_on_alloc=True
+            )
+            padded[:, :, p : p + h, p : p + w] = x
+            src = padded
+        cols = self._arena.get("cols", (n, c * k * k, out_h * out_w), x.dtype)
+        return im2col(src, (k, k), s, 0, out=cols)
+
+    # ------------------------------------------------------------------ pass
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         if x.ndim != 4 or x.shape[1] != self.in_channels:
             raise ValueError(
@@ -132,34 +243,93 @@ class Conv2D(Layer):
             )
         n, _, h, w = x.shape
         out_h, out_w = self.output_spatial(h, w)
-        cols = im2col(x, (self.kernel_size, self.kernel_size), self.stride, self.padding)
         w_mat = self.params["W"].reshape(self.out_channels, -1)
-        out = np.einsum("of,nfp->nop", w_mat, cols)
-        if self.use_bias:
-            out = out + self.params["b"][None, :, None]
+        timed = _timing.phase_timing_enabled()
+        self._forward_generation += 1
+
+        if self.engine == "einsum":
+            cols = im2col(
+                x, (self.kernel_size, self.kernel_size), self.stride, self.padding, copy=training
+            )
+            out = np.einsum("of,nfp->nop", w_mat, cols)
+            if self.use_bias:
+                out = out + self.params["b"][None, :, None]
+        else:
+            if timed:
+                t0 = time.perf_counter()
+            cols = self._gather_cols(x, out_h, out_w)
+            if timed:
+                t1 = time.perf_counter()
+                _timing.record_phase("conv.im2col", t1 - t0)
+            out = np.matmul(w_mat, cols)
+            if timed:
+                t2 = time.perf_counter()
+                _timing.record_phase("conv.gemm", t2 - t1)
+            if self.use_bias:
+                out += self.params["b"][None, :, None]
+                if timed:
+                    _timing.record_phase("conv.bias", time.perf_counter() - t2)
+
         out = out.reshape(n, self.out_channels, out_h, out_w)
         if training:
-            self._cache = (x.shape, cols)
+            self._cache = (x.shape, cols, self._forward_generation)
+            self._had_training_forward = True
         else:
             self._cache = None
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
+            if getattr(self, "_had_training_forward", False):
+                raise RuntimeError(
+                    f"{self.name}: backward cache was cleared by a later inference "
+                    "forward; run backward immediately after the training forward"
+                )
             raise RuntimeError(f"{self.name}: backward called before a training forward pass")
-        input_shape, cols = self._cache
+        input_shape, cols, generation = self._cache
+        if self.engine != "einsum" and generation != self._forward_generation:
+            raise RuntimeError(
+                f"{self.name}: backward cache invalidated by an intervening forward pass "
+                "(the GEMM engine caches workspace columns; run backward immediately "
+                "after the training forward, or use engine='einsum')"
+            )
         n = grad_output.shape[0]
         grad_mat = grad_output.reshape(n, self.out_channels, -1)
         w_mat = self.params["W"].reshape(self.out_channels, -1)
-        grad_w = np.einsum("nop,nfp->of", grad_mat, cols)
+        kernel = (self.kernel_size, self.kernel_size)
+
+        if self.engine == "einsum":
+            grad_w = np.einsum("nop,nfp->of", grad_mat, cols)
+            self.grads["W"] = grad_w.reshape(self.params["W"].shape)
+            if self.use_bias:
+                self.grads["b"] = grad_mat.sum(axis=(0, 2))
+            grad_cols = np.einsum("of,nop->nfp", w_mat, grad_mat)
+            return col2im(grad_cols, input_shape, kernel, self.stride, self.padding)
+
+        timed = _timing.phase_timing_enabled()
+        if timed:
+            t0 = time.perf_counter()
+        grad_w = np.tensordot(grad_mat, cols, axes=((0, 2), (0, 2)))
         self.grads["W"] = grad_w.reshape(self.params["W"].shape)
+        grad_cols = self._arena.get(
+            "grad_cols", cols.shape, np.result_type(w_mat.dtype, grad_mat.dtype)
+        )
+        np.matmul(w_mat.T, grad_mat, out=grad_cols)
+        if timed:
+            t1 = time.perf_counter()
+            _timing.record_phase("conv.gemm", t1 - t0)
         if self.use_bias:
             self.grads["b"] = grad_mat.sum(axis=(0, 2))
-        grad_cols = np.einsum("of,nop->nfp", w_mat, grad_mat)
-        return col2im(
-            grad_cols,
-            input_shape,
-            (self.kernel_size, self.kernel_size),
-            self.stride,
-            self.padding,
+            if timed:
+                t2 = time.perf_counter()
+                _timing.record_phase("conv.bias", t2 - t1)
+                t1 = t2
+        c, h, w = input_shape[1], input_shape[2], input_shape[3]
+        p = self.padding
+        scatter = self._arena.get(
+            "pad_bwd", (n, c, h + 2 * p, w + 2 * p), grad_cols.dtype
         )
+        grad_input = col2im(grad_cols, input_shape, kernel, self.stride, p, out=scatter)
+        if timed:
+            _timing.record_phase("conv.col2im", time.perf_counter() - t1)
+        return grad_input

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.dtypes import DTypeLike, default_dtype, resolve_dtype
 from repro.nn.initializers import get_initializer
 from repro.nn.layers.base import Layer
 from repro.utils.rng import SeedLike, as_rng
@@ -20,6 +21,8 @@ class Dense(Layer):
         Initialiser names or callables (see :mod:`repro.nn.initializers`).
     seed:
         Seed or generator used for initialisation.
+    dtype:
+        Compute dtype; defaults to the global compute dtype.
     """
 
     def __init__(
@@ -30,15 +33,25 @@ class Dense(Layer):
         bias_init="zeros",
         seed: SeedLike = None,
         name: str = "",
+        dtype: DTypeLike | None = None,
     ):
         super().__init__(name=name or f"dense_{in_features}x{out_features}")
         if in_features <= 0 or out_features <= 0:
             raise ValueError("Dense layer dimensions must be positive")
         self.in_features = int(in_features)
         self.out_features = int(out_features)
+        self.dtype = resolve_dtype(dtype)
         rng = as_rng(seed)
-        self.params["W"] = get_initializer(weight_init)((self.in_features, self.out_features), rng)
-        self.params["b"] = get_initializer(bias_init)((self.out_features,), rng)
+        # Initialise under the layer's dtype (not the ambient global default)
+        # so a float64 layer gets full-precision draws, then cast defensively
+        # for custom initialiser callables that ignore the default.
+        with default_dtype(self.dtype):
+            self.params["W"] = get_initializer(weight_init)(
+                (self.in_features, self.out_features), rng
+            ).astype(self.dtype, copy=False)
+            self.params["b"] = get_initializer(bias_init)((self.out_features,), rng).astype(
+                self.dtype, copy=False
+            )
         self._cache_input: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:

@@ -32,7 +32,12 @@ class Dropout(Layer):
             self._mask = None
             return x
         keep = 1.0 - self.rate
-        self._mask = (self.rng.random(x.shape) < keep) / keep
+        # Build the mask in the input's dtype so float32 activations are not
+        # silently promoted to float64 by a float64 mask.
+        dtype = x.dtype if np.issubdtype(x.dtype, np.floating) else np.float64
+        mask = (self.rng.random(x.shape) < keep).astype(dtype)
+        mask /= keep
+        self._mask = mask
         return x * self._mask
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

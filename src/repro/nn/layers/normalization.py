@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.dtypes import DTypeLike, resolve_dtype
 from repro.nn.layers.base import Layer
 
 
@@ -20,27 +21,36 @@ class BatchNorm(Layer):
     maps (normalising per channel over ``N, H, W``).
     """
 
-    def __init__(self, num_features: int, momentum: float = 0.9, eps: float = 1e-5, name: str = ""):
+    def __init__(
+        self,
+        num_features: int,
+        momentum: float = 0.9,
+        eps: float = 1e-5,
+        name: str = "",
+        dtype: DTypeLike | None = None,
+    ):
         super().__init__(name=name or f"batchnorm_{num_features}")
         if num_features <= 0:
             raise ValueError("num_features must be positive")
         self.num_features = int(num_features)
         self.momentum = float(momentum)
         self.eps = float(eps)
-        self.params["gamma"] = np.ones(self.num_features, dtype=np.float64)
-        self.params["beta"] = np.zeros(self.num_features, dtype=np.float64)
-        self.state["running_mean"] = np.zeros(self.num_features, dtype=np.float64)
-        self.state["running_var"] = np.ones(self.num_features, dtype=np.float64)
+        self.dtype = resolve_dtype(dtype)
+        self.params["gamma"] = np.ones(self.num_features, dtype=self.dtype)
+        self.params["beta"] = np.zeros(self.num_features, dtype=self.dtype)
+        self.state["running_mean"] = np.zeros(self.num_features, dtype=self.dtype)
+        self.state["running_var"] = np.ones(self.num_features, dtype=self.dtype)
         self._cache: tuple | None = None
 
     # ------------------------------------------------------------------ api
     def set_identity(self) -> None:
         """Configure the layer so that, in inference mode, it is exactly the
         identity function.  Used when deepening a network during hatching."""
-        self.state["running_mean"] = np.zeros(self.num_features, dtype=np.float64)
-        self.state["running_var"] = np.ones(self.num_features, dtype=np.float64)
-        self.params["gamma"] = np.full(self.num_features, np.sqrt(1.0 + self.eps))
-        self.params["beta"] = np.zeros(self.num_features, dtype=np.float64)
+        dtype = self.params["gamma"].dtype
+        self.state["running_mean"] = np.zeros(self.num_features, dtype=dtype)
+        self.state["running_var"] = np.ones(self.num_features, dtype=dtype)
+        self.params["gamma"] = np.full(self.num_features, np.sqrt(1.0 + self.eps), dtype=dtype)
+        self.params["beta"] = np.zeros(self.num_features, dtype=dtype)
 
     def _reshape_stats(self, stat: np.ndarray, ndim: int) -> np.ndarray:
         if ndim == 2:

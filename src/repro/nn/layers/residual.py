@@ -18,6 +18,7 @@ from typing import List
 
 import numpy as np
 
+from repro.nn.dtypes import DTypeLike, resolve_dtype
 from repro.nn.layers.activations import ReLU
 from repro.nn.layers.base import CompositeLayer, Layer
 from repro.nn.layers.conv import Conv2D
@@ -25,10 +26,12 @@ from repro.nn.layers.normalization import BatchNorm
 from repro.utils.rng import SeedLike, as_rng
 
 
-def identity_projection_kernel(in_channels: int, out_channels: int) -> np.ndarray:
+def identity_projection_kernel(
+    in_channels: int, out_channels: int, dtype: DTypeLike | None = None
+) -> np.ndarray:
     """A 1x1 kernel mapping channel ``i`` of the input to channel ``i`` of the
     output (extra output channels, if any, are zero)."""
-    kernel = np.zeros((out_channels, in_channels, 1, 1), dtype=np.float64)
+    kernel = np.zeros((out_channels, in_channels, 1, 1), dtype=resolve_dtype(dtype))
     for i in range(min(in_channels, out_channels)):
         kernel[i, i, 0, 0] = 1.0
     return kernel
@@ -45,6 +48,7 @@ class ResidualUnit(CompositeLayer):
         use_batchnorm: bool = True,
         seed: SeedLike = None,
         name: str = "",
+        dtype: DTypeLike | None = None,
     ):
         super().__init__(name=name or f"resunit_{in_channels}to{channels}")
         rng = as_rng(seed)
@@ -52,14 +56,20 @@ class ResidualUnit(CompositeLayer):
         self.channels = int(channels)
         self.kernel_size = int(kernel_size)
         self.use_batchnorm = bool(use_batchnorm)
+        self.dtype = resolve_dtype(dtype)
 
-        self.conv1 = Conv2D(in_channels, channels, kernel_size, seed=rng, name=f"{self.name}.conv1")
-        self.bn1 = BatchNorm(channels, name=f"{self.name}.bn1") if use_batchnorm else None
+        dt = self.dtype
+        self.conv1 = Conv2D(
+            in_channels, channels, kernel_size, seed=rng, name=f"{self.name}.conv1", dtype=dt
+        )
+        self.bn1 = BatchNorm(channels, name=f"{self.name}.bn1", dtype=dt) if use_batchnorm else None
         self.relu1 = ReLU(name=f"{self.name}.relu1")
-        self.conv2 = Conv2D(channels, channels, kernel_size, seed=rng, name=f"{self.name}.conv2")
-        self.bn2 = BatchNorm(channels, name=f"{self.name}.bn2") if use_batchnorm else None
+        self.conv2 = Conv2D(
+            channels, channels, kernel_size, seed=rng, name=f"{self.name}.conv2", dtype=dt
+        )
+        self.bn2 = BatchNorm(channels, name=f"{self.name}.bn2", dtype=dt) if use_batchnorm else None
         self.projection = Conv2D(
-            in_channels, channels, 1, seed=rng, name=f"{self.name}.proj", use_bias=False
+            in_channels, channels, 1, seed=rng, name=f"{self.name}.proj", use_bias=False, dtype=dt
         )
         self.relu_out = ReLU(name=f"{self.name}.relu_out")
 
@@ -86,7 +96,9 @@ class ResidualUnit(CompositeLayer):
             self.bn2.set_identity()
             # gamma * 0 == 0 regardless, but keep beta at zero explicitly.
             self.bn2.params["beta"] = np.zeros_like(self.bn2.params["beta"])
-        self.projection.params["W"] = identity_projection_kernel(self.in_channels, self.channels)
+        self.projection.params["W"] = identity_projection_kernel(
+            self.in_channels, self.channels, dtype=self.projection.params["W"].dtype
+        )
 
     # ------------------------------------------------------------------ pass
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:

@@ -28,18 +28,22 @@ class Loss:
         return self.forward(predictions, targets), self.backward(predictions, targets)
 
 
-def _to_onehot(targets: np.ndarray, num_classes: int) -> np.ndarray:
-    """Convert integer labels to one-hot; pass through matrices unchanged."""
+def _to_onehot(targets: np.ndarray, num_classes: int, dtype=np.float64) -> np.ndarray:
+    """Convert integer labels to one-hot; pass through matrices unchanged.
+
+    ``dtype`` follows the logits so the gradient keeps the compute dtype
+    (a float64 one-hot would silently promote a float32 backward pass).
+    """
     targets = np.asarray(targets)
     if targets.ndim == 1:
-        onehot = np.zeros((targets.shape[0], num_classes), dtype=np.float64)
+        onehot = np.zeros((targets.shape[0], num_classes), dtype=dtype)
         onehot[np.arange(targets.shape[0]), targets.astype(int)] = 1.0
         return onehot
     if targets.shape[1] != num_classes:
         raise ValueError(
             f"target matrix has {targets.shape[1]} columns, expected {num_classes}"
         )
-    return targets.astype(np.float64)
+    return targets.astype(dtype)
 
 
 class SoftmaxCrossEntropy(Loss):
@@ -58,25 +62,30 @@ class SoftmaxCrossEntropy(Loss):
 
     def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
         probs = softmax(logits)
-        onehot = self._smooth(_to_onehot(targets, logits.shape[1]))
+        onehot = self._smooth(_to_onehot(targets, logits.shape[1], dtype=probs.dtype))
         log_probs = np.log(np.clip(probs, 1e-12, None))
         return float(-(onehot * log_probs).sum(axis=1).mean())
 
     def backward(self, logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
         probs = softmax(logits)
-        onehot = self._smooth(_to_onehot(targets, logits.shape[1]))
+        onehot = self._smooth(_to_onehot(targets, logits.shape[1], dtype=probs.dtype))
         return (probs - onehot) / logits.shape[0]
 
 
 class MeanSquaredError(Loss):
     """Mean squared error, averaged over samples and output dimensions."""
 
+    @staticmethod
+    def _target_dtype(predictions: np.ndarray):
+        dtype = np.asarray(predictions).dtype
+        return dtype if np.issubdtype(dtype, np.floating) else np.float64
+
     def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
-        targets = np.asarray(targets, dtype=np.float64)
+        targets = np.asarray(targets, dtype=self._target_dtype(predictions))
         return float(np.mean((predictions - targets) ** 2))
 
     def backward(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
-        targets = np.asarray(targets, dtype=np.float64)
+        targets = np.asarray(targets, dtype=self._target_dtype(predictions))
         return 2.0 * (predictions - targets) / predictions.size
 
 

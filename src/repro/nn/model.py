@@ -26,6 +26,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from repro.arch.spec import ArchitectureSpec
+from repro.nn.dtypes import DTypeLike, resolve_dtype
 from repro.nn.layers import (
     BatchNorm,
     Conv2D,
@@ -85,8 +86,9 @@ class ConvBlock:
 class Model:
     """A feed-forward classifier built from an :class:`ArchitectureSpec`."""
 
-    def __init__(self, spec: ArchitectureSpec):
+    def __init__(self, spec: ArchitectureSpec, dtype: DTypeLike | None = None):
         self.spec = spec
+        self.dtype = resolve_dtype(dtype)
         self.conv_blocks: List[ConvBlock] = []
         self.global_pool: Optional[GlobalAveragePool2D] = None
         self.flatten: Optional[Flatten] = None
@@ -96,13 +98,24 @@ class Model:
 
     # ------------------------------------------------------------ factories
     @classmethod
-    def from_spec(cls, spec: ArchitectureSpec, seed: SeedLike = 0, weight_init="he_normal") -> "Model":
-        """Materialise ``spec`` with freshly initialised weights."""
+    def from_spec(
+        cls,
+        spec: ArchitectureSpec,
+        seed: SeedLike = 0,
+        weight_init="he_normal",
+        dtype: DTypeLike | None = None,
+    ) -> "Model":
+        """Materialise ``spec`` with freshly initialised weights.
+
+        ``dtype`` fixes the compute dtype of every layer (default: the global
+        compute dtype, ``float32`` unless reconfigured).
+        """
         rngs = RngManager(seed if isinstance(seed, int) else None)
         if not isinstance(seed, int) and seed is not None:
             # A generator was passed: draw a base seed from it for determinism.
             rngs = RngManager(int(np.random.default_rng().integers(2**31)) if seed is None else int(seed.integers(2**31)))
-        model = cls(spec)
+        model = cls(spec, dtype=dtype)
+        dt = model.dtype
 
         if spec.kind == "conv":
             channels, height, width = spec.input_shape
@@ -118,6 +131,7 @@ class Model:
                             use_batchnorm=spec.use_batchnorm,
                             seed=layer_seed,
                             name=f"block{b}.unit{i}",
+                            dtype=dt,
                         )
                     else:
                         conv = Conv2D(
@@ -127,9 +141,10 @@ class Model:
                             weight_init=weight_init,
                             seed=layer_seed,
                             name=f"block{b}.conv{i}",
+                            dtype=dt,
                         )
                         bn = (
-                            BatchNorm(layer_spec.filters, name=f"block{b}.bn{i}")
+                            BatchNorm(layer_spec.filters, name=f"block{b}.bn{i}", dtype=dt)
                             if spec.use_batchnorm
                             else None
                         )
@@ -153,8 +168,13 @@ class Model:
                 weight_init=weight_init,
                 seed=rngs.seed("dense", i),
                 name=f"hidden{i}.dense",
+                dtype=dt,
             )
-            bn = BatchNorm(layer_spec.units, name=f"hidden{i}.bn") if spec.use_batchnorm else None
+            bn = (
+                BatchNorm(layer_spec.units, name=f"hidden{i}.bn", dtype=dt)
+                if spec.use_batchnorm
+                else None
+            )
             model.dense_units.append(DenseUnit(dense=dense, bn=bn, relu=ReLU(name=f"hidden{i}.relu")))
             features = layer_spec.units
 
@@ -166,6 +186,7 @@ class Model:
             weight_init=weight_init,
             seed=rngs.seed("classifier"),
             name="classifier",
+            dtype=dt,
         )
         return model
 
@@ -200,7 +221,12 @@ class Model:
     # ------------------------------------------------------------------ API
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         """Compute logits for a batch of inputs."""
-        out = np.asarray(x, dtype=np.float64)
+        # Cast only when needed: inputs already in the compute dtype (the
+        # common case — the trainer casts once per fit) pass through untouched.
+        if isinstance(x, np.ndarray) and x.dtype == self.dtype:
+            out = x
+        else:
+            out = np.asarray(x, dtype=self.dtype)
         for layer in self._sequence():
             out = layer.forward(out, training=training)
         return out
@@ -211,11 +237,18 @@ class Model:
         grad = grad_logits
         for layer in reversed(self._sequence()):
             grad = layer.backward(grad)
-        return grad
+        # Layers may return views into reused workspace buffers (see
+        # Layer.backward); detach at the model boundary so callers own the
+        # input gradient outright.  One input-sized copy per step — noise
+        # next to the conv GEMMs.
+        return np.array(grad, copy=True)
 
     def predict_logits(self, x: np.ndarray, batch_size: Optional[int] = None) -> np.ndarray:
         """Inference-mode logits, optionally mini-batched to bound memory."""
-        x = np.asarray(x, dtype=np.float64)
+        # One cast for the whole call; the per-batch forward then sees the
+        # compute dtype already and does not cast again.
+        if not isinstance(x, np.ndarray) or x.dtype != self.dtype:
+            x = np.asarray(x, dtype=self.dtype)
         if batch_size is None or x.shape[0] <= batch_size:
             return self.forward(x, training=False)
         chunks = [
@@ -240,6 +273,12 @@ class Model:
     def zero_grads(self) -> None:
         for layer in self.parameter_layers():
             layer.zero_grads()
+
+    def clear_workspaces(self) -> None:
+        """Release every layer's reusable scratch buffers (they rebuild
+        lazily); call between fits to return training-sized scratch memory."""
+        for layer in self._sequence():
+            layer.clear_workspaces()
 
     def parameter_count(self) -> int:
         return int(sum(layer.parameter_count() for layer in self.parameter_layers()))
@@ -277,7 +316,7 @@ class Model:
 
     def copy(self) -> "Model":
         """A structurally identical model with copied weights."""
-        clone = Model.from_spec(self.spec, seed=0)
+        clone = Model.from_spec(self.spec, seed=0, dtype=self.dtype)
         clone.set_weights(self.get_weights())
         return clone
 

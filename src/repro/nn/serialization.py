@@ -51,6 +51,16 @@ def load_model(path: Union[str, Path]) -> Model:
                 continue
             layer_name, weight_key = key.split("|", 1)
             weights.setdefault(layer_name, {})[weight_key] = archive[key]
-    model = Model.from_spec(spec, seed=0)
+    # Rebuild in the checkpoint's dtype so compute and weights agree even when
+    # the global compute dtype changed since the model was saved.
+    dtype = None
+    for layer_weights in weights.values():
+        for value in layer_weights.values():
+            if value.dtype in (np.float32, np.float64):
+                dtype = value.dtype
+                break
+        if dtype is not None:
+            break
+    model = Model.from_spec(spec, seed=0, dtype=dtype)
     model.set_weights(weights)
     return model

@@ -198,7 +198,10 @@ class Trainer:
         seed: SeedLike = 0,
     ) -> TrainingResult:
         """Train ``model`` in place and return the :class:`TrainingResult`."""
-        x_train = np.asarray(x_train, dtype=np.float64)
+        # Cast the whole training set to the model's compute dtype once, so no
+        # per-batch slice ever needs a cast inside the epoch loop.
+        dtype = getattr(model, "dtype", None) or np.float64
+        x_train = np.asarray(x_train, dtype=dtype)
         y_train = np.asarray(y_train)
         if x_train.shape[0] != y_train.shape[0]:
             raise ValueError("x_train and y_train must have the same number of samples")
@@ -256,6 +259,11 @@ class Trainer:
                 break
 
         result.wall_clock_seconds = time.perf_counter() - start_time
+        # Training scratch (conv workspace arenas sized for the training
+        # batches) is not needed for inference; free it so trained members
+        # held in ensembles do not pin batch-sized buffers.
+        if hasattr(model, "clear_workspaces"):
+            model.clear_workspaces()
         return result
 
 

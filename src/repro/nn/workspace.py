@@ -1,0 +1,72 @@
+"""Reusable scratch-buffer arena for hot-path layers.
+
+The convolution layer needs several large temporaries per batch (the padded
+input, the im2col patch matrix, the col2im scatter target).  Allocating them
+fresh on every forward/backward call dominates the non-BLAS time of a training
+step, so each layer owns a :class:`WorkspaceArena` that hands out the same
+buffer again for every request with the same name, shape, and dtype — i.e.
+for every batch of the same size.  The few shapes that alternate during a fit
+(full batch, trailing partial batch, validation batch) coexist in the arena
+rather than evicting each other.
+
+Buffers are plain scratch memory: contents persist between ``get`` calls, and
+callers own the invariants they rely on (e.g. the conv layer keeps the zero
+border of its padding buffer intact by only ever writing the interior).
+Arenas are never serialised; they are rebuilt lazily after model load/copy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+class WorkspaceArena:
+    """Named, shape-keyed scratch buffers with reuse across calls.
+
+    Buffers are cached per ``(key, shape, dtype)`` so the shapes that
+    alternate within a normal training loop — the full batch, the smaller
+    trailing batch of an epoch, the validation batch — each keep their own
+    buffer and none of them thrashes the others.  Only a handful of distinct
+    shapes ever occur per fit; :meth:`clear` releases them all.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: Dict[tuple, np.ndarray] = {}
+
+    def get(
+        self,
+        key: str,
+        shape: tuple,
+        dtype: np.dtype,
+        zero_on_alloc: bool = False,
+    ) -> np.ndarray:
+        """Return the buffer for ``(key, shape, dtype)``, allocating on first
+        use of that combination.
+
+        ``zero_on_alloc`` zero-fills *newly allocated* buffers only; reused
+        buffers keep their previous contents (that persistence is the point —
+        see the padding-border invariant in ``Conv2D``).  Callers that need a
+        cleared buffer every time must ``fill(0)`` themselves.
+        """
+        cache_key = (key, tuple(shape), np.dtype(dtype))
+        buf = self._buffers.get(cache_key)
+        if buf is None:
+            buf = np.zeros(shape, dtype=dtype) if zero_on_alloc else np.empty(shape, dtype=dtype)
+            self._buffers[cache_key] = buf
+        return buf
+
+    def clear(self) -> None:
+        """Drop all cached buffers (frees the memory)."""
+        self._buffers.clear()
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by the arena."""
+        return int(sum(buf.nbytes for buf in self._buffers.values()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WorkspaceArena(buffers={len(self._buffers)}, nbytes={self.nbytes})"

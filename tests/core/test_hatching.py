@@ -21,9 +21,17 @@ from repro.core import (
     verify_function_preservation,
 )
 from repro.core.hatching import apply_step
-from repro.nn import Model, Trainer, TrainingConfig
+from repro.nn import Model, Trainer, TrainingConfig, default_dtype
 
 TINY = (3, 8, 8)
+
+
+@pytest.fixture(autouse=True)
+def _float64_compute():
+    """Hatching's function-preservation guarantee is checked to tight absolute
+    tolerances; run these tests at float64 resolution."""
+    with default_dtype("float64"):
+        yield
 
 
 # ---------------------------------------------------------------------------

@@ -19,7 +19,15 @@ from repro.core import (
     widen_residual_block,
 )
 from repro.core.hatching import verify_function_preservation
-from repro.nn import Model, Trainer, TrainingConfig
+from repro.nn import Model, Trainer, TrainingConfig, default_dtype
+
+
+@pytest.fixture(autouse=True)
+def _float64_compute():
+    """Function preservation is an exact algebraic identity; verify it at
+    float64 resolution rather than the float32 compute default."""
+    with default_dtype("float64"):
+        yield
 
 
 def _trained_model(spec, dataset=None, seed=0):

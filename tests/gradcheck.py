@@ -10,7 +10,24 @@ from typing import Callable
 
 import numpy as np
 
-from repro.nn.layers.base import Layer
+from repro.nn.layers.base import CompositeLayer, Layer
+
+
+def _promote_to_float64(layer: Layer) -> None:
+    """Upcast a layer's parameters and state to float64 in place.
+
+    Central differences with ``eps=1e-5`` are meaningless at float32
+    resolution, so gradient checking always runs the layer in float64
+    regardless of the configured compute dtype.
+    """
+    if isinstance(layer, CompositeLayer):
+        for sub in layer.sublayers():
+            _promote_to_float64(sub)
+    for key, value in layer.params.items():
+        layer.params[key] = np.asarray(value, dtype=np.float64)
+    for key, value in layer.state.items():
+        if np.issubdtype(np.asarray(value).dtype, np.floating):
+            layer.state[key] = np.asarray(value, dtype=np.float64)
 
 
 def numerical_gradient(fn: Callable[[], float], tensor: np.ndarray, eps: float = 1e-5) -> np.ndarray:
@@ -39,6 +56,8 @@ def check_layer_gradients(
 ) -> None:
     """Verify the layer's input and parameter gradients against finite
     differences for the scalar loss ``sum(weights * forward(x))``."""
+    _promote_to_float64(layer)
+    x = np.asarray(x, dtype=np.float64)
     rng = np.random.default_rng(0)
     out = layer.forward(x.copy(), training=True)
     loss_weights = rng.normal(size=out.shape)
@@ -46,10 +65,12 @@ def check_layer_gradients(
     def loss_from_input() -> float:
         return float(np.sum(layer.forward(x, training=True) * loss_weights))
 
-    # Analytic gradients.
+    # Analytic gradients.  Copy the returned gradient: per the Layer.backward
+    # ownership contract it may be a view into reused workspace, and the
+    # numeric loop below runs many more forward passes before the assert.
     layer.zero_grads()
     layer.forward(x, training=True)
-    grad_input = layer.backward(loss_weights)
+    grad_input = np.array(layer.backward(loss_weights), copy=True)
 
     numeric_input = numerical_gradient(loss_from_input, x)
     np.testing.assert_allclose(grad_input, numeric_input, rtol=rtol, atol=atol)

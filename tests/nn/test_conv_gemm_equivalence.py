@@ -1,0 +1,234 @@
+"""Numerical-equivalence tests for the GEMM conv engine.
+
+The BLAS hot path (float32 GEMM with workspace reuse) must compute the same
+convolution as the float64 einsum reference, forward and backward, within
+float32 tolerance — and exactly when both run at float64.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Conv2D, col2im, im2col
+from tests.gradcheck import check_layer_gradients
+
+
+def _paired_convs(in_c, out_c, k, stride=1, padding="same", use_bias=True):
+    """A float32 GEMM conv and a float64 einsum conv with identical weights."""
+    fast = Conv2D(
+        in_c, out_c, k, stride=stride, padding=padding, use_bias=use_bias,
+        seed=7, dtype="float32", engine="gemm",
+    )
+    ref = Conv2D(
+        in_c, out_c, k, stride=stride, padding=padding, use_bias=use_bias,
+        seed=7, dtype="float64", engine="einsum",
+    )
+    for key, value in fast.params.items():
+        ref.params[key] = value.astype(np.float64)
+    return fast, ref
+
+
+@pytest.mark.parametrize(
+    "in_c,out_c,k,stride,padding",
+    [
+        (3, 8, 3, 1, "same"),
+        (4, 4, 1, 1, 0),
+        (2, 6, 5, 1, "same"),
+        (3, 5, 3, 2, 1),
+    ],
+)
+def test_gemm_forward_matches_einsum_reference(in_c, out_c, k, stride, padding):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(4, in_c, 9, 9))
+    fast, ref = _paired_convs(in_c, out_c, k, stride=stride, padding=padding)
+    out_fast = fast.forward(x.astype(np.float32), training=False)
+    out_ref = ref.forward(x, training=False)
+    assert out_fast.dtype == np.float32
+    np.testing.assert_allclose(out_fast, out_ref, rtol=1e-4, atol=1e-5)
+
+
+@pytest.mark.parametrize("use_bias", [True, False])
+def test_gemm_backward_matches_einsum_reference(use_bias):
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(3, 3, 8, 8))
+    fast, ref = _paired_convs(3, 6, 3, use_bias=use_bias)
+    out_fast = fast.forward(x.astype(np.float32), training=True)
+    out_ref = ref.forward(x, training=True)
+    grad = rng.normal(size=out_ref.shape)
+    gx_fast = fast.backward(grad.astype(np.float32))
+    gx_ref = ref.backward(grad)
+    np.testing.assert_allclose(gx_fast, gx_ref, rtol=1e-3, atol=1e-4)
+    np.testing.assert_allclose(
+        fast.grads["W"], ref.grads["W"], rtol=1e-3, atol=1e-4
+    )
+    if use_bias:
+        np.testing.assert_allclose(
+            fast.grads["b"], ref.grads["b"], rtol=1e-3, atol=1e-4
+        )
+
+
+def test_gemm_and_einsum_identical_at_float64():
+    """At the same dtype the two engines are the same linear algebra; they
+    agree to float64 round-off, not merely float32 tolerance."""
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=(2, 3, 7, 7))
+    gemm = Conv2D(3, 4, 3, seed=3, dtype="float64", engine="gemm")
+    eins = Conv2D(3, 4, 3, seed=3, dtype="float64", engine="einsum")
+    for key, value in gemm.params.items():
+        eins.params[key] = value.copy()
+    out_g = gemm.forward(x, training=True)
+    out_e = eins.forward(x, training=True)
+    np.testing.assert_allclose(out_g, out_e, rtol=1e-13, atol=1e-13)
+    grad = rng.normal(size=out_g.shape)
+    gx_g = gemm.backward(grad)
+    gx_e = eins.backward(grad.copy())
+    np.testing.assert_allclose(gx_g, gx_e, rtol=1e-12, atol=1e-13)
+    np.testing.assert_allclose(gemm.grads["W"], eins.grads["W"], rtol=1e-12, atol=1e-13)
+
+
+def test_gemm_engine_gradcheck():
+    """The GEMM backward pass survives finite-difference gradient checking
+    (gradcheck promotes the layer to float64 internally)."""
+    rng = np.random.default_rng(4)
+    layer = Conv2D(2, 3, 3, seed=5, engine="gemm")
+    x = rng.normal(size=(2, 2, 6, 6))
+    check_layer_gradients(layer, x)
+
+
+def test_strided_gemm_engine_gradcheck():
+    rng = np.random.default_rng(5)
+    layer = Conv2D(2, 3, 3, stride=2, padding=1, seed=6, engine="gemm")
+    x = rng.normal(size=(2, 2, 7, 7))
+    check_layer_gradients(layer, x)
+
+
+def test_workspace_is_reused_across_same_shape_batches():
+    rng = np.random.default_rng(6)
+    conv = Conv2D(3, 4, 3, seed=0, engine="gemm")
+    x1 = rng.normal(size=(4, 3, 8, 8)).astype(np.float32)
+    x2 = rng.normal(size=(4, 3, 8, 8)).astype(np.float32)
+    conv.forward(x1, training=True)
+    cols_first = conv._cache[1]
+    conv.forward(x2, training=True)
+    cols_second = conv._cache[1]
+    assert cols_first is cols_second  # same buffer, refreshed contents
+    # A different batch size reallocates rather than corrupting shapes.
+    x3 = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+    out = conv.forward(x3, training=False)
+    assert out.shape == (2, 4, 8, 8)
+
+
+def test_workspace_padding_border_stays_zero():
+    """The padded workspace's zero border must survive buffer reuse; a stale
+    border would leak a previous batch into the convolution edges."""
+    conv = Conv2D(1, 1, 3, seed=0, engine="gemm", dtype="float64")
+    conv.params["W"] = np.ones_like(conv.params["W"])
+    conv.params["b"] = np.zeros_like(conv.params["b"])
+    ones = np.ones((1, 1, 4, 4))
+    first = conv.forward(ones, training=False)
+    second = conv.forward(ones, training=False)
+    np.testing.assert_array_equal(first, second)
+    # Corner output = sum over the 2x2 valid window = 4 exactly.
+    assert second[0, 0, 0, 0] == 4.0
+
+
+def test_forward_output_does_not_alias_workspace():
+    """Outputs must stay valid after later forward calls (no aliasing of the
+    returned tensor with reused scratch)."""
+    rng = np.random.default_rng(7)
+    conv = Conv2D(2, 3, 3, seed=1, engine="gemm")
+    x1 = rng.normal(size=(2, 2, 6, 6)).astype(np.float32)
+    out1 = conv.forward(x1, training=False)
+    snapshot = out1.copy()
+    conv.forward(rng.normal(size=(2, 2, 6, 6)).astype(np.float32), training=False)
+    np.testing.assert_array_equal(out1, snapshot)
+
+
+def test_backward_raises_on_stale_workspace_cache():
+    """An intervening forward overwrites the cached arena columns; backward
+    must fail loudly instead of computing gradients from the wrong batch."""
+    rng = np.random.default_rng(10)
+    conv = Conv2D(2, 3, 3, seed=0, engine="gemm")
+    x = rng.normal(size=(2, 2, 6, 6)).astype(np.float32)
+    out = conv.forward(x, training=True)
+    conv.forward(x, training=False)  # e.g. mid-step metrics pass clears the cache
+    with pytest.raises(RuntimeError):
+        conv.backward(np.ones_like(out))
+    # Defense in depth: even a manually retained stale cache trips the
+    # generation guard rather than reading refreshed workspace columns.
+    out = conv.forward(x, training=True)
+    stale = conv._cache
+    conv.forward(x, training=False)
+    conv._cache = stale
+    with pytest.raises(RuntimeError, match="intervening forward"):
+        conv.backward(np.ones_like(out))
+    # The normal forward-then-backward sequence still works.
+    out = conv.forward(x, training=True)
+    conv.backward(np.ones_like(out))
+
+
+def test_clear_workspaces_frees_and_rebuilds():
+    rng = np.random.default_rng(11)
+    conv = Conv2D(2, 3, 3, seed=0, engine="gemm")
+    x = rng.normal(size=(2, 2, 6, 6)).astype(np.float32)
+    out = conv.forward(x, training=True)
+    conv.backward(np.ones_like(out))
+    assert conv._arena.nbytes > 0
+    conv.clear_workspaces()
+    assert conv._arena.nbytes == 0
+    reference = Conv2D(2, 3, 3, seed=0, engine="gemm")
+    np.testing.assert_array_equal(conv.forward(x, training=False), reference.forward(x))
+
+
+def test_trainer_releases_training_workspaces(tiny_vgg_spec):
+    from repro.nn import Model, Trainer, TrainingConfig
+
+    model = Model.from_spec(tiny_vgg_spec, seed=0)
+    rng = np.random.default_rng(12)
+    x = rng.normal(size=(32, *tiny_vgg_spec.input_shape))
+    y = rng.integers(0, tiny_vgg_spec.num_classes, size=32)
+    Trainer(TrainingConfig(max_epochs=1, batch_size=16)).fit(model, x, y, seed=0)
+    convs = [l for l in model._sequence() if isinstance(l, Conv2D)]
+    assert convs and all(conv._arena.nbytes == 0 for conv in convs)
+
+
+def test_alternating_batch_shapes_keep_both_buffers():
+    """Full batch / trailing partial batch must not evict each other's
+    workspaces (the common uneven-epoch pattern)."""
+    rng = np.random.default_rng(13)
+    conv = Conv2D(2, 3, 3, seed=0, engine="gemm")
+    x_full = rng.normal(size=(4, 2, 6, 6)).astype(np.float32)
+    x_tail = rng.normal(size=(3, 2, 6, 6)).astype(np.float32)
+    conv.forward(x_full, training=True)
+    cols_full = conv._cache[1]
+    conv.forward(x_tail, training=True)
+    cols_tail = conv._cache[1]
+    conv.forward(x_full, training=True)
+    assert conv._cache[1] is cols_full
+    conv.forward(x_tail, training=True)
+    assert conv._cache[1] is cols_tail
+
+
+def test_im2col_inference_skips_redundant_copy():
+    """im2col(copy=False) may alias the input only in view-compatible layouts;
+    either way the values match the copying path."""
+    rng = np.random.default_rng(8)
+    x = rng.normal(size=(2, 3, 5, 5))
+    a = im2col(x, (3, 3), 1, 1, copy=True)
+    b = im2col(x, (3, 3), 1, 1, copy=False)
+    np.testing.assert_array_equal(a, b)
+    a.fill(0.0)  # the copying path must be writable without touching x
+    assert np.any(b != 0.0)
+
+
+def test_im2col_col2im_roundtrip_with_workspaces():
+    rng = np.random.default_rng(9)
+    x = rng.normal(size=(2, 3, 6, 6))
+    cols_out = np.empty((2, 3 * 9, 36))
+    cols = im2col(np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1))), (3, 3), 1, 0, out=cols_out)
+    assert cols is cols_out
+    reference = im2col(x, (3, 3), 1, 1)
+    np.testing.assert_array_equal(cols, reference)
+    scatter = np.empty((2, 3, 8, 8))
+    grad = col2im(cols, x.shape, (3, 3), 1, 1, out=scatter)
+    grad_ref = col2im(reference, x.shape, (3, 3), 1, 1)
+    np.testing.assert_array_equal(grad, grad_ref)

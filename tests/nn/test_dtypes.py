@@ -1,0 +1,129 @@
+"""Tests for the configurable compute dtype (float32 default, float64 opt-in)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Model,
+    Trainer,
+    TrainingConfig,
+    default_dtype,
+    get_default_dtype,
+    resolve_dtype,
+    set_default_dtype,
+)
+from repro.nn.layers import BatchNorm, Conv2D, Dense, ResidualUnit
+
+
+def test_default_compute_dtype_is_float32():
+    assert get_default_dtype() == np.float32
+
+
+def test_resolve_dtype_accepts_aliases_and_rejects_others():
+    assert resolve_dtype("float64") == np.float64
+    assert resolve_dtype(np.float32) == np.float32
+    assert resolve_dtype(None) == get_default_dtype()
+    with pytest.raises(ValueError):
+        resolve_dtype("float16")
+    with pytest.raises(ValueError):
+        resolve_dtype("int32")
+
+
+def test_default_dtype_context_manager_restores():
+    before = get_default_dtype()
+    with default_dtype("float64") as resolved:
+        assert resolved == np.float64
+        assert get_default_dtype() == np.float64
+        layer = Dense(4, 3, seed=0)
+        assert layer.params["W"].dtype == np.float64
+    assert get_default_dtype() == before
+
+
+def test_set_default_dtype_round_trip():
+    before = get_default_dtype()
+    try:
+        assert set_default_dtype("float64") == np.float64
+        assert Dense(2, 2, seed=0).params["W"].dtype == np.float64
+    finally:
+        set_default_dtype(before)
+
+
+@pytest.mark.parametrize("dtype", ["float32", "float64"])
+def test_layers_honour_explicit_dtype(dtype):
+    expected = np.dtype(dtype)
+    conv = Conv2D(3, 4, 3, seed=0, dtype=dtype)
+    dense = Dense(4, 2, seed=0, dtype=dtype)
+    bn = BatchNorm(4, dtype=dtype)
+    res = ResidualUnit(3, 3, seed=0, dtype=dtype)
+    assert conv.params["W"].dtype == expected
+    assert dense.params["W"].dtype == expected
+    assert bn.params["gamma"].dtype == expected
+    assert bn.state["running_var"].dtype == expected
+    assert res.conv1.params["W"].dtype == expected
+    assert res.projection.params["W"].dtype == expected
+
+
+def test_model_threads_dtype_through_all_layers(tiny_vgg_spec):
+    model = Model.from_spec(tiny_vgg_spec, seed=0, dtype="float64")
+    assert model.dtype == np.float64
+    for _, param, _ in model.iter_parameters():
+        assert param.dtype == np.float64
+    model32 = Model.from_spec(tiny_vgg_spec, seed=0)
+    assert model32.dtype == np.float32
+    for _, param, _ in model32.iter_parameters():
+        assert param.dtype == np.float32
+
+
+def test_forward_backward_stay_in_compute_dtype(tiny_vgg_spec):
+    """No hidden float64 promotion anywhere in the training step: logits,
+    loss gradient, and every parameter gradient keep float32."""
+    from repro.nn.losses import SoftmaxCrossEntropy
+
+    model = Model.from_spec(tiny_vgg_spec, seed=0)
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(8, *tiny_vgg_spec.input_shape))
+    y = rng.integers(0, tiny_vgg_spec.num_classes, size=8)
+    logits = model.forward(x, training=True)
+    assert logits.dtype == np.float32
+    _, grad = SoftmaxCrossEntropy()(logits, y)
+    assert grad.dtype == np.float32
+    model.zero_grads()
+    model.backward(grad)
+    for _, param, g in model.iter_parameters():
+        assert g.dtype == np.float32, param.shape
+
+
+def test_forward_casts_input_once_and_passes_through_matching(small_mlp_spec):
+    model = Model.from_spec(small_mlp_spec, seed=0)
+    x64 = np.random.default_rng(0).normal(size=(5, model.spec.input_shape[0]))
+    x32 = x64.astype(np.float32)
+    np.testing.assert_array_equal(model.forward(x64), model.forward(x32))
+
+
+def test_training_converges_at_float32(small_mlp_spec, tiny_tabular_dataset):
+    model = Model.from_spec(small_mlp_spec, seed=0)
+    config = TrainingConfig(max_epochs=5, batch_size=32, learning_rate=0.05)
+    result = Trainer(config).fit(
+        model, tiny_tabular_dataset.x_train, tiny_tabular_dataset.y_train, seed=0
+    )
+    assert result.history[-1].train_loss < result.history[0].train_loss
+
+
+def test_model_copy_preserves_dtype(small_mlp_spec):
+    model = Model.from_spec(small_mlp_spec, seed=0, dtype="float64")
+    clone = model.copy()
+    assert clone.dtype == np.float64
+    for _, param, _ in clone.iter_parameters():
+        assert param.dtype == np.float64
+
+
+def test_serialization_round_trips_dtype(small_mlp_spec, tmp_path):
+    from repro.nn import load_model, save_model
+
+    for dtype in ("float32", "float64"):
+        model = Model.from_spec(small_mlp_spec, seed=0, dtype=dtype)
+        path = save_model(model, tmp_path / f"m_{dtype}.npz")
+        loaded = load_model(path)
+        assert loaded.dtype == np.dtype(dtype)
+        x = np.random.default_rng(0).normal(size=(4, model.spec.input_shape[0]))
+        np.testing.assert_array_equal(model.predict_logits(x), loaded.predict_logits(x))

@@ -1,0 +1,63 @@
+"""Smoke test for the micro-benchmark harness: it must run end to end and
+emit schema-conforming, machine-readable JSON (the perf trajectory across PRs
+depends on this file format staying parseable)."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+HARNESS = REPO_ROOT / "benchmarks" / "micro" / "run_micro.py"
+
+
+def test_micro_harness_smoke(tmp_path):
+    output = tmp_path / "BENCH_micro.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(HARNESS),
+            "--benchmarks",
+            "dense",
+            "--repeats",
+            "1",
+            "--output",
+            str(output),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    payload = json.loads(output.read_text())
+    assert payload["schema"] == "repro.bench.micro/v1"
+    entry = payload["benchmarks"]["dense"]
+    assert entry["reference_seconds"] > 0
+    assert entry["fast_seconds"] > 0
+    assert entry["speedup"] == entry["reference_seconds"] / entry["fast_seconds"]
+
+
+def test_micro_harness_rejects_unknown_benchmark(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, str(HARNESS), "--benchmarks", "nope", "--output", str(tmp_path / "x.json")],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert proc.returncode != 0
+    assert "unknown benchmarks" in proc.stderr
+
+
+def test_checked_in_bench_results_meet_acceptance():
+    """The committed BENCH_micro.json must document >= 2x on the VGG training
+    step and ensemble predict (the acceptance criteria of the engine PR)."""
+    payload = json.loads((REPO_ROOT / "benchmarks" / "micro" / "BENCH_micro.json").read_text())
+    assert payload["benchmarks"]["vgg_step"]["speedup"] >= 2.0
+    assert payload["benchmarks"]["ensemble_predict"]["speedup"] >= 2.0

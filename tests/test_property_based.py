@@ -195,7 +195,8 @@ def test_cluster_count_monotone_in_tau(members, tau):
 @given(hatchable_dense_pairs())
 def test_hatching_random_dense_pairs_preserves_function(pair):
     parent_spec, child_spec = pair
-    parent = Model.from_spec(parent_spec, seed=0)
+    # Exactness property: verify at float64 resolution (hatch inherits dtype).
+    parent = Model.from_spec(parent_spec, seed=0, dtype="float64")
     child = hatch(parent, child_spec, seed=1)
     deviation = verify_function_preservation(parent, child, num_samples=6, atol=1e-7)
     assert deviation < 1e-7
@@ -205,7 +206,7 @@ def test_hatching_random_dense_pairs_preserves_function(pair):
 @given(conv_ensembles(min_members=2, max_members=3))
 def test_hatching_random_conv_mothernets_preserves_function(members):
     mothernet = construct_mothernet(members)
-    parent = Model.from_spec(mothernet, seed=0)
+    parent = Model.from_spec(mothernet, seed=0, dtype="float64")
     for member in members:
         blocks_ok = all(
             layer.filters >= mn_block.layers[-1].filters
