@@ -1,84 +1,110 @@
-"""Quickstart: train a small ensemble of diverse MLPs with MotherNets.
+"""Quickstart: declare, train, save, and serve a MotherNets ensemble.
 
-This walks through the full MotherNets workflow of the paper on a synthetic
-tabular task small enough to run in a few seconds on a laptop CPU:
+Since the unified API, a whole experiment is a single declarative
+:class:`~repro.api.ExperimentSpec` — data set, member architectures, training
+approach (resolved by name through the trainer registry), hyper-parameters —
+executed by :func:`~repro.api.run_experiment`:
 
-1. define an ensemble of diverse architectures,
-2. construct the MotherNet that captures their shared structure,
-3. train the MotherNet once on the full data set,
-4. hatch every ensemble member (function-preserving, instantaneous),
-5. fine-tune every member on its own bagged sample,
-6. compare accuracy and training time against the full-data baseline.
+1. describe the experiment as plain data (it could equally live in a JSON
+   file and run via ``python -m repro train``),
+2. execute it (cluster -> train MotherNets -> hatch -> bag-train),
+3. save the trained ensemble as a portable artifact directory,
+4. serve predictions from the artifact with :class:`~repro.api.EnsemblePredictor`,
+5. compare against the full-data baseline — selected by registry name only.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro.arch import count_parameters, mlp_family
-from repro.core import (
-    FullDataTrainer,
-    MotherNetsTrainer,
-    construct_mothernet,
-)
-from repro.data import synthetic_tabular_classification, train_validation_split
+import tempfile
+from pathlib import Path
+
+from repro.api import EnsemblePredictor, run_experiment, save_ensemble_run
+from repro.core import FullDataTrainer  # direct trainer API, still supported
+from repro.data import train_validation_split
 from repro.evaluation import evaluate_ensemble, format_error_rates, format_time_breakdown
 from repro.nn import TrainingConfig
 
 
 def main() -> None:
-    # ------------------------------------------------------------------ data
-    dataset = synthetic_tabular_classification(
-        num_classes=8,
-        num_features=32,
-        train_samples=1024,
-        test_samples=512,
-        class_separation=1.6,
-        noise_std=1.3,
-        seed=7,
+    # ------------------------------------------------- declarative experiment
+    experiment = {
+        "name": "quickstart",
+        "dataset": {
+            "name": "tabular",
+            "num_classes": 8,
+            "num_features": 32,
+            "train_samples": 1024,
+            "test_samples": 512,
+            "class_separation": 1.6,
+            "noise_std": 1.3,
+            "seed": 7,
+        },
+        # Eight MLPs with diverse depths and widths, from the architecture zoo.
+        "members": {
+            "family": "mlp",
+            "count": 8,
+            "input_features": 32,
+            "num_classes": 8,
+            "base_width": 48,
+            "base_depth": 2,
+            "seed": 3,
+            "use_batchnorm": True,
+        },
+        "approach": "mothernets",  # resolved through the trainer registry
+        "trainer": {"tau": 0.4},
+        "training": {
+            "max_epochs": 30,
+            "batch_size": 64,
+            "learning_rate": 0.05,
+            "momentum": 0.9,
+            "convergence_patience": 3,
+            "convergence_tolerance": 1e-3,
+        },
+        "seed": 0,
+        "super_learner": {"validation_fraction": 0.15, "seed": 0},
+    }
+
+    print("Training with MotherNets (train once, hatch, bag-train)...")
+    result = run_experiment(experiment)
+    dataset = result.dataset
+
+    for member in result.ensemble.members:
+        print(f"  {member.name:24s} {member.parameter_count:>8,d} parameters ({member.source})")
+
+    # --------------------------------------------------- save -> load -> serve
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact = Path(tmp) / "quickstart-ensemble"
+        save_ensemble_run(result.run, artifact)
+        print(f"\nSaved ensemble artifact to {artifact}")
+
+        predictor = EnsemblePredictor.load(artifact, method="average")
+        labels = predictor.predict(dataset.x_test[:5])
+        print(f"Served predictions for 5 samples: {labels.tolist()}")
+
+    # ------------------------------------- baseline via the direct trainer API
+    # The pre-registry entry points keep working unchanged:
+    print("\nTraining the full-data baseline (every member from scratch)...")
+    config = TrainingConfig(**experiment["training"])
+    full_data_run = FullDataTrainer(config).train(
+        result.spec.member_specs(), dataset, seed=0
     )
-    x_train, y_train, x_val, y_val = train_validation_split(
+    # Fit the baseline's Super Learner on the same split run_experiment used,
+    # so the SL rows of both tables are comparable.
+    _, _, x_val, y_val = train_validation_split(
         dataset.x_train, dataset.y_train, validation_fraction=0.15, seed=0
     )
+    full_data_run.ensemble.fit_super_learner(x_val, y_val, seed=0)
 
-    # -------------------------------------------------------------- ensemble
-    # Eight MLPs with diverse depths and widths.
-    members = mlp_family(
-        8, input_features=32, num_classes=8, base_width=48, base_depth=2, seed=3,
-        use_batchnorm=True,
-    )
-    print("Ensemble members:")
-    for member in members:
-        print(f"  {member.describe():60s} {count_parameters(member):>8,d} parameters")
-
-    mothernet = construct_mothernet(members)
-    print(f"\nMotherNet: {mothernet.describe()}  ({count_parameters(mothernet):,d} parameters)")
-
-    # -------------------------------------------------------------- training
-    config = TrainingConfig(
-        max_epochs=30,
-        batch_size=64,
-        learning_rate=0.05,
-        momentum=0.9,
-        convergence_patience=3,
-        convergence_tolerance=1e-3,
-    )
-
-    print("\nTraining with MotherNets (train once, hatch, bag-train)...")
-    mothernets_run = MotherNetsTrainer(config, tau=0.4).train(members, dataset, seed=0)
-
-    print("Training the full-data baseline (every member from scratch)...")
-    full_data_run = FullDataTrainer(config).train(members, dataset, seed=0)
-
-    # ------------------------------------------------------------ evaluation
-    for run in (mothernets_run, full_data_run):
-        run.ensemble.fit_super_learner(x_val, y_val)
+    # ------------------------------------------------------------- evaluation
+    for run in (result.run, full_data_run):
         results = evaluate_ensemble(run.ensemble, dataset.x_test, dataset.y_test)
         print(f"\n=== {run.approach} ===")
         print(format_error_rates(results, title="test error rate (%)"))
         print(format_time_breakdown(run.training_time_breakdown()))
 
-    speedup = full_data_run.total_training_seconds / mothernets_run.total_training_seconds
+    speedup = full_data_run.total_training_seconds / result.run.total_training_seconds
     print(f"\nMotherNets trained the ensemble {speedup:.1f}x faster than full-data training.")
 
 

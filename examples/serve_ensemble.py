@@ -1,0 +1,83 @@
+"""Serve predictions from a saved ensemble artifact.
+
+This is the deployment half of the train -> save -> serve workflow: a small
+convolutional ensemble is trained and persisted once (skipped if the artifact
+already exists), then an :class:`~repro.api.EnsemblePredictor` loads it and
+answers warm, batched prediction requests — the same objects the
+``python -m repro`` CLI drives:
+
+    python -m repro train   --config experiment.json --output artifact/
+    python -m repro predict --artifact artifact/ --input batch.npy
+    python -m repro inspect --artifact artifact/
+
+Run with:  python examples/serve_ensemble.py [artifact_dir]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.api import EnsemblePredictor, run_experiment, save_ensemble_run
+from repro.data import cifar10_like
+
+ARTIFACT = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("artifacts/serve-demo")
+
+EXPERIMENT = {
+    "name": "serve-demo",
+    "dataset": {
+        "name": "cifar10",
+        "train_samples": 512,
+        "test_samples": 128,
+        "image_shape": [3, 8, 8],
+        "seed": 0,
+    },
+    # The five VGG variants of Table 1, scaled down for CPU training.
+    "members": {
+        "family": "small_vgg",
+        "num_classes": 10,
+        "input_shape": [3, 8, 8],
+        "width_scale": 0.0625,
+    },
+    "approach": "mothernets",
+    "trainer": {"tau": 0.5},
+    "training": {"max_epochs": 3, "batch_size": 64, "learning_rate": 0.05},
+    "seed": 0,
+}
+
+
+def main() -> None:
+    # ------------------------------------------------------------- train once
+    if not (ARTIFACT / "manifest.json").exists():
+        print(f"No artifact at {ARTIFACT}; training the ensemble (one-off)...")
+        result = run_experiment(EXPERIMENT)
+        save_ensemble_run(result.run, ARTIFACT)
+        print(f"Saved artifact ({result.run.total_training_seconds:.1f}s of training).\n")
+
+    # --------------------------------------------------------- load and serve
+    predictor = EnsemblePredictor.load(ARTIFACT, method="average")
+    print("Loaded predictor:")
+    print(json.dumps(predictor.info(), indent=2, sort_keys=True))
+
+    # Simulate request traffic: repeated batches against the warm predictor.
+    dataset = cifar10_like(train_samples=10, test_samples=128, image_shape=(3, 8, 8), seed=0)
+    batch = dataset.x_test[:32]
+
+    start = time.perf_counter()
+    requests = 20
+    for _ in range(requests):
+        labels = predictor.predict(batch)
+    elapsed = time.perf_counter() - start
+    per_request = 1000.0 * elapsed / requests
+    throughput = requests * batch.shape[0] / elapsed
+
+    print(f"\nServed {requests} batches of {batch.shape[0]} images.")
+    print(f"  latency:    {per_request:.2f} ms/batch")
+    print(f"  throughput: {throughput:,.0f} images/s")
+    print(f"  last labels: {labels[:10].tolist()} ...")
+
+
+if __name__ == "__main__":
+    main()

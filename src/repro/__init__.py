@@ -25,10 +25,14 @@ Sub-packages
     Synthetic CIFAR/SVHN stand-ins and bagging utilities.
 ``repro.evaluation``
     Ensemble metrics and benchmark reporting helpers.
+``repro.api``
+    The unified front door: declarative :class:`~repro.api.ExperimentSpec`
+    experiments, ensemble artifacts, and the :class:`~repro.api.EnsemblePredictor`
+    serving facade (also exposed as the ``python -m repro`` CLI).
 """
 
-from repro import arch, core, data, evaluation, nn, utils
+__version__ = "1.1.0"
 
-__version__ = "1.0.0"
+from repro import api, arch, core, data, evaluation, nn, utils
 
-__all__ = ["arch", "core", "data", "evaluation", "nn", "utils", "__version__"]
+__all__ = ["api", "arch", "core", "data", "evaluation", "nn", "utils", "__version__"]

@@ -1,0 +1,136 @@
+"""Command-line interface: ``python -m repro`` (installed as ``repro``).
+
+Three sub-commands drive the full train -> save -> serve workflow from JSON
+configs and ``.npy`` tensors, with no Python required:
+
+* ``repro train --config exp.json --output artifact/`` — execute a declarative
+  :class:`~repro.api.ExperimentSpec` and save the trained ensemble artifact;
+* ``repro predict --artifact artifact/ --input x.npy`` — serve predictions
+  from a saved artifact;
+* ``repro inspect --artifact artifact/`` — summarise an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MotherNets reproduction: train, persist, and serve deep ensembles.",
+    )
+    import repro
+
+    parser.add_argument("--version", action="version", version=f"repro {repro.__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="run a declarative experiment and save the artifact")
+    train.add_argument("--config", required=True, type=Path, help="ExperimentSpec JSON file")
+    train.add_argument("--output", required=True, type=Path, help="artifact directory to create")
+    train.add_argument(
+        "--dump-test-inputs",
+        type=Path,
+        default=None,
+        help="also save the dataset's test inputs to this .npy file (handy for "
+        "smoke-testing `repro predict` against the artifact)",
+    )
+    train.add_argument(
+        "--no-eval", action="store_true", help="skip test-set evaluation after training"
+    )
+
+    predict = sub.add_parser("predict", help="serve predictions from a saved artifact")
+    predict.add_argument("--artifact", required=True, type=Path, help="artifact directory")
+    predict.add_argument("--input", required=True, type=Path, help=".npy batch of inputs")
+    predict.add_argument(
+        "--method",
+        default="average",
+        help="combination method: average | vote | super_learner (default: average)",
+    )
+    predict.add_argument(
+        "--proba", action="store_true", help="emit class probabilities instead of labels"
+    )
+    predict.add_argument(
+        "--output", type=Path, default=None, help="write predictions to this .npy file"
+    )
+    predict.add_argument("--batch-size", type=int, default=256)
+
+    inspect = sub.add_parser("inspect", help="summarise a saved artifact")
+    inspect.add_argument("--artifact", required=True, type=Path, help="artifact directory")
+
+    return parser
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.api import ExperimentSpec, run_experiment, save_ensemble_run
+    from repro.api.artifacts import MANIFEST_NAME
+
+    # Fail on a taken output location *before* spending the training time.
+    if (args.output / MANIFEST_NAME).exists():
+        raise FileExistsError(f"an ensemble artifact already exists at {args.output}")
+    spec = ExperimentSpec.from_file(args.config)
+    result = run_experiment(spec)
+    save_ensemble_run(result.run, args.output)
+    if args.dump_test_inputs is not None:
+        args.dump_test_inputs.parent.mkdir(parents=True, exist_ok=True)
+        np.save(args.dump_test_inputs, result.dataset.x_test)
+
+    report = result.summary()
+    report["artifact"] = str(args.output)
+    if not args.no_eval:
+        methods = ["average", "vote"]
+        if result.ensemble.super_learner_weights is not None:
+            methods.append("super_learner")
+        report["test_error_rate"] = result.evaluate(methods=methods)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.api import EnsemblePredictor
+
+    predictor = EnsemblePredictor.load(
+        args.artifact, method=args.method, batch_size=args.batch_size
+    )
+    x = np.load(args.input)
+    if args.proba:
+        out = predictor.predict_proba(x)
+    else:
+        out = predictor.predict(x)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        np.save(args.output, out)
+        print(f"wrote {out.shape} predictions to {args.output}")
+    else:
+        print(json.dumps(out.tolist()))
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.api import EnsemblePredictor
+
+    predictor = EnsemblePredictor.load(args.artifact, warm=False)
+    print(json.dumps(predictor.info(), indent=2, sort_keys=True))
+    return 0
+
+
+_COMMANDS = {"train": _cmd_train, "predict": _cmd_predict, "inspect": _cmd_inspect}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ValueError, TypeError, KeyError, RuntimeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Unified experiment & serving API — the front door to the library.
+
+The workflow is declarative end to end::
+
+    from repro.api import ExperimentSpec, run_experiment, save_ensemble_run
+    from repro.api import EnsemblePredictor
+
+    spec = ExperimentSpec.from_file("experiment.json")   # or from_dict(...)
+    result = run_experiment(spec)                        # registry-resolved trainer
+    save_ensemble_run(result.run, "artifacts/my-run")    # portable directory bundle
+
+    predictor = EnsemblePredictor.load("artifacts/my-run")
+    labels = predictor.predict(batch)                    # warm, validated serving
+
+The same flow is scriptable from the shell via ``python -m repro``
+(``train`` / ``predict`` / ``inspect``).  Training approaches are resolved by
+name through the trainer registry in :mod:`repro.core.registry`, so plug-in
+trainers registered with ``@register_trainer("my-approach")`` are reachable
+from JSON configs without code changes here.
+"""
+
+from repro.api.spec import (
+    ExperimentSpec,
+    SPEC_SCHEMA,
+    training_config_from_dict,
+    training_config_to_dict,
+)
+from repro.api.experiment import ExperimentResult, run_experiment
+from repro.api.artifacts import (
+    ARTIFACT_SCHEMA,
+    load_ensemble_run,
+    read_manifest,
+    save_ensemble_run,
+)
+from repro.api.predictor import EnsemblePredictor
+
+__all__ = [
+    "ExperimentSpec",
+    "ExperimentResult",
+    "SPEC_SCHEMA",
+    "ARTIFACT_SCHEMA",
+    "run_experiment",
+    "save_ensemble_run",
+    "load_ensemble_run",
+    "read_manifest",
+    "EnsemblePredictor",
+    "training_config_to_dict",
+    "training_config_from_dict",
+]

@@ -1,0 +1,189 @@
+"""Ensemble artifacts: persist a trained ensemble run as a directory bundle.
+
+Layout of a saved artifact::
+
+    artifact/
+      manifest.json                 # schema, approach, dtype, members, ledger
+      members/
+        000-<name>.spec.json        # ArchitectureSpec (human-readable)
+        000-<name>.npz              # spec + weights + state (repro.nn.serialization)
+
+The manifest carries everything needed to reconstruct an
+:class:`~repro.core.trainer.EnsembleTrainingRun` — approach, per-member
+metadata (source, cluster, training seconds), the full cost ledger, the
+training configuration, and fitted Super Learner weights — so a trained
+ensemble round-trips **bitwise**: ``load_ensemble_run(save_ensemble_run(run))``
+produces identical ``predict_proba_all`` output.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+import repro
+from repro.api.spec import training_config_from_dict, training_config_to_dict
+from repro.arch.serialization import spec_from_json, spec_to_json
+from repro.core.cost_model import CostLedger
+from repro.core.ensemble import Ensemble, EnsembleMember
+from repro.core.trainer import EnsembleTrainingRun
+from repro.nn.serialization import load_model, save_model
+from repro.utils.logging import get_logger
+
+logger = get_logger("api.artifacts")
+
+ARTIFACT_SCHEMA = "repro.ensemble_run/v1"
+MANIFEST_NAME = "manifest.json"
+_MEMBER_DIR = "members"
+
+
+def _safe_filename(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]", "_", name)
+
+
+def save_ensemble_run(run: EnsembleTrainingRun, path: Union[str, Path]) -> Path:
+    """Persist ``run`` (ensemble weights + manifest) under directory ``path``.
+
+    The directory is created if needed; an existing artifact at the same
+    location is refused rather than silently overwritten.
+    """
+    path = Path(path)
+    manifest_path = path / MANIFEST_NAME
+    if manifest_path.exists():
+        raise FileExistsError(f"an ensemble artifact already exists at {path}")
+    member_dir = path / _MEMBER_DIR
+    member_dir.mkdir(parents=True, exist_ok=True)
+
+    members_meta = []
+    for index, member in enumerate(run.ensemble.members):
+        stem = f"{index:03d}-{_safe_filename(member.name)}"
+        weights_file = save_model(member.model, member_dir / f"{stem}.npz")
+        spec_file = member_dir / f"{stem}.spec.json"
+        spec_file.write_text(spec_to_json(member.model.spec) + "\n", encoding="utf-8")
+        members_meta.append(
+            {
+                "name": member.name,
+                "source": member.source,
+                "cluster_id": member.cluster_id,
+                "training_seconds": member.training_seconds,
+                "parameters": member.parameter_count,
+                "dtype": str(np.dtype(member.model.dtype)),
+                "spec": f"{_MEMBER_DIR}/{spec_file.name}",
+                "weights": f"{_MEMBER_DIR}/{weights_file.name}",
+            }
+        )
+
+    sl_weights = run.ensemble.super_learner_weights
+    ensemble_dtype = np.result_type(
+        *(member.model.dtype for member in run.ensemble.members)
+    )
+    manifest = {
+        "schema": ARTIFACT_SCHEMA,
+        "repro_version": repro.__version__,
+        "created_unix": time.time(),
+        "approach": run.approach,
+        "dtype": str(ensemble_dtype),
+        "num_classes": run.ensemble.num_classes,
+        "input_shape": list(run.ensemble.members[0].model.spec.input_shape),
+        "members": members_meta,
+        "super_learner_weights": None if sl_weights is None else sl_weights.tolist(),
+        "config": training_config_to_dict(run.config),
+        "ledger": {
+            "approach": run.ledger.approach,
+            "records": [
+                {
+                    "network": record.network,
+                    "phase": record.phase,
+                    "epochs": record.epochs,
+                    "wall_clock_seconds": record.wall_clock_seconds,
+                    "parameters": record.parameters,
+                    "samples_per_epoch": record.samples_per_epoch,
+                    "compute_phases": record.compute_phases,
+                }
+                for record in run.ledger.records
+            ],
+        },
+        "ledger_summary": {
+            "total_seconds": run.ledger.total_seconds,
+            "total_epochs": run.ledger.total_epochs,
+            "seconds_by_phase": run.ledger.seconds_by_phase(),
+            "seconds_by_compute_phase": run.ledger.seconds_by_compute_phase(),
+        },
+    }
+    manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    logger.info("saved %s ensemble (%d members) to %s", run.approach, len(members_meta), path)
+    return path
+
+
+def read_manifest(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load and validate the manifest of an ensemble artifact directory."""
+    manifest_path = Path(path) / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise FileNotFoundError(f"{path} is not an ensemble artifact (no {MANIFEST_NAME})")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    schema = manifest.get("schema")
+    if schema != ARTIFACT_SCHEMA:
+        raise ValueError(f"unsupported artifact schema {schema!r} (expected {ARTIFACT_SCHEMA})")
+    return manifest
+
+
+def load_ensemble_run(
+    path: Union[str, Path], manifest: Optional[Dict[str, Any]] = None
+) -> EnsembleTrainingRun:
+    """Reconstruct the :class:`EnsembleTrainingRun` saved at ``path``.
+
+    Per-epoch training histories and intermediate MotherNet models are not
+    part of the bundle; the reconstructed run carries the trained members,
+    the full cost ledger, and the training configuration.  Pass ``manifest``
+    when the caller already parsed it (avoids a second read).
+    """
+    path = Path(path)
+    if manifest is None:
+        manifest = read_manifest(path)
+
+    members = []
+    for meta in manifest["members"]:
+        model = load_model(path / meta["weights"])
+        sidecar = spec_from_json((path / meta["spec"]).read_text(encoding="utf-8"))
+        if sidecar != model.spec:
+            raise ValueError(
+                f"artifact corrupted: spec sidecar for member {meta['name']!r} does not "
+                "match the spec stored with its weights"
+            )
+        members.append(
+            EnsembleMember(
+                name=meta["name"],
+                model=model,
+                source=meta.get("source", "scratch"),
+                cluster_id=meta.get("cluster_id"),
+                training_seconds=float(meta.get("training_seconds", 0.0)),
+            )
+        )
+
+    ensemble = Ensemble(members, num_classes=int(manifest["num_classes"]))
+    if manifest.get("super_learner_weights") is not None:
+        ensemble.set_super_learner_weights(manifest["super_learner_weights"])
+
+    ledger = CostLedger(approach=manifest["ledger"]["approach"])
+    for record in manifest["ledger"]["records"]:
+        ledger.add(
+            network=record["network"],
+            phase=record["phase"],
+            epochs=record["epochs"],
+            wall_clock_seconds=record["wall_clock_seconds"],
+            parameters=record["parameters"],
+            samples_per_epoch=record["samples_per_epoch"],
+            compute_phases=record.get("compute_phases") or {},
+        )
+
+    return EnsembleTrainingRun(
+        approach=manifest["approach"],
+        ensemble=ensemble,
+        ledger=ledger,
+        config=training_config_from_dict(manifest["config"]),
+    )

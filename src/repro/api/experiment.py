@@ -1,0 +1,94 @@
+"""Execution of declarative experiments.
+
+:func:`run_experiment` is the single entry point that turns an
+:class:`~repro.api.spec.ExperimentSpec` into a trained ensemble: it resolves
+the data set, materialises the member architectures, instantiates the
+requested trainer through the registry, trains, and (optionally) fits the
+Super Learner combination weights.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Union
+
+from repro.api.spec import ExperimentSpec
+from repro.core.ensemble import Ensemble
+from repro.core.registry import create_trainer
+from repro.core.trainer import EnsembleTrainingRun, summarize_run
+from repro.data.datasets import Dataset, load_dataset
+from repro.data.sampling import train_validation_split
+from repro.nn.dtypes import default_dtype
+from repro.utils.logging import get_logger
+
+logger = get_logger("api.experiment")
+
+
+@dataclass
+class ExperimentResult:
+    """A finished experiment: the spec that produced it, the data it ran on,
+    and the training run (ensemble + cost ledger)."""
+
+    spec: ExperimentSpec
+    dataset: Dataset
+    run: EnsembleTrainingRun
+
+    @property
+    def ensemble(self) -> Ensemble:
+        return self.run.ensemble
+
+    def evaluate(self, methods=("average", "vote")) -> Dict[str, float]:
+        """Test error rate (percent) under the requested inference methods."""
+        return self.run.ensemble.evaluate(
+            self.dataset.x_test, self.dataset.y_test, methods=methods
+        )
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-friendly run summary (approach, members, training cost)."""
+        summary = summarize_run(self.run)
+        summary["experiment"] = self.spec.name
+        summary["dataset"] = self.dataset.name
+        return summary
+
+
+def run_experiment(
+    spec: Union[ExperimentSpec, Dict[str, Any]],
+    dataset: Optional[Dataset] = None,
+) -> ExperimentResult:
+    """Execute ``spec`` end to end and return the :class:`ExperimentResult`.
+
+    ``spec`` may be an :class:`ExperimentSpec` or its plain-dict/JSON form.
+    ``dataset`` overrides the spec's dataset description (useful for reusing
+    an already-generated data set across approaches).
+    """
+    if isinstance(spec, dict):
+        spec = ExperimentSpec.from_dict(spec)
+    if dataset is None:
+        dataset_kwargs = dict(spec.dataset)
+        dataset_name = dataset_kwargs.pop("name")
+        dataset = load_dataset(dataset_name, **dataset_kwargs)
+
+    member_specs = spec.member_specs()
+    trainer = create_trainer(spec.approach, config=spec.training, **spec.trainer)
+    logger.info(
+        "experiment %s: %s on %s (%d members)",
+        spec.name,
+        spec.approach,
+        dataset.name,
+        len(member_specs),
+    )
+
+    dtype_scope = default_dtype(spec.dtype) if spec.dtype is not None else nullcontext()
+    with dtype_scope:
+        run = trainer.train(member_specs, dataset, seed=spec.seed)
+        if spec.super_learner:
+            sl = spec.super_learner if isinstance(spec.super_learner, dict) else {}
+            _, _, x_val, y_val = train_validation_split(
+                dataset.x_train,
+                dataset.y_train,
+                validation_fraction=float(sl.get("validation_fraction", 0.15)),
+                seed=int(sl.get("seed", spec.seed)),
+            )
+            run.ensemble.fit_super_learner(x_val, y_val, seed=int(sl.get("seed", spec.seed)))
+    return ExperimentResult(spec=spec, dataset=dataset, run=run)

@@ -1,0 +1,206 @@
+"""Serving facade for trained ensembles.
+
+:class:`EnsemblePredictor` loads an ensemble artifact once and answers warm,
+batched ``predict`` / ``predict_proba`` calls.  It is the deployment-side
+counterpart of :func:`repro.api.run_experiment`: strict about inputs (shape
+and dtype are validated before any member runs), explicit about the
+combination method, and built on the batched single-pass
+:meth:`~repro.core.ensemble.Ensemble.predict_proba_all` engine.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.api.artifacts import load_ensemble_run, read_manifest
+from repro.core.ensemble import COMBINATION_METHODS, Ensemble
+from repro.core.trainer import EnsembleTrainingRun
+from repro.utils.logging import get_logger
+
+logger = get_logger("api.predictor")
+
+
+class EnsemblePredictor:
+    """Warm, input-validated serving for a trained :class:`Ensemble`.
+
+    Construct with :meth:`load` (from a saved artifact) or :meth:`from_run`
+    (from an in-memory training run).  All members are held in memory; every
+    ``predict`` call is a single batched pass over the input shared by all
+    members.
+    """
+
+    def __init__(
+        self,
+        ensemble: Ensemble,
+        method: str = "average",
+        batch_size: int = 256,
+        metadata: Optional[Dict[str, Any]] = None,
+    ):
+        if method not in COMBINATION_METHODS:
+            raise ValueError(
+                f"unknown combination method {method!r}; valid choices: "
+                + ", ".join(repr(m) for m in COMBINATION_METHODS)
+            )
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.ensemble = ensemble
+        self.method = method
+        self.batch_size = int(batch_size)
+        self.metadata = dict(metadata or {})
+        self.input_shape: Tuple[int, ...] = tuple(
+            ensemble.members[0].model.spec.input_shape
+        )
+        self.num_classes = ensemble.num_classes
+
+    # ------------------------------------------------------------- factories
+    @classmethod
+    def load(
+        cls,
+        path: Union[str, Path],
+        method: str = "average",
+        batch_size: int = 256,
+        warm: bool = True,
+    ) -> "EnsemblePredictor":
+        """Load an ensemble artifact directory saved by
+        :func:`repro.api.save_ensemble_run`.
+
+        ``warm=True`` (default) runs one zero-batch through every member so
+        lazily-built conv workspaces exist before the first real request.
+        """
+        manifest = read_manifest(path)
+        run = load_ensemble_run(path, manifest=manifest)
+        predictor = cls(
+            run.ensemble,
+            method=method,
+            batch_size=batch_size,
+            metadata={
+                "artifact": str(path),
+                "approach": manifest["approach"],
+                "dtype": manifest["dtype"],
+                "repro_version": manifest.get("repro_version"),
+                "ledger_summary": manifest.get("ledger_summary", {}),
+            },
+        )
+        if warm:
+            predictor.warmup()
+        logger.info(
+            "loaded %s ensemble (%d members) from %s",
+            manifest["approach"],
+            len(run.ensemble),
+            path,
+        )
+        return predictor
+
+    @classmethod
+    def from_run(
+        cls,
+        run: EnsembleTrainingRun,
+        method: str = "average",
+        batch_size: int = 256,
+    ) -> "EnsemblePredictor":
+        """Serve an in-memory training run without going through disk."""
+        return cls(
+            run.ensemble,
+            method=method,
+            batch_size=batch_size,
+            metadata={"approach": run.approach},
+        )
+
+    # ------------------------------------------------------------ validation
+    def _validate(self, x: np.ndarray) -> np.ndarray:
+        if not isinstance(x, np.ndarray):
+            x = np.asarray(x)
+        if not (np.issubdtype(x.dtype, np.floating) or np.issubdtype(x.dtype, np.integer)):
+            raise TypeError(
+                f"input dtype must be numeric (floating or integer), got {x.dtype}"
+            )
+        expected = self.input_shape
+        if x.ndim == len(expected):
+            # A single un-batched sample: accept and add the batch axis.
+            if tuple(x.shape) != expected:
+                raise ValueError(
+                    f"input shape {tuple(x.shape)} does not match the ensemble's "
+                    f"per-sample input shape {expected}"
+                )
+            x = x[None, ...]
+        elif x.ndim != len(expected) + 1 or tuple(x.shape[1:]) != expected:
+            raise ValueError(
+                f"input shape {tuple(x.shape)} does not match (batch, *{expected})"
+            )
+        if x.shape[0] == 0:
+            raise ValueError("cannot predict on an empty batch")
+        return x
+
+    def _resolve_method(self, method: Optional[str]) -> str:
+        resolved = self.method if method is None else method
+        if resolved == "super_learner" and self.ensemble.super_learner_weights is None:
+            raise RuntimeError(
+                "this ensemble has no fitted super-learner weights; train with "
+                "super_learner enabled or pick method='average'/'vote'"
+            )
+        return resolved
+
+    # --------------------------------------------------------------- serving
+    def warmup(self) -> None:
+        """Run a single dummy batch so every member's lazy buffers exist."""
+        dummy = np.zeros((1,) + self.input_shape, dtype=np.float32)
+        self.ensemble.predict_proba_all(dummy, batch_size=1)
+
+    def predict_proba(
+        self,
+        x: np.ndarray,
+        method: Optional[str] = None,
+        batch_size: Optional[int] = None,
+    ) -> np.ndarray:
+        """Combined class probabilities, shape ``(samples, classes)``."""
+        x = self._validate(x)
+        return self.ensemble.predict_proba(
+            x,
+            method=self._resolve_method(method),
+            batch_size=batch_size or self.batch_size,
+        )
+
+    def predict(
+        self,
+        x: np.ndarray,
+        method: Optional[str] = None,
+        batch_size: Optional[int] = None,
+    ) -> np.ndarray:
+        """Predicted class labels, shape ``(samples,)``."""
+        return self.predict_proba(x, method=method, batch_size=batch_size).argmax(axis=1)
+
+    def member_probabilities(self, x: np.ndarray, batch_size: Optional[int] = None) -> np.ndarray:
+        """Raw per-member probabilities, shape ``(members, samples, classes)``."""
+        x = self._validate(x)
+        return self.ensemble.predict_proba_all(x, batch_size=batch_size or self.batch_size)
+
+    # ------------------------------------------------------------ inspection
+    def info(self) -> Dict[str, Any]:
+        """JSON-friendly description of the loaded ensemble (CLI ``inspect``)."""
+        return {
+            "num_members": len(self.ensemble),
+            "num_classes": self.num_classes,
+            "input_shape": list(self.input_shape),
+            "method": self.method,
+            "members": [
+                {
+                    "name": member.name,
+                    "source": member.source,
+                    "cluster_id": member.cluster_id,
+                    "parameters": member.parameter_count,
+                    "training_seconds": member.training_seconds,
+                }
+                for member in self.ensemble.members
+            ],
+            "super_learner": self.ensemble.super_learner_weights is not None,
+            **{k: v for k, v in self.metadata.items() if v is not None},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EnsemblePredictor(members={len(self.ensemble)}, "
+            f"input_shape={self.input_shape}, method={self.method!r})"
+        )

@@ -1,0 +1,233 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` captures everything needed to train an ensemble —
+the data set, the member architectures, the training approach and its
+hyper-parameters — as plain data, so whole experiments can be written as JSON
+files, checked into a repository, and executed with
+:func:`repro.api.run_experiment` or ``python -m repro train``.
+
+Member architectures come either as explicit spec dictionaries (the
+``repro.arch.serialization`` format) or as a reference into the architecture
+zoo (``{"family": "mlp", "count": 8, ...}``), mirroring how the paper's
+experiments are parameterised by architecture family.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields as dataclass_fields
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.arch.serialization import spec_from_dict, spec_to_dict
+from repro.arch.spec import ArchitectureSpec
+from repro.arch.zoo import (
+    mlp_family,
+    resnet_variant_family,
+    small_vgg_ensemble,
+    v16_variant_family,
+)
+from repro.core.registry import get_trainer
+from repro.nn.training import TrainingConfig
+
+SPEC_SCHEMA = "repro.experiment/v1"
+
+# Zoo families constructible from a declarative config.  Every factory takes
+# keyword arguments only (validated by the factory itself).
+_MEMBER_FAMILIES = {
+    "mlp": mlp_family,
+    "small_vgg": small_vgg_ensemble,
+    "v16_variants": v16_variant_family,
+    "resnet_variants": resnet_variant_family,
+}
+
+
+# --------------------------------------------------------------------------
+# TrainingConfig <-> dict
+# --------------------------------------------------------------------------
+
+_CONFIG_FIELDS = (
+    "max_epochs",
+    "batch_size",
+    "learning_rate",
+    "momentum",
+    "weight_decay",
+    "convergence_patience",
+    "convergence_tolerance",
+    "min_epochs",
+    "shuffle",
+    "loss",
+)
+
+
+def training_config_to_dict(config: TrainingConfig) -> Dict[str, Any]:
+    """JSON-compatible view of a :class:`TrainingConfig`.
+
+    Learning-rate schedules are objects, not data; they are dropped from the
+    dictionary (the loaded config falls back to the constant schedule).
+    """
+    return {name: getattr(config, name) for name in _CONFIG_FIELDS}
+
+
+def training_config_from_dict(data: Dict[str, Any]) -> TrainingConfig:
+    """Inverse of :func:`training_config_to_dict`; rejects unknown keys."""
+    unknown = set(data) - set(_CONFIG_FIELDS)
+    if unknown:
+        raise ValueError(
+            f"unknown TrainingConfig keys {sorted(unknown)}; valid keys: "
+            + ", ".join(_CONFIG_FIELDS)
+        )
+    return TrainingConfig(**data)
+
+
+# --------------------------------------------------------------------------
+# ExperimentSpec
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ExperimentSpec:
+    """A complete, declarative description of one ensemble experiment.
+
+    Parameters
+    ----------
+    dataset:
+        ``{"name": <registered dataset>, ...factory kwargs}`` — resolved by
+        :func:`repro.data.load_dataset` (``cifar10`` / ``cifar100`` / ``svhn``
+        / ``tabular``).
+    members:
+        The ensemble member architectures: either a list of explicit
+        :class:`ArchitectureSpec` objects / spec dictionaries, or a zoo-family
+        reference ``{"family": "mlp" | "small_vgg" | "v16_variants" |
+        "resnet_variants", ...factory kwargs}``.
+    approach:
+        Registry name of the training approach (``mothernets`` /
+        ``full-data`` / ``bagging`` / ``snapshot`` / any registered plug-in).
+    training:
+        The shared :class:`TrainingConfig` (or its dictionary form).
+    trainer:
+        Extra keyword arguments for the trainer constructor (e.g. ``tau`` and
+        ``member_epoch_fraction`` for MotherNets).
+    seed:
+        Base seed for the whole experiment (data is generated from the
+        dataset factory's own ``seed`` kwarg when given there).
+    dtype:
+        Optional compute dtype override (``"float32"`` / ``"float64"``) for
+        the run; ``None`` keeps the global default.
+    super_learner:
+        When truthy, fit Super Learner combination weights after training on
+        a validation split carved from the training set.  Either ``True`` or
+        ``{"validation_fraction": 0.15, "seed": 0}``.
+    """
+
+    dataset: Dict[str, Any]
+    members: Union[Sequence[ArchitectureSpec], Dict[str, Any]]
+    approach: str = "mothernets"
+    training: TrainingConfig = field(default_factory=TrainingConfig)
+    trainer: Dict[str, Any] = field(default_factory=dict)
+    name: str = "experiment"
+    seed: int = 0
+    dtype: Optional[str] = None
+    super_learner: Union[bool, Dict[str, Any]] = False
+
+    def __post_init__(self):
+        if not isinstance(self.dataset, dict) or "name" not in self.dataset:
+            raise ValueError('dataset must be a dict with a "name" key')
+        if isinstance(self.training, dict):
+            self.training = training_config_from_dict(self.training)
+        if self.dtype is not None and str(self.dtype) not in ("float32", "float64"):
+            raise ValueError(f"dtype must be 'float32' or 'float64', got {self.dtype!r}")
+        if isinstance(self.super_learner, dict):
+            unknown = set(self.super_learner) - {"validation_fraction", "seed"}
+            if unknown:
+                raise ValueError(
+                    f"unknown super_learner keys {sorted(unknown)}; valid keys: "
+                    "validation_fraction, seed"
+                )
+        # Fail fast on unknown approaches — before any data or model work.
+        get_trainer(self.approach)
+        self.member_specs()  # validates the member description eagerly
+
+    # --------------------------------------------------------------- members
+    def member_specs(self) -> List[ArchitectureSpec]:
+        """Materialise the member :class:`ArchitectureSpec` list."""
+        members = self.members
+        if isinstance(members, dict):
+            kwargs = dict(members)
+            family = kwargs.pop("family", None)
+            if family not in _MEMBER_FAMILIES:
+                raise ValueError(
+                    f"unknown member family {family!r}; valid families: "
+                    + ", ".join(sorted(_MEMBER_FAMILIES))
+                )
+            return list(_MEMBER_FAMILIES[family](**kwargs))
+        if not members:
+            raise ValueError("members must name at least one architecture")
+        specs: List[ArchitectureSpec] = []
+        for entry in members:
+            if isinstance(entry, ArchitectureSpec):
+                specs.append(entry)
+            elif isinstance(entry, dict):
+                specs.append(spec_from_dict(entry))
+            else:
+                raise TypeError(
+                    f"members entries must be ArchitectureSpec or dict, got {type(entry).__name__}"
+                )
+        return specs
+
+    # ------------------------------------------------------------- dict/JSON
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible dictionary (inverse of :meth:`from_dict`)."""
+        if isinstance(self.members, dict):
+            members: Union[List[Dict[str, Any]], Dict[str, Any]] = dict(self.members)
+        else:
+            members = [
+                spec_to_dict(m) if isinstance(m, ArchitectureSpec) else dict(m)
+                for m in self.members
+            ]
+        return {
+            "schema": SPEC_SCHEMA,
+            "name": self.name,
+            "dataset": dict(self.dataset),
+            "members": members,
+            "approach": self.approach,
+            "training": training_config_to_dict(self.training),
+            "trainer": dict(self.trainer),
+            "seed": self.seed,
+            "dtype": self.dtype,
+            "super_learner": self.super_learner,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentSpec":
+        """Build a spec from its dictionary form; rejects unknown keys."""
+        data = dict(data)
+        schema = data.pop("schema", SPEC_SCHEMA)
+        if schema != SPEC_SCHEMA:
+            raise ValueError(f"unsupported experiment schema {schema!r} (expected {SPEC_SCHEMA})")
+        known = {f.name for f in dataclass_fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown ExperimentSpec keys {sorted(unknown)}; valid keys: "
+                + ", ".join(sorted(known))
+            )
+        return cls(**data)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "ExperimentSpec":
+        """Load a spec from a JSON file (the CLI's ``--config``)."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path

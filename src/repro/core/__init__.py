@@ -3,6 +3,12 @@ morphisms, hatching, ensemble inference, training pipelines, and the
 training-cost model."""
 
 from repro.core.mothernet import construct_mothernet
+from repro.core.registry import (
+    available_trainers,
+    create_trainer,
+    get_trainer,
+    register_trainer,
+)
 from repro.core.clustering import (
     Cluster,
     cluster_ensemble,
@@ -30,6 +36,7 @@ from repro.core.hatching import (
     verify_function_preservation,
 )
 from repro.core.ensemble import (
+    COMBINATION_METHODS,
     Ensemble,
     EnsembleMember,
     INFERENCE_METHODS,
@@ -46,6 +53,11 @@ from repro.core.baselines import BaggingTrainer, FullDataTrainer, SnapshotEnsemb
 
 __all__ = [
     "construct_mothernet",
+    "available_trainers",
+    "create_trainer",
+    "get_trainer",
+    "register_trainer",
+    "COMBINATION_METHODS",
     "Cluster",
     "cluster_ensemble",
     "clustering_summary",

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.arch.spec import ArchitectureSpec
 from repro.core.cost_model import CostLedger
 from repro.core.ensemble import Ensemble, EnsembleMember
+from repro.core.registry import register_trainer
 from repro.core.trainer import EnsembleTrainer, EnsembleTrainingRun
 from repro.data.datasets import Dataset
 from repro.data.sampling import bootstrap_sample
@@ -91,6 +92,7 @@ class _ScratchTrainer(EnsembleTrainer):
         )
 
 
+@register_trainer("full_data")
 class FullDataTrainer(_ScratchTrainer):
     """Train every ensemble member from scratch on the full training set."""
 
@@ -98,6 +100,7 @@ class FullDataTrainer(_ScratchTrainer):
     use_bagging = False
 
 
+@register_trainer("bagging")
 class BaggingTrainer(_ScratchTrainer):
     """Train every ensemble member from scratch on its own bootstrap sample."""
 
@@ -105,6 +108,7 @@ class BaggingTrainer(_ScratchTrainer):
     use_bagging = True
 
 
+@register_trainer("snapshot")
 class SnapshotEnsembleTrainer(EnsembleTrainer):
     """Snapshot Ensembles (Huang et al. 2017), the fast-ensembling related
     work the paper contrasts against: a *single* architecture is trained with

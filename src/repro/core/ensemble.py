@@ -27,6 +27,9 @@ from repro.nn.training import TrainingResult
 from repro.utils.rng import SeedLike, as_rng
 
 INFERENCE_METHODS = ("average", "vote", "super_learner", "oracle")
+# Methods that combine member probabilities into a single prediction (the
+# oracle is evaluation-only: it peeks at labels and cannot serve predictions).
+COMBINATION_METHODS = ("average", "vote", "super_learner")
 # Paper abbreviations used in figures/tables.
 METHOD_ABBREVIATIONS = {
     "average": "EA",
@@ -143,23 +146,29 @@ class Ensemble:
     def predict_proba(
         self, x: np.ndarray, method: str = "average", batch_size: int = 256
     ) -> np.ndarray:
-        """Ensemble class probabilities under the requested inference method."""
+        """Ensemble class probabilities under the requested inference method.
+
+        ``method`` is validated eagerly — an unknown method raises
+        ``ValueError`` listing the valid choices *before* any member inference
+        runs.
+        """
+        if method not in COMBINATION_METHODS:
+            raise ValueError(
+                f"unknown inference method {method!r}; valid choices: "
+                + ", ".join(repr(m) for m in COMBINATION_METHODS)
+            )
+        if method == "super_learner" and self._super_learner_weights is None:
+            raise RuntimeError(
+                "fit_super_learner must be called before super_learner inference"
+            )
         probs = self.member_probabilities(x, batch_size=batch_size)
         if method == "average":
             return probs.mean(axis=0)
         if method == "vote":
             return self._vote_proba(probs)
-        if method == "super_learner":
-            if self._super_learner_weights is None:
-                raise RuntimeError(
-                    "fit_super_learner must be called before super_learner inference"
-                )
-            weights = self._super_learner_weights[: len(self.members)]
-            weights = weights / weights.sum()
-            return np.tensordot(weights, probs, axes=(0, 0))
-        raise ValueError(
-            f"unknown inference method {method!r}; known: average, vote, super_learner"
-        )
+        # Both weight-setting paths guarantee one weight per member, summing
+        # to one (membership changes reset the weights to None).
+        return np.tensordot(self._super_learner_weights, probs, axes=(0, 0))
 
     def predict(self, x: np.ndarray, method: str = "average", batch_size: int = 256) -> np.ndarray:
         return self.predict_proba(x, method=method, batch_size=batch_size).argmax(axis=1)
@@ -205,6 +214,18 @@ class Ensemble:
     @property
     def super_learner_weights(self) -> Optional[np.ndarray]:
         return None if self._super_learner_weights is None else self._super_learner_weights.copy()
+
+    def set_super_learner_weights(self, weights: Sequence[float]) -> None:
+        """Install previously fitted Super Learner weights (e.g. restored from
+        a saved ensemble artifact) instead of re-fitting them."""
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (len(self.members),):
+            raise ValueError(
+                f"expected {len(self.members)} super-learner weights, got {weights.shape}"
+            )
+        if np.any(weights < 0) or not np.isclose(weights.sum(), 1.0):
+            raise ValueError("super-learner weights must be non-negative and sum to 1")
+        self._super_learner_weights = weights
 
     # -------------------------------------------------------------- metrics
     def error_rate(

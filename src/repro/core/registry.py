@@ -1,0 +1,82 @@
+"""String-keyed registry of ensemble-trainer classes.
+
+The three approaches of the paper (and any future ones) are selected by name
+instead of by import::
+
+    from repro.core import get_trainer, create_trainer
+
+    trainer_cls = get_trainer("mothernets")
+    trainer = create_trainer("full-data", config=TrainingConfig(max_epochs=5))
+
+Trainer classes self-register at import time with the
+:func:`register_trainer` decorator; ``repro.core`` imports every built-in
+trainer module, so importing the package is enough to populate the registry.
+Names are normalised (case-folded, ``-`` treated as ``_``) so the CLI
+spellings ``full-data`` and ``full_data`` resolve to the same class.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Type, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.trainer import EnsembleTrainer
+
+_REGISTRY: Dict[str, Type["EnsembleTrainer"]] = {}
+
+
+def _normalise(name: str) -> str:
+    key = name.strip().lower().replace("-", "_")
+    if not key:
+        raise ValueError("trainer name must be non-empty")
+    return key
+
+
+def register_trainer(
+    name: str, *aliases: str
+) -> Callable[[Type["EnsembleTrainer"]], Type["EnsembleTrainer"]]:
+    """Class decorator registering an :class:`EnsembleTrainer` under ``name``
+    (plus optional ``aliases``)::
+
+        @register_trainer("mothernets")
+        class MotherNetsTrainer(EnsembleTrainer):
+            ...
+    """
+
+    keys = [_normalise(name)] + [_normalise(alias) for alias in aliases]
+
+    def decorator(cls: Type["EnsembleTrainer"]) -> Type["EnsembleTrainer"]:
+        for key in keys:
+            existing = _REGISTRY.get(key)
+            if existing is not None and existing is not cls:
+                raise ValueError(
+                    f"trainer name {key!r} is already registered to {existing.__name__}"
+                )
+            _REGISTRY[key] = cls
+        return cls
+
+    return decorator
+
+
+def get_trainer(name: str) -> Type["EnsembleTrainer"]:
+    """The trainer class registered under ``name`` (raises ``KeyError`` with
+    the known names when unknown)."""
+    key = _normalise(name)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown trainer {name!r}; registered trainers: "
+            + ", ".join(available_trainers())
+        ) from None
+
+
+def create_trainer(name: str, **kwargs) -> "EnsembleTrainer":
+    """Instantiate the trainer registered under ``name`` with ``kwargs``
+    (typically ``config=`` plus approach-specific options such as ``tau``)."""
+    return get_trainer(name)(**kwargs)
+
+
+def available_trainers() -> List[str]:
+    """Sorted canonical names (including aliases) of all registered trainers."""
+    return sorted(_REGISTRY)

@@ -28,6 +28,7 @@ from repro.core.clustering import Cluster, cluster_ensemble
 from repro.core.cost_model import CostLedger
 from repro.core.ensemble import Ensemble, EnsembleMember
 from repro.core.hatching import hatch
+from repro.core.registry import register_trainer
 from repro.data.datasets import Dataset
 from repro.data.sampling import bootstrap_sample
 from repro.nn.model import Model
@@ -134,6 +135,7 @@ class EnsembleTrainer:
         return result, time.perf_counter() - start, phases
 
 
+@register_trainer("mothernets")
 class MotherNetsTrainer(EnsembleTrainer):
     """The paper's approach: cluster -> train MotherNets -> hatch -> bag-train.
 

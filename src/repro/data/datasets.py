@@ -276,11 +276,13 @@ _DATASETS = {
     "cifar10": cifar10_like,
     "cifar100": cifar100_like,
     "svhn": svhn_like,
+    "tabular": synthetic_tabular_classification,
 }
 
 
 def load_dataset(name: str, **kwargs) -> Dataset:
-    """Load a named data-set stand-in (``cifar10``, ``cifar100``, ``svhn``)."""
+    """Load a named data-set stand-in (``cifar10``, ``cifar100``, ``svhn``,
+    ``tabular``)."""
     try:
         factory = _DATASETS[name.lower()]
     except KeyError as exc:

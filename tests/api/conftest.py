@@ -1,0 +1,53 @@
+"""Shared fixtures for the api test modules: one tiny declarative experiment,
+trained once per session and reused by spec/artifact/predictor/CLI tests."""
+
+import pytest
+
+from repro.api import ExperimentSpec, run_experiment
+
+
+def tiny_experiment_dict(**overrides):
+    """A complete, fast (<1s) declarative experiment description."""
+    base = {
+        "name": "tiny",
+        "dataset": {
+            "name": "tabular",
+            "train_samples": 192,
+            "test_samples": 64,
+            "num_classes": 4,
+            "num_features": 12,
+            "class_separation": 2.0,
+            "seed": 5,
+        },
+        "members": {
+            "family": "mlp",
+            "count": 3,
+            "input_features": 12,
+            "num_classes": 4,
+            "base_width": 10,
+            "seed": 1,
+        },
+        "approach": "mothernets",
+        "training": {"max_epochs": 3, "batch_size": 64, "learning_rate": 0.1},
+        "trainer": {"tau": 0.3},
+        "seed": 0,
+        "super_learner": True,
+    }
+    base.update(overrides)
+    return base
+
+
+@pytest.fixture(scope="session")
+def experiment_dict():
+    """The factory itself, so tests can build variations."""
+    return tiny_experiment_dict
+
+
+@pytest.fixture(scope="session")
+def tiny_spec():
+    return ExperimentSpec.from_dict(tiny_experiment_dict())
+
+
+@pytest.fixture(scope="session")
+def tiny_result(tiny_spec):
+    return run_experiment(tiny_spec)

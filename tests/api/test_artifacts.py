@@ -1,0 +1,114 @@
+"""Artifact round-trip tests: a trained ensemble saved with
+save_ensemble_run and reloaded with load_ensemble_run must serve bitwise
+identical predictions and preserve its cost ledger — under both compute
+dtypes."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ARTIFACT_SCHEMA,
+    load_ensemble_run,
+    read_manifest,
+    run_experiment,
+    save_ensemble_run,
+)
+
+
+@pytest.fixture(scope="module", params=["float32", "float64"])
+def dtype_result(request, experiment_dict):
+    """A MotherNets run trained under each compute dtype."""
+    cfg = experiment_dict(dtype=request.param)
+    return request.param, run_experiment(cfg)
+
+
+def test_round_trip_is_bitwise_identical(tmp_path, dtype_result):
+    dtype, result = dtype_result
+    path = save_ensemble_run(result.run, tmp_path / "artifact")
+    restored = load_ensemble_run(path)
+
+    x = result.dataset.x_test
+    original = result.ensemble.predict_proba_all(x)
+    reloaded = restored.ensemble.predict_proba_all(x)
+    assert original.dtype == np.dtype(dtype)
+    assert reloaded.dtype == original.dtype
+    np.testing.assert_array_equal(reloaded, original)  # bitwise, not approx
+
+    # Combined serving output is bitwise identical too, for every method.
+    for method in ("average", "vote", "super_learner"):
+        np.testing.assert_array_equal(
+            restored.ensemble.predict_proba(x, method=method),
+            result.ensemble.predict_proba(x, method=method),
+        )
+
+
+def test_round_trip_preserves_ledger_and_metadata(tmp_path, dtype_result):
+    dtype, result = dtype_result
+    path = save_ensemble_run(result.run, tmp_path / "artifact")
+    restored = load_ensemble_run(path)
+
+    assert restored.approach == result.run.approach
+    assert restored.ledger.total_seconds == result.run.ledger.total_seconds
+    assert restored.ledger.total_epochs == result.run.ledger.total_epochs
+    assert restored.ledger.total_work_units == result.run.ledger.total_work_units
+    assert restored.ledger.seconds_by_phase() == result.run.ledger.seconds_by_phase()
+    assert (
+        restored.ledger.seconds_by_compute_phase()
+        == result.run.ledger.seconds_by_compute_phase()
+    )
+    assert restored.config.max_epochs == result.run.config.max_epochs
+
+    for original, reloaded in zip(result.run.ensemble.members, restored.ensemble.members):
+        assert reloaded.name == original.name
+        assert reloaded.source == original.source
+        assert reloaded.cluster_id == original.cluster_id
+        assert reloaded.training_seconds == original.training_seconds
+        assert reloaded.model.dtype == np.dtype(dtype)
+
+    np.testing.assert_array_equal(
+        restored.ensemble.super_learner_weights,
+        result.run.ensemble.super_learner_weights,
+    )
+
+
+def test_manifest_contents(tmp_path, dtype_result):
+    dtype, result = dtype_result
+    path = save_ensemble_run(result.run, tmp_path / "artifact")
+    manifest = read_manifest(path)
+    assert manifest["schema"] == ARTIFACT_SCHEMA
+    assert manifest["approach"] == "mothernets"
+    assert manifest["dtype"] == dtype
+    assert manifest["num_classes"] == 4
+    assert len(manifest["members"]) == 3
+    assert manifest["ledger_summary"]["total_seconds"] == result.run.ledger.total_seconds
+    for meta in manifest["members"]:
+        assert (path / meta["weights"]).is_file()
+        assert (path / meta["spec"]).is_file()
+
+
+def test_save_refuses_to_overwrite(tmp_path, dtype_result):
+    _, result = dtype_result
+    path = save_ensemble_run(result.run, tmp_path / "artifact")
+    with pytest.raises(FileExistsError):
+        save_ensemble_run(result.run, path)
+
+
+def test_load_rejects_non_artifact_and_bad_schema(tmp_path):
+    with pytest.raises(FileNotFoundError, match="not an ensemble artifact"):
+        load_ensemble_run(tmp_path)
+    (tmp_path / "manifest.json").write_text(json.dumps({"schema": "other/v9"}))
+    with pytest.raises(ValueError, match="unsupported artifact schema"):
+        load_ensemble_run(tmp_path)
+
+
+def test_load_detects_spec_sidecar_corruption(tmp_path, dtype_result):
+    _, result = dtype_result
+    path = save_ensemble_run(result.run, tmp_path / "artifact")
+    manifest = read_manifest(path)
+    sidecar = path / manifest["members"][0]["spec"]
+    other = path / manifest["members"][1]["spec"]
+    sidecar.write_text(other.read_text())
+    with pytest.raises(ValueError, match="corrupted"):
+        load_ensemble_run(path)

@@ -1,0 +1,150 @@
+"""Tests for the declarative ExperimentSpec and run_experiment."""
+
+import numpy as np
+import pytest
+
+from repro.api import ExperimentSpec, run_experiment
+from repro.api.spec import training_config_from_dict, training_config_to_dict
+from repro.arch import mlp, spec_to_dict
+from repro.core import FullDataTrainer, MotherNetsTrainer
+from repro.nn import TrainingConfig
+
+# ---------------------------------------------------------------------------
+# TrainingConfig <-> dict
+# ---------------------------------------------------------------------------
+
+
+def test_training_config_round_trips():
+    config = TrainingConfig(
+        max_epochs=7, batch_size=32, learning_rate=0.05, momentum=0.8,
+        weight_decay=1e-4, convergence_patience=2, convergence_tolerance=5e-4,
+        min_epochs=2, shuffle=False, loss="softmax_cross_entropy",
+    )
+    restored = training_config_from_dict(training_config_to_dict(config))
+    assert training_config_to_dict(restored) == training_config_to_dict(config)
+
+
+def test_training_config_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown TrainingConfig keys"):
+        training_config_from_dict({"max_epochs": 3, "optimizer": "adam"})
+
+
+# ---------------------------------------------------------------------------
+# ExperimentSpec construction and (de)serialisation
+# ---------------------------------------------------------------------------
+
+
+def test_spec_json_round_trip(tiny_spec):
+    restored = ExperimentSpec.from_json(tiny_spec.to_json())
+    assert restored.to_dict() == tiny_spec.to_dict()
+
+
+def test_spec_accepts_explicit_member_dicts(experiment_dict):
+    members = [spec_to_dict(mlp(f"m{i}", 12, [8 + 4 * i], 4)) for i in range(2)]
+    spec = ExperimentSpec.from_dict(experiment_dict(members=members))
+    specs = spec.member_specs()
+    assert [s.name for s in specs] == ["m0", "m1"]
+    restored = ExperimentSpec.from_json(spec.to_json())
+    assert [s.name for s in restored.member_specs()] == ["m0", "m1"]
+
+
+def test_spec_rejects_unknown_keys(experiment_dict):
+    with pytest.raises(ValueError, match="unknown ExperimentSpec keys"):
+        ExperimentSpec.from_dict(experiment_dict(epochs=3))
+
+
+def test_spec_rejects_unknown_approach_eagerly(experiment_dict):
+    with pytest.raises(KeyError, match="unknown trainer"):
+        ExperimentSpec.from_dict(experiment_dict(approach="boosting"))
+
+
+def test_spec_rejects_unknown_member_family(experiment_dict):
+    with pytest.raises(ValueError, match="unknown member family"):
+        ExperimentSpec.from_dict(
+            experiment_dict(members={"family": "transformers", "count": 2})
+        )
+
+
+def test_spec_rejects_bad_dtype_and_dataset(experiment_dict):
+    with pytest.raises(ValueError, match="dtype"):
+        ExperimentSpec.from_dict(experiment_dict(dtype="float16"))
+    with pytest.raises(ValueError, match="dataset"):
+        ExperimentSpec.from_dict(experiment_dict(dataset={"train_samples": 3}))
+
+
+def test_spec_file_round_trip(tmp_path, tiny_spec):
+    path = tiny_spec.save(tmp_path / "exp.json")
+    assert ExperimentSpec.from_file(path).to_dict() == tiny_spec.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# run_experiment: registry-resolved approaches
+# ---------------------------------------------------------------------------
+
+
+def test_run_experiment_mothernets(tiny_result):
+    run = tiny_result.run
+    assert run.approach == "mothernets"
+    assert len(run.ensemble) == 3
+    assert all(member.source == "hatched" for member in run.ensemble.members)
+    assert run.ensemble.super_learner_weights is not None  # super_learner: true
+    assert run.ledger.total_seconds > 0
+    errors = tiny_result.evaluate(methods=("average", "vote", "super_learner"))
+    assert set(errors) == {"average", "vote", "super_learner"}
+
+
+@pytest.mark.parametrize("approach,expected", [("full-data", "full_data"), ("bagging", "bagging")])
+def test_run_experiment_baselines_by_registry_name(tiny_result, experiment_dict, approach, expected):
+    cfg = experiment_dict(approach=approach, trainer={}, super_learner=False)
+    result = run_experiment(cfg, dataset=tiny_result.dataset)
+    assert result.run.approach == expected
+    assert len(result.ensemble) == 3
+    assert all(member.source == "scratch" for member in result.run.ensemble.members)
+
+
+def test_run_experiment_snapshot_by_registry_name(tiny_result, experiment_dict):
+    cfg = experiment_dict(
+        approach="snapshot",
+        members=[spec_to_dict(mlp("mono", 12, [10], 4))],
+        trainer={"num_snapshots": 2, "epochs_per_cycle": 2},
+        super_learner=False,
+    )
+    result = run_experiment(cfg, dataset=tiny_result.dataset)
+    assert result.run.approach == "snapshot"
+    assert len(result.ensemble) == 2
+
+
+def test_run_experiment_accepts_plain_dict(tiny_result, experiment_dict):
+    cfg = experiment_dict(approach="full-data", trainer={}, super_learner=False)
+    result = run_experiment(cfg, dataset=tiny_result.dataset)
+    assert isinstance(result.spec, ExperimentSpec)
+
+
+def test_run_experiment_dtype_override(tiny_result, experiment_dict):
+    cfg = experiment_dict(
+        approach="full-data", trainer={}, super_learner=False, dtype="float64",
+        training={"max_epochs": 1, "batch_size": 64},
+    )
+    result = run_experiment(cfg, dataset=tiny_result.dataset)
+    assert all(m.model.dtype == np.float64 for m in result.ensemble.members)
+    # The global default is restored afterwards (tiny_result trained in float32).
+    assert tiny_result.ensemble.members[0].model.dtype == np.float32
+
+
+def test_run_experiment_summary_is_json_friendly(tiny_result):
+    import json
+
+    summary = tiny_result.summary()
+    assert summary["experiment"] == "tiny"
+    assert summary["num_members"] == 3
+    json.dumps(summary)  # must not raise
+
+
+def test_backward_compatible_direct_trainer_calls(tiny_result):
+    """The pre-API entry points keep working unchanged next to run_experiment."""
+    dataset = tiny_result.dataset
+    specs = tiny_result.spec.member_specs()
+    config = TrainingConfig(max_epochs=2, batch_size=64)
+    for trainer in (MotherNetsTrainer(config, tau=0.3), FullDataTrainer(config)):
+        run = trainer.train(specs, dataset, seed=0)
+        assert len(run.ensemble) == len(specs)

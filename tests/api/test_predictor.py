@@ -1,0 +1,103 @@
+"""Tests for the EnsemblePredictor serving facade."""
+
+import numpy as np
+import pytest
+
+from repro.api import EnsemblePredictor, save_ensemble_run
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory, tiny_result):
+    path = tmp_path_factory.mktemp("serving") / "artifact"
+    save_ensemble_run(tiny_result.run, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def predictor(artifact):
+    return EnsemblePredictor.load(artifact)
+
+
+def test_loaded_predictor_matches_in_memory_ensemble(predictor, tiny_result):
+    x = tiny_result.dataset.x_test
+    for method in ("average", "vote", "super_learner"):
+        np.testing.assert_array_equal(
+            predictor.predict_proba(x, method=method),
+            tiny_result.ensemble.predict_proba(x, method=method),
+        )
+        np.testing.assert_array_equal(
+            predictor.predict(x, method=method),
+            tiny_result.ensemble.predict(x, method=method),
+        )
+
+
+def test_from_run_serves_without_disk(tiny_result):
+    predictor = EnsemblePredictor.from_run(tiny_result.run)
+    x = tiny_result.dataset.x_test[:8]
+    np.testing.assert_array_equal(
+        predictor.predict(x), tiny_result.ensemble.predict(x, method="average")
+    )
+
+
+def test_member_probabilities_shape(predictor, tiny_result):
+    x = tiny_result.dataset.x_test[:5]
+    probs = predictor.member_probabilities(x)
+    assert probs.shape == (3, 5, 4)
+
+
+def test_single_sample_gets_batch_axis(predictor, tiny_result):
+    x = tiny_result.dataset.x_test
+    single = predictor.predict_proba(x[0])
+    assert single.shape == (1, 4)
+    np.testing.assert_array_equal(single, predictor.predict_proba(x[:1]))
+
+
+def test_input_shape_validation(predictor):
+    with pytest.raises(ValueError, match="input shape"):
+        predictor.predict(np.zeros((4, 7)))  # 12 features expected
+    with pytest.raises(ValueError, match="input shape"):
+        predictor.predict(np.zeros((4, 12, 2)))
+    with pytest.raises(ValueError, match="empty batch"):
+        predictor.predict(np.zeros((0, 12)))
+
+
+def test_input_dtype_validation(predictor):
+    with pytest.raises(TypeError, match="numeric"):
+        predictor.predict(np.array([["a"] * 12], dtype=object))
+    with pytest.raises(TypeError, match="numeric"):
+        predictor.predict(np.zeros((2, 12), dtype=bool))
+    # Integer inputs are legitimate (e.g. raw pixel values) and are cast.
+    labels = predictor.predict(np.zeros((2, 12), dtype=np.int64))
+    assert labels.shape == (2,)
+
+
+def test_method_validation(predictor, tiny_result):
+    with pytest.raises(ValueError, match="unknown combination method"):
+        EnsemblePredictor.from_run(tiny_result.run, method="oracle")
+    with pytest.raises(ValueError, match="unknown inference method"):
+        predictor.predict(tiny_result.dataset.x_test[:2], method="oracle")
+
+
+def test_super_learner_requires_weights(tiny_result, experiment_dict):
+    from repro.api import run_experiment
+
+    bare = run_experiment(
+        experiment_dict(approach="bagging", trainer={}, super_learner=False),
+        dataset=tiny_result.dataset,
+    )
+    predictor = EnsemblePredictor.from_run(bare.run)
+    with pytest.raises(RuntimeError, match="super-learner"):
+        predictor.predict(tiny_result.dataset.x_test[:2], method="super_learner")
+
+
+def test_info_is_json_friendly(predictor):
+    import json
+
+    info = predictor.info()
+    assert info["num_members"] == 3
+    assert info["num_classes"] == 4
+    assert info["input_shape"] == [12]
+    assert info["super_learner"] is True
+    assert info["approach"] == "mothernets"
+    assert len(info["members"]) == 3
+    json.dumps(info)  # must not raise

@@ -141,6 +141,30 @@ def test_unknown_method_raises():
         ensemble.predict_proba(x, method="stacking")
 
 
+def test_unknown_method_raises_eagerly_listing_choices():
+    """Method validation must happen before any member inference runs, and
+    the error must enumerate the valid choices."""
+    ensemble, x, _ = _fixed_ensemble()
+
+    calls = []
+    original = ensemble.member_probabilities
+    ensemble.member_probabilities = lambda *a, **k: calls.append(1) or original(*a, **k)
+
+    for bad in ("stacking", "AVERAGE", "", None):
+        with pytest.raises(ValueError) as excinfo:
+            ensemble.predict_proba(x, method=bad)
+        message = str(excinfo.value)
+        assert "'average'" in message and "'vote'" in message and "'super_learner'" in message
+    with pytest.raises(ValueError):
+        ensemble.predict(x, method="orakle")
+    assert calls == []  # no member was evaluated for any invalid method
+
+    # Unfitted super_learner also fails before member inference.
+    with pytest.raises(RuntimeError, match="fit_super_learner"):
+        ensemble.predict_proba(x, method="super_learner")
+    assert calls == []
+
+
 def test_super_learner_requires_fitting_first():
     ensemble, x, _ = _fixed_ensemble()
     with pytest.raises(RuntimeError, match="fit_super_learner"):

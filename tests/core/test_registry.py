@@ -1,0 +1,82 @@
+"""Unit tests for the string-keyed trainer registry."""
+
+import pytest
+
+from repro.core import (
+    BaggingTrainer,
+    EnsembleTrainer,
+    FullDataTrainer,
+    MotherNetsTrainer,
+    SnapshotEnsembleTrainer,
+    available_trainers,
+    create_trainer,
+    get_trainer,
+    register_trainer,
+)
+from repro.core.registry import _REGISTRY
+from repro.nn import TrainingConfig
+
+
+def test_builtin_trainers_are_registered():
+    assert get_trainer("mothernets") is MotherNetsTrainer
+    assert get_trainer("full_data") is FullDataTrainer
+    assert get_trainer("bagging") is BaggingTrainer
+    assert get_trainer("snapshot") is SnapshotEnsembleTrainer
+
+
+def test_name_normalisation_accepts_cli_spellings():
+    assert get_trainer("full-data") is FullDataTrainer
+    assert get_trainer("Full-Data") is FullDataTrainer
+    assert get_trainer("MOTHERNETS") is MotherNetsTrainer
+    assert get_trainer(" bagging ") is BaggingTrainer
+
+
+def test_unknown_trainer_lists_registered_names():
+    with pytest.raises(KeyError, match="mothernets"):
+        get_trainer("boosting")
+
+
+def test_available_trainers_sorted():
+    names = available_trainers()
+    assert names == sorted(names)
+    assert {"mothernets", "full_data", "bagging", "snapshot"} <= set(names)
+
+
+def test_create_trainer_forwards_kwargs():
+    config = TrainingConfig(max_epochs=2)
+    trainer = create_trainer("mothernets", config=config, tau=0.7)
+    assert isinstance(trainer, MotherNetsTrainer)
+    assert trainer.tau == 0.7
+    assert trainer.config is config
+
+
+def test_create_trainer_rejects_foreign_kwargs():
+    with pytest.raises(TypeError):
+        create_trainer("full-data", tau=0.5)
+
+
+def test_register_and_resolve_plugin_trainer():
+    @register_trainer("registry-test-plugin", "registry_test_alias")
+    class PluginTrainer(EnsembleTrainer):
+        approach = "plugin"
+
+    try:
+        assert get_trainer("registry-test-plugin") is PluginTrainer
+        assert get_trainer("registry_test_plugin") is PluginTrainer
+        assert get_trainer("registry-test-alias") is PluginTrainer
+    finally:
+        _REGISTRY.pop("registry_test_plugin", None)
+        _REGISTRY.pop("registry_test_alias", None)
+
+
+def test_duplicate_registration_is_refused():
+    with pytest.raises(ValueError, match="already registered"):
+
+        @register_trainer("mothernets")
+        class Impostor(EnsembleTrainer):
+            pass
+
+
+def test_empty_name_is_refused():
+    with pytest.raises(ValueError, match="non-empty"):
+        register_trainer("  ")
