@@ -4,9 +4,13 @@ Measures the hot paths the figure benchmarks are built on — conv
 forward/backward, dense, a full VGG training step, and batched ensemble
 inference — comparing the *fast* engine (float32, BLAS GEMM, workspace
 reuse, batched ensemble pass) against the *reference* seed path (float64,
-``np.einsum``, per-member inference loop).  Results are written as
-machine-readable JSON so the performance trajectory can be tracked PR over
-PR.
+``np.einsum``, per-member inference loop).  The two parallel-engine
+benchmarks (``ensemble_train_parallel``, ``pool_predict``) instead compare
+the multi-process path (``workers=4``) against the single-process one and
+record the machine's usable ``cpu_count`` next to the ratio — parallel
+speedup is physically bounded by the core count, so the number is only
+meaningful together with it.  Results are written as machine-readable JSON
+so the performance trajectory can be tracked PR over PR.
 
 Usage::
 
@@ -24,8 +28,11 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import shutil
 import statistics
+import tempfile
 import time
+from concurrent.futures import ThreadPoolExecutor
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Callable, Dict, List
@@ -37,6 +44,7 @@ from repro.core import Ensemble, EnsembleMember
 from repro.nn import Model, SoftmaxCrossEntropy
 from repro.nn.layers import Conv2D, Dense, ResidualUnit
 from repro.nn.optimizers import SGD
+from repro.utils.parallel import cpu_count
 
 SCHEMA = "repro.bench.micro/v1"
 DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_micro.json"
@@ -221,12 +229,155 @@ def bench_ensemble_predict(repeats: int) -> Dict:
     }
 
 
+def bench_ensemble_train_parallel(repeats: int) -> Dict:
+    """Full-data training of a four-member MLP ensemble: serial loop
+    (``workers=1``, the reference) versus the process-pool engine
+    (``workers=4``).  The task is embarrassingly parallel, so on a machine
+    with >= 4 usable cores the parallel path approaches a 4x speedup (pool
+    start-up amortises over the members); on fewer cores the workers
+    time-slice and the recorded ``cpu_count`` explains the resulting ratio.
+    """
+    workers = 4
+    params = {
+        "members": 4,
+        "train_samples": 1024,
+        "features": 12,
+        "classes": 4,
+        "base_width": 192,
+        "max_epochs": 6,
+        "batch_size": 32,
+        "workers": workers,
+        "cpu_count": cpu_count(),
+    }
+    from repro.arch.zoo import mlp_family
+    from repro.core.baselines import FullDataTrainer
+    from repro.data import load_dataset
+    from repro.nn.training import TrainingConfig
+
+    specs = mlp_family(
+        count=params["members"],
+        input_features=params["features"],
+        num_classes=params["classes"],
+        base_width=params["base_width"],
+        seed=1,
+    )
+    dataset = load_dataset(
+        "tabular",
+        train_samples=params["train_samples"],
+        test_samples=32,
+        num_classes=params["classes"],
+        num_features=params["features"],
+        seed=3,
+    )
+
+    def config(n_workers: int) -> TrainingConfig:
+        return TrainingConfig(
+            max_epochs=params["max_epochs"],
+            min_epochs=params["max_epochs"],
+            convergence_patience=params["max_epochs"],
+            batch_size=params["batch_size"],
+            learning_rate=0.05,
+            workers=n_workers,
+        )
+
+    def run_serial():
+        FullDataTrainer(config(1), collect_phase_timings=False).train(specs, dataset, seed=0)
+
+    def run_parallel():
+        FullDataTrainer(config(workers), collect_phase_timings=False).train(
+            specs, dataset, seed=0
+        )
+
+    return {
+        "params": params,
+        "reference_seconds": _median_seconds(run_serial, repeats),
+        "fast_seconds": _median_seconds(run_parallel, repeats),
+    }
+
+
+def bench_pool_predict(repeats: int) -> Dict:
+    """A stream of concurrent predict requests against a saved artifact:
+    one single-process ``EnsemblePredictor`` answering sequentially (the
+    reference) versus a four-worker ``PoolPredictor`` fed by eight client
+    threads.  Worker start-up is excluded (both predictors are warm before
+    timing); per-request IPC is included, which is the honest serving cost.
+    """
+    workers = 4
+    params = {
+        "members": 3,
+        "requests": 24,
+        "rows_per_request": 64,
+        "workers": workers,
+        "client_threads": 8,
+        "cpu_count": cpu_count(),
+    }
+    from repro.api import EnsemblePredictor, run_experiment, save_ensemble_run
+    from repro.parallel import PoolPredictor
+
+    result = run_experiment(
+        {
+            "name": "bench-pool",
+            "dataset": {
+                "name": "tabular",
+                "train_samples": 256,
+                "test_samples": 2048,
+                "num_classes": 4,
+                "num_features": 16,
+                "seed": 5,
+            },
+            "members": {
+                "family": "mlp",
+                "count": params["members"],
+                "input_features": 16,
+                "num_classes": 4,
+                "base_width": 96,
+                "seed": 1,
+            },
+            "approach": "full-data",
+            "training": {"max_epochs": 2, "batch_size": 64, "learning_rate": 0.1},
+            "seed": 0,
+        }
+    )
+    artifact_root = Path(tempfile.mkdtemp(prefix="repro-bench-pool-"))
+    artifact = artifact_root / "artifact"
+    save_ensemble_run(result.run, artifact)
+    rows = params["rows_per_request"]
+    batches = [
+        result.dataset.x_test[i * rows : (i + 1) * rows] for i in range(params["requests"])
+    ]
+
+    reference = EnsemblePredictor.load(artifact)
+    pool = PoolPredictor(artifact, workers=workers, max_wait_ms=1.0)
+    clients = ThreadPoolExecutor(max_workers=params["client_threads"])
+    try:
+
+        def run_reference():
+            for batch in batches:
+                reference.predict_proba(batch)
+
+        def run_pool():
+            list(clients.map(pool.predict_proba, batches))
+
+        entry = {
+            "params": params,
+            "reference_seconds": _median_seconds(run_reference, repeats),
+            "fast_seconds": _median_seconds(run_pool, repeats),
+        }
+    finally:
+        clients.shutdown(wait=True)
+        pool.close()
+        shutil.rmtree(artifact_root, ignore_errors=True)
+    return entry
+
+
 BENCHMARKS: Dict[str, Callable[[int], Dict]] = {
     "conv_forward": bench_conv_forward,
     "conv_backward": bench_conv_backward,
     "dense": bench_dense,
     "vgg_step": bench_vgg_step,
     "ensemble_predict": bench_ensemble_predict,
+    "ensemble_train_parallel": bench_ensemble_train_parallel,
+    "pool_predict": bench_pool_predict,
 }
 
 
@@ -252,8 +403,11 @@ def run(names: List[str], repeats: int) -> Dict:
         "numpy": np.__version__,
         "platform": platform.platform(),
         "machine": platform.machine(),
-        "reference": "float64 + einsum conv + per-member inference loop (seed path)",
-        "fast": "float32 + GEMM conv with workspace reuse + batched ensemble inference",
+        "cpu_count": cpu_count(),
+        "reference": "float64 + einsum conv + per-member inference loop (seed path); "
+        "workers=1 single-process path for the parallel benchmarks",
+        "fast": "float32 + GEMM conv with workspace reuse + batched ensemble inference; "
+        "workers=4 process pool for the parallel benchmarks",
         "benchmarks": results,
     }
 

@@ -10,6 +10,11 @@ answers warm, batched prediction requests — the same objects the
     python -m repro predict --artifact artifact/ --input batch.npy
     python -m repro inspect --artifact artifact/
 
+For concurrent traffic the same artifact also serves through the
+multi-process pool (``repro.api.PoolPredictor``) and its HTTP front:
+
+    python -m repro serve --artifact artifact/ --workers 4 --port 8765
+
 Run with:  python examples/serve_ensemble.py [artifact_dir]
 """
 
@@ -77,6 +82,15 @@ def main() -> None:
     print(f"  latency:    {per_request:.2f} ms/batch")
     print(f"  throughput: {throughput:,.0f} images/s")
     print(f"  last labels: {labels[:10].tolist()} ...")
+
+    # The multi-process pool answers the same requests bitwise-identically
+    # from N worker processes (useful once clients are concurrent):
+    from repro.api import PoolPredictor
+
+    with PoolPredictor(ARTIFACT, workers=2) as pool:
+        pool_labels = pool.predict(batch)
+    assert (pool_labels == labels).all()
+    print("  PoolPredictor(workers=2) served the batch bitwise-identically.")
 
 
 if __name__ == "__main__":

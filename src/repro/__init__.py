@@ -29,9 +29,14 @@ Sub-packages
     The unified front door: declarative :class:`~repro.api.ExperimentSpec`
     experiments, ensemble artifacts, and the :class:`~repro.api.EnsemblePredictor`
     serving facade (also exposed as the ``python -m repro`` CLI).
+``repro.parallel``
+    Process-based parallel execution: multi-process ensemble-member training
+    over shared-memory datasets (``TrainingConfig(workers=N)``) and the
+    multi-worker :class:`~repro.parallel.PoolPredictor` serving pool behind
+    ``python -m repro serve``.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro import api, arch, core, data, evaluation, nn, utils
 

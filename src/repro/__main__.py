@@ -1,12 +1,15 @@
 """Command-line interface: ``python -m repro`` (installed as ``repro``).
 
-Three sub-commands drive the full train -> save -> serve workflow from JSON
+Four sub-commands drive the full train -> save -> serve workflow from JSON
 configs and ``.npy`` tensors, with no Python required:
 
 * ``repro train --config exp.json --output artifact/`` — execute a declarative
   :class:`~repro.api.ExperimentSpec` and save the trained ensemble artifact;
-* ``repro predict --artifact artifact/ --input x.npy`` — serve predictions
+* ``repro predict --artifact artifact/ --input x.npy`` — one-shot predictions
   from a saved artifact;
+* ``repro serve --artifact artifact/ --workers 4`` — long-running HTTP server
+  backed by a multi-process worker pool (``POST /predict``, ``GET /info``,
+  ``GET /healthz``; stops cleanly on SIGINT/SIGTERM);
 * ``repro inspect --artifact artifact/`` — summarise an artifact.
 """
 
@@ -61,6 +64,31 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     predict.add_argument("--batch-size", type=int, default=256)
 
+    serve = sub.add_parser(
+        "serve", help="serve an artifact over HTTP from a multi-process worker pool"
+    )
+    serve.add_argument("--artifact", required=True, type=Path, help="artifact directory")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8765, help="TCP port (0 picks an ephemeral port)"
+    )
+    serve.add_argument("--workers", type=int, default=2, help="worker processes")
+    serve.add_argument(
+        "--method",
+        default="average",
+        help="default combination method: average | vote | super_learner",
+    )
+    serve.add_argument("--batch-size", type=int, default=256)
+    serve.add_argument(
+        "--max-batch", type=int, default=1024, help="micro-batch row cap per dispatch"
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="how long the dispatcher waits to coalesce concurrent requests",
+    )
+
     inspect = sub.add_parser("inspect", help="summarise a saved artifact")
     inspect.add_argument("--artifact", required=True, type=Path, help="artifact directory")
 
@@ -112,6 +140,21 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.parallel.server import run_server
+
+    return run_server(
+        artifact=args.artifact,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        method=args.method,
+        batch_size=args.batch_size,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+    )
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     from repro.api import EnsemblePredictor
 
@@ -120,7 +163,12 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
-_COMMANDS = {"train": _cmd_train, "predict": _cmd_predict, "inspect": _cmd_inspect}
+_COMMANDS = {
+    "train": _cmd_train,
+    "predict": _cmd_predict,
+    "serve": _cmd_serve,
+    "inspect": _cmd_inspect,
+}
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -44,6 +44,18 @@ __all__ = [
     "load_ensemble_run",
     "read_manifest",
     "EnsemblePredictor",
+    "PoolPredictor",
     "training_config_to_dict",
     "training_config_from_dict",
 ]
+
+
+def __getattr__(name):
+    # PoolPredictor lives in repro.parallel, which imports back into
+    # repro.api for artifact reading; resolving it lazily keeps the import
+    # graph acyclic no matter which package is imported first.
+    if name == "PoolPredictor":
+        from repro.parallel.serving import PoolPredictor
+
+        return PoolPredictor
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

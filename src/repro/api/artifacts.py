@@ -10,10 +10,16 @@ Layout of a saved artifact::
 
 The manifest carries everything needed to reconstruct an
 :class:`~repro.core.trainer.EnsembleTrainingRun` — approach, per-member
-metadata (source, cluster, training seconds), the full cost ledger, the
-training configuration, and fitted Super Learner weights — so a trained
-ensemble round-trips **bitwise**: ``load_ensemble_run(save_ensemble_run(run))``
-produces identical ``predict_proba_all`` output.
+metadata (source, cluster, training seconds), per-member **training
+histories** (per-epoch loss/accuracy records, schema v2), the full cost
+ledger including parallel-phase makespans, the training configuration, and
+fitted Super Learner weights — so a trained ensemble round-trips **bitwise**:
+``load_ensemble_run(save_ensemble_run(run))`` produces identical
+``predict_proba_all`` output, and convergence curves survive the cycle.
+
+Schema history: ``repro.ensemble_run/v1`` artifacts (no histories, no
+makespans) remain loadable; new artifacts are written as
+``repro.ensemble_run/v2``.
 """
 
 from __future__ import annotations
@@ -33,11 +39,14 @@ from repro.core.cost_model import CostLedger
 from repro.core.ensemble import Ensemble, EnsembleMember
 from repro.core.trainer import EnsembleTrainingRun
 from repro.nn.serialization import load_model, save_model
+from repro.nn.training import TrainingResult
 from repro.utils.logging import get_logger
 
 logger = get_logger("api.artifacts")
 
-ARTIFACT_SCHEMA = "repro.ensemble_run/v1"
+ARTIFACT_SCHEMA = "repro.ensemble_run/v2"
+ARTIFACT_SCHEMA_V1 = "repro.ensemble_run/v1"
+SUPPORTED_SCHEMAS = (ARTIFACT_SCHEMA_V1, ARTIFACT_SCHEMA)
 MANIFEST_NAME = "manifest.json"
 _MEMBER_DIR = "members"
 
@@ -75,6 +84,11 @@ def save_ensemble_run(run: EnsembleTrainingRun, path: Union[str, Path]) -> Path:
                 "dtype": str(np.dtype(member.model.dtype)),
                 "spec": f"{_MEMBER_DIR}/{spec_file.name}",
                 "weights": f"{_MEMBER_DIR}/{weights_file.name}",
+                "training_result": (
+                    None
+                    if member.training_result is None
+                    else member.training_result.to_dict()
+                ),
             }
         )
 
@@ -95,6 +109,7 @@ def save_ensemble_run(run: EnsembleTrainingRun, path: Union[str, Path]) -> Path:
         "config": training_config_to_dict(run.config),
         "ledger": {
             "approach": run.ledger.approach,
+            "phase_makespans": dict(run.ledger.phase_makespans),
             "records": [
                 {
                     "network": record.network,
@@ -110,6 +125,7 @@ def save_ensemble_run(run: EnsembleTrainingRun, path: Union[str, Path]) -> Path:
         },
         "ledger_summary": {
             "total_seconds": run.ledger.total_seconds,
+            "makespan_seconds": run.ledger.makespan_seconds,
             "total_epochs": run.ledger.total_epochs,
             "seconds_by_phase": run.ledger.seconds_by_phase(),
             "seconds_by_compute_phase": run.ledger.seconds_by_compute_phase(),
@@ -127,8 +143,12 @@ def read_manifest(path: Union[str, Path]) -> Dict[str, Any]:
         raise FileNotFoundError(f"{path} is not an ensemble artifact (no {MANIFEST_NAME})")
     manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
     schema = manifest.get("schema")
-    if schema != ARTIFACT_SCHEMA:
-        raise ValueError(f"unsupported artifact schema {schema!r} (expected {ARTIFACT_SCHEMA})")
+    if schema not in SUPPORTED_SCHEMAS:
+        raise ValueError(
+            f"unsupported artifact schema {schema!r} (expected one of "
+            + ", ".join(repr(s) for s in SUPPORTED_SCHEMAS)
+            + ")"
+        )
     return manifest
 
 
@@ -137,16 +157,19 @@ def load_ensemble_run(
 ) -> EnsembleTrainingRun:
     """Reconstruct the :class:`EnsembleTrainingRun` saved at ``path``.
 
-    Per-epoch training histories and intermediate MotherNet models are not
-    part of the bundle; the reconstructed run carries the trained members,
-    the full cost ledger, and the training configuration.  Pass ``manifest``
-    when the caller already parsed it (avoids a second read).
+    The reconstructed run carries the trained members, per-member training
+    histories (``None`` for members of schema-v1 artifacts, which predate
+    history persistence), the full cost ledger, and the training
+    configuration; intermediate MotherNet models are not part of the bundle.
+    Pass ``manifest`` when the caller already parsed it (avoids a second
+    read).
     """
     path = Path(path)
     if manifest is None:
         manifest = read_manifest(path)
 
     members = []
+    member_results = {}
     for meta in manifest["members"]:
         model = load_model(path / meta["weights"])
         sidecar = spec_from_json((path / meta["spec"]).read_text(encoding="utf-8"))
@@ -155,10 +178,15 @@ def load_ensemble_run(
                 f"artifact corrupted: spec sidecar for member {meta['name']!r} does not "
                 "match the spec stored with its weights"
             )
+        training_result = None
+        if meta.get("training_result") is not None:
+            training_result = TrainingResult.from_dict(meta["training_result"])
+            member_results[meta["name"]] = training_result
         members.append(
             EnsembleMember(
                 name=meta["name"],
                 model=model,
+                training_result=training_result,
                 source=meta.get("source", "scratch"),
                 cluster_id=meta.get("cluster_id"),
                 training_seconds=float(meta.get("training_seconds", 0.0)),
@@ -170,6 +198,8 @@ def load_ensemble_run(
         ensemble.set_super_learner_weights(manifest["super_learner_weights"])
 
     ledger = CostLedger(approach=manifest["ledger"]["approach"])
+    for phase, seconds in manifest["ledger"].get("phase_makespans", {}).items():
+        ledger.record_phase_makespan(phase, seconds)
     for record in manifest["ledger"]["records"]:
         ledger.add(
             network=record["network"],
@@ -186,4 +216,5 @@ def load_ensemble_run(
         ensemble=ensemble,
         ledger=ledger,
         config=training_config_from_dict(manifest["config"]),
+        member_results=member_results,
     )

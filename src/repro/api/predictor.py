@@ -23,6 +23,40 @@ from repro.utils.logging import get_logger
 logger = get_logger("api.predictor")
 
 
+def validate_batch(x: np.ndarray, input_shape: Tuple[int, ...]) -> np.ndarray:
+    """Validate a predict input against the ensemble's per-sample shape.
+
+    Accepts a batch ``(batch, *input_shape)`` or a single un-batched sample
+    ``input_shape`` (a batch axis is added); rejects empty batches and
+    non-numeric dtypes.  Shared by :class:`EnsemblePredictor` and the
+    multi-process :class:`~repro.parallel.serving.PoolPredictor`, which
+    validates in the dispatching process so malformed requests fail fast
+    without a worker round-trip.
+    """
+    if not isinstance(x, np.ndarray):
+        x = np.asarray(x)
+    if not (np.issubdtype(x.dtype, np.floating) or np.issubdtype(x.dtype, np.integer)):
+        raise TypeError(
+            f"input dtype must be numeric (floating or integer), got {x.dtype}"
+        )
+    expected = tuple(input_shape)
+    if x.ndim == len(expected):
+        # A single un-batched sample: accept and add the batch axis.
+        if tuple(x.shape) != expected:
+            raise ValueError(
+                f"input shape {tuple(x.shape)} does not match the ensemble's "
+                f"per-sample input shape {expected}"
+            )
+        x = x[None, ...]
+    elif x.ndim != len(expected) + 1 or tuple(x.shape[1:]) != expected:
+        raise ValueError(
+            f"input shape {tuple(x.shape)} does not match (batch, *{expected})"
+        )
+    if x.shape[0] == 0:
+        raise ValueError("cannot predict on an empty batch")
+    return x
+
+
 class EnsemblePredictor:
     """Warm, input-validated serving for a trained :class:`Ensemble`.
 
@@ -111,28 +145,7 @@ class EnsemblePredictor:
 
     # ------------------------------------------------------------ validation
     def _validate(self, x: np.ndarray) -> np.ndarray:
-        if not isinstance(x, np.ndarray):
-            x = np.asarray(x)
-        if not (np.issubdtype(x.dtype, np.floating) or np.issubdtype(x.dtype, np.integer)):
-            raise TypeError(
-                f"input dtype must be numeric (floating or integer), got {x.dtype}"
-            )
-        expected = self.input_shape
-        if x.ndim == len(expected):
-            # A single un-batched sample: accept and add the batch axis.
-            if tuple(x.shape) != expected:
-                raise ValueError(
-                    f"input shape {tuple(x.shape)} does not match the ensemble's "
-                    f"per-sample input shape {expected}"
-                )
-            x = x[None, ...]
-        elif x.ndim != len(expected) + 1 or tuple(x.shape[1:]) != expected:
-            raise ValueError(
-                f"input shape {tuple(x.shape)} does not match (batch, *{expected})"
-            )
-        if x.shape[0] == 0:
-            raise ValueError("cannot predict on an empty batch")
-        return x
+        return validate_batch(x, self.input_shape)
 
     def _resolve_method(self, method: Optional[str]) -> str:
         resolved = self.method if method is None else method

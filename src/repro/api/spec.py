@@ -57,6 +57,7 @@ _CONFIG_FIELDS = (
     "min_epochs",
     "shuffle",
     "loss",
+    "workers",
 )
 
 

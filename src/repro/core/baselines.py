@@ -16,8 +16,10 @@ the monolithic-architecture restriction that MotherNets removes.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence
 
+from repro.arch.serialization import spec_to_json
 from repro.arch.spec import ArchitectureSpec
 from repro.core.cost_model import CostLedger
 from repro.core.ensemble import Ensemble, EnsembleMember
@@ -25,8 +27,10 @@ from repro.core.registry import register_trainer
 from repro.core.trainer import EnsembleTrainer, EnsembleTrainingRun
 from repro.data.datasets import Dataset
 from repro.data.sampling import bootstrap_sample
+from repro.nn.dtypes import resolve_dtype
 from repro.nn.model import Model
 from repro.nn.optimizers import CosineSchedule
+from repro.nn.serialization import unpack_model_state
 from repro.nn.training import TrainingConfig, TrainingResult
 from repro.utils.logging import get_logger
 from repro.utils.rng import RngManager
@@ -35,7 +39,15 @@ logger = get_logger("core.baselines")
 
 
 class _ScratchTrainer(EnsembleTrainer):
-    """Shared implementation for the two from-scratch baselines."""
+    """Shared implementation for the two from-scratch baselines.
+
+    Members are mutually independent, so with ``config.workers > 1`` they
+    train concurrently on the :mod:`repro.parallel` process pool: workers
+    receive ``(spec, seeds)`` tasks, read the training set through shared
+    memory, and draw their own bootstrap samples with the same derived seeds
+    the serial loop uses — bitwise-identical members under matching BLAS
+    thread counts.  ``workers=1`` (default) is the unchanged serial path.
+    """
 
     use_bagging: bool = False
 
@@ -49,38 +61,85 @@ class _ScratchTrainer(EnsembleTrainer):
         members: List[EnsembleMember] = []
         member_results: Dict[str, TrainingResult] = {}
 
-        for index, spec in enumerate(specs):
-            model = Model.from_spec(spec, seed=rngs.seed("init", index))
-            if self.use_bagging:
-                bag = bootstrap_sample(
-                    dataset.x_train, dataset.y_train, seed=rngs.seed("bag", index)
-                )
-                x, y, samples = bag.x, bag.y, bag.size
-            else:
-                x, y, samples = dataset.x_train, dataset.y_train, dataset.train_size
-            result, seconds, compute_phases = self._fit(
-                model, x, y, self.config, seed=rngs.seed("shuffle", index)
-            )
-            member_results[spec.name] = result
-            ledger.add(
-                network=spec.name,
-                phase="scratch",
-                epochs=result.epochs_run,
-                wall_clock_seconds=seconds,
-                parameters=model.parameter_count(),
-                samples_per_epoch=samples,
-                compute_phases=compute_phases,
-            )
-            members.append(
-                EnsembleMember(
+        workers = self._member_workers(self.config, len(specs))
+        if workers > 1:
+            phase_start = time.perf_counter()
+            from repro.parallel.worker import MemberTask
+
+            # Resolve the compute dtype in the parent: workers are fresh
+            # interpreters and would otherwise fall back to the global
+            # default even when this run opted into another dtype.
+            dtype = str(resolve_dtype(None))
+            tasks = [
+                MemberTask(
                     name=spec.name,
-                    model=model,
-                    training_result=result,
-                    source="scratch",
-                    training_seconds=seconds,
+                    spec_json=spec_to_json(spec),
+                    config=self.config,
+                    train_seed=rngs.seed("shuffle", index),
+                    dtype=dtype,
+                    init_seed=rngs.seed("init", index),
+                    bag_seed=rngs.seed("bag", index) if self.use_bagging else None,
+                    collect_phase_timings=self.collect_phase_timings,
                 )
+                for index, spec in enumerate(specs)
+            ]
+            outcomes, _ = self._run_parallel(
+                tasks, dataset.x_train, dataset.y_train, workers
             )
-            logger.info("trained %s from scratch in %.2fs", spec.name, seconds)
+            for spec, outcome in zip(specs, outcomes):
+                member_results[spec.name] = outcome.result
+                ledger.add(
+                    network=spec.name,
+                    phase="scratch",
+                    epochs=outcome.result.epochs_run,
+                    wall_clock_seconds=outcome.seconds,
+                    parameters=outcome.parameters,
+                    samples_per_epoch=outcome.samples_per_epoch,
+                    compute_phases=outcome.compute_phases,
+                )
+                members.append(
+                    EnsembleMember(
+                        name=spec.name,
+                        model=unpack_model_state(outcome.state),
+                        training_result=outcome.result,
+                        source="scratch",
+                        training_seconds=outcome.seconds,
+                    )
+                )
+            ledger.record_phase_makespan("scratch", time.perf_counter() - phase_start)
+        else:
+            for index, spec in enumerate(specs):
+                model = Model.from_spec(spec, seed=rngs.seed("init", index))
+                if self.use_bagging:
+                    bag = bootstrap_sample(
+                        dataset.x_train, dataset.y_train, seed=rngs.seed("bag", index)
+                    )
+                    x, y, samples = bag.x, bag.y, bag.size
+                else:
+                    x, y, samples = dataset.x_train, dataset.y_train, dataset.train_size
+                result, seconds, compute_phases = self._fit(
+                    model, x, y, self.config, seed=rngs.seed("shuffle", index)
+                )
+                member_results[spec.name] = result
+                ledger.add(
+                    network=spec.name,
+                    phase="scratch",
+                    epochs=result.epochs_run,
+                    wall_clock_seconds=seconds,
+                    parameters=model.parameter_count(),
+                    samples_per_epoch=samples,
+                    compute_phases=compute_phases,
+                )
+                members.append(
+                    EnsembleMember(
+                        name=spec.name,
+                        model=model,
+                        training_result=result,
+                        source="scratch",
+                        training_seconds=seconds,
+                    )
+                )
+                logger.info("trained %s from scratch in %.2fs", spec.name, seconds)
 
         ensemble = Ensemble(members, num_classes=dataset.num_classes)
         return EnsembleTrainingRun(
@@ -118,6 +177,11 @@ class SnapshotEnsembleTrainer(EnsembleTrainer):
     All snapshots share the same, monolithic architecture — this trainer is
     provided to demonstrate that restriction next to MotherNets' structurally
     diverse ensembles.
+
+    Unlike the other approaches, snapshot cycles form a strict sequential
+    chain (every cycle continues from the previous cycle's weights), so
+    ``config.workers > 1`` cannot help and is deliberately ignored (with a
+    log note) rather than rejected — configs stay portable across approaches.
     """
 
     approach = "snapshot"
@@ -149,6 +213,11 @@ class SnapshotEnsembleTrainer(EnsembleTrainer):
         spec = specs[0]
         rngs = RngManager(seed)
         ledger = CostLedger(approach=self.approach)
+        if getattr(self.config, "workers", 1) > 1:
+            logger.info(
+                "snapshot ensembles train one network sequentially; workers=%d ignored",
+                self.config.workers,
+            )
 
         cycle_epochs = self.epochs_per_cycle or max(1, self.config.max_epochs)
         cycle_config = TrainingConfig(

@@ -49,10 +49,22 @@ class CostRecord:
 
 @dataclass
 class CostLedger:
-    """Accumulates :class:`CostRecord` entries for one ensemble training run."""
+    """Accumulates :class:`CostRecord` entries for one ensemble training run.
+
+    Per-record ``wall_clock_seconds`` always measures each network's own
+    training time (total compute), regardless of how many worker processes
+    trained networks concurrently.  When a phase *was* executed in parallel,
+    the trainer additionally records the phase's **makespan** — the
+    critical-path wall clock from the first submission to the last result —
+    via :meth:`record_phase_makespan`; :attr:`makespan_seconds` then reports
+    how long the run actually took, next to :attr:`total_seconds`'s "how much
+    compute it burned".
+    """
 
     approach: str
     records: List[CostRecord] = field(default_factory=list)
+    # phase -> measured critical-path seconds, for phases run in parallel.
+    phase_makespans: Dict[str, float] = field(default_factory=dict)
 
     def add(
         self,
@@ -77,10 +89,32 @@ class CostLedger:
         self.records.append(record)
         return record
 
+    def record_phase_makespan(self, phase: str, seconds: float) -> None:
+        """Record the critical-path wall clock of a phase run in parallel."""
+        if seconds < 0:
+            raise ValueError("makespan seconds must be non-negative")
+        self.phase_makespans[phase] = float(seconds)
+
     # ------------------------------------------------------------ summaries
     @property
     def total_seconds(self) -> float:
         return float(sum(record.wall_clock_seconds for record in self.records))
+
+    @property
+    def makespan_seconds(self) -> float:
+        """Critical-path wall clock of the whole run: phases with a recorded
+        parallel makespan contribute their measured window, serial phases the
+        sum of their records.  Equals :attr:`total_seconds` for fully serial
+        runs."""
+        by_phase = self.seconds_by_phase()
+        total = 0.0
+        for phase, seconds in by_phase.items():
+            total += self.phase_makespans.get(phase, seconds)
+        # Phases that recorded a makespan but (pathologically) no records.
+        for phase, seconds in self.phase_makespans.items():
+            if phase not in by_phase:
+                total += seconds
+        return total
 
     @property
     def total_epochs(self) -> int:

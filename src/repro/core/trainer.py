@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.arch.params import count_parameters
+from repro.arch.serialization import spec_to_json
 from repro.arch.spec import ArchitectureSpec
 from repro.arch.validation import check_same_task
 from repro.core.clustering import Cluster, cluster_ensemble
@@ -32,6 +33,7 @@ from repro.core.registry import register_trainer
 from repro.data.datasets import Dataset
 from repro.data.sampling import bootstrap_sample
 from repro.nn.model import Model
+from repro.nn.serialization import unpack_model_state
 from repro.nn.training import Trainer, TrainingConfig, TrainingResult
 from repro.utils.logging import get_logger
 from repro.utils.rng import RngManager
@@ -56,6 +58,11 @@ class EnsembleTrainingRun:
     @property
     def total_training_seconds(self) -> float:
         return self.ledger.total_seconds
+
+    @property
+    def makespan_seconds(self) -> float:
+        """Critical-path wall clock (equals total for fully serial runs)."""
+        return self.ledger.makespan_seconds
 
     @property
     def member_names(self) -> List[str]:
@@ -134,6 +141,18 @@ class EnsembleTrainer:
             result = Trainer(config).fit(model, x, y, seed=seed)
         return result, time.perf_counter() - start, phases
 
+    def _member_workers(self, config: TrainingConfig, num_tasks: int) -> int:
+        """How many worker processes a member-training phase should use."""
+        workers = max(1, int(getattr(config, "workers", 1)))
+        return min(workers, num_tasks)
+
+    def _run_parallel(self, tasks, x, y, workers: int):
+        """Fan the member tasks out over the process pool (see
+        :mod:`repro.parallel`); returns ``(outcomes, makespan_seconds)``."""
+        from repro.parallel.executor import train_members
+
+        return train_members(tasks, x, y, workers=workers)
+
 
 @register_trainer("mothernets")
 class MotherNetsTrainer(EnsembleTrainer):
@@ -159,6 +178,17 @@ class MotherNetsTrainer(EnsembleTrainer):
         Standard deviation of the symmetry-breaking noise added to replicated
         weights during hatching (0 keeps hatching exactly function
         preserving).
+
+    Parallelism
+    -----------
+    With ``member_config.workers > 1`` the phase-2 fine-tunes fan out over a
+    process pool (:mod:`repro.parallel`) and produce members bitwise
+    identical to the serial path under matching BLAS thread counts.  Members
+    whose hatching plan is empty (they equal their cluster's MotherNet) are
+    a sequential dependency — the serial loop fine-tunes the MotherNet model
+    in place, and later members of the cluster hatch from the fine-tuned
+    weights — so those members train in the parent at their serial position
+    while every strict-superset member runs on the pool.
     """
 
     approach = "mothernets"
@@ -230,42 +260,142 @@ class MotherNetsTrainer(EnsembleTrainer):
             )
 
         # Phase 2: hatch every member and fine-tune it on a bagged sample.
+        # Hatched members are mutually independent, so with workers > 1 the
+        # fine-tunes fan out over the process pool: hatching stays in the
+        # parent (it needs the MotherNet models), each worker receives the
+        # hatched weight snapshot plus the member's derived seeds, and draws
+        # its bootstrap sample from the shared-memory training set exactly as
+        # the serial loop draws it here.
         members: List[EnsembleMember] = []
         member_results: Dict[str, TrainingResult] = {}
-        for index, spec in enumerate(specs):
-            cluster = cluster_of[spec.name]
-            parent = mothernet_models[cluster.cluster_id]
-            hatch_start = time.perf_counter()
-            model = hatch(
-                parent, spec, seed=rngs.seed("hatch", index), noise_std=self.noise_std
-            )
-            hatch_seconds = time.perf_counter() - hatch_start
-            bag = bootstrap_sample(
-                dataset.x_train, dataset.y_train, seed=rngs.seed("bag", index)
-            )
-            result, seconds, compute_phases = self._fit(
-                model, bag.x, bag.y, self.member_config, seed=rngs.seed("member-shuffle", index)
-            )
-            member_results[spec.name] = result
-            ledger.add(
-                network=spec.name,
-                phase="member",
-                epochs=result.epochs_run,
-                wall_clock_seconds=seconds + hatch_seconds,
-                parameters=model.parameter_count(),
-                samples_per_epoch=bag.size,
-                compute_phases=compute_phases,
-            )
-            members.append(
-                EnsembleMember(
-                    name=spec.name,
-                    model=model,
-                    training_result=result,
-                    source="hatched",
-                    cluster_id=cluster.cluster_id,
-                    training_seconds=seconds + hatch_seconds,
+        workers = self._member_workers(self.member_config, len(specs))
+        if workers > 1:
+            phase_start = time.perf_counter()
+            from repro.parallel.worker import MemberTask
+
+            # Walk the members in serial order.  A member whose hatching plan
+            # is *empty* aliases its cluster's MotherNet: the serial loop
+            # fine-tunes the MotherNet model in place, and every later member
+            # of that cluster hatches from the fine-tuned weights.  That is a
+            # genuine sequential dependency, so such members train here in
+            # the parent at their exact serial position; all strict-superset
+            # members are independent (they train a private hatched copy) and
+            # fan out to the worker pool.  The merged result is bitwise
+            # identical to the serial path.
+            entries: List[Optional[Dict[str, object]]] = [None] * len(specs)
+            tasks: List[MemberTask] = []
+            task_indices: List[int] = []
+            task_hatch_seconds: Dict[int, float] = {}
+            for index, spec in enumerate(specs):
+                cluster = cluster_of[spec.name]
+                parent = mothernet_models[cluster.cluster_id]
+                hatch_start = time.perf_counter()
+                hatched = hatch(
+                    parent, spec, seed=rngs.seed("hatch", index), noise_std=self.noise_std
                 )
-            )
+                hatch_seconds = time.perf_counter() - hatch_start
+                bag_seed = rngs.seed("bag", index)
+                train_seed = rngs.seed("member-shuffle", index)
+                if hatched is parent:
+                    bag = bootstrap_sample(dataset.x_train, dataset.y_train, seed=bag_seed)
+                    result, seconds, compute_phases = self._fit(
+                        hatched, bag.x, bag.y, self.member_config, seed=train_seed
+                    )
+                    entries[index] = {
+                        "model": hatched,
+                        "result": result,
+                        "seconds": seconds + hatch_seconds,
+                        "compute_phases": compute_phases,
+                        "samples": bag.size,
+                        "parameters": hatched.parameter_count(),
+                    }
+                else:
+                    tasks.append(
+                        MemberTask(
+                            name=spec.name,
+                            spec_json=spec_to_json(hatched.spec),
+                            config=self.member_config,
+                            train_seed=train_seed,
+                            dtype=str(hatched.dtype),
+                            init_weights=hatched.get_weights(),
+                            bag_seed=bag_seed,
+                            collect_phase_timings=self.collect_phase_timings,
+                        )
+                    )
+                    task_indices.append(index)
+                    task_hatch_seconds[index] = hatch_seconds
+            outcomes = []
+            if tasks:
+                outcomes, _ = self._run_parallel(
+                    tasks, dataset.x_train, dataset.y_train, min(workers, len(tasks))
+                )
+            for index, outcome in zip(task_indices, outcomes):
+                entries[index] = {
+                    "model": unpack_model_state(outcome.state),
+                    "result": outcome.result,
+                    "seconds": outcome.seconds + task_hatch_seconds[index],
+                    "compute_phases": outcome.compute_phases,
+                    "samples": outcome.samples_per_epoch,
+                    "parameters": outcome.parameters,
+                }
+            for index, (spec, entry) in enumerate(zip(specs, entries)):
+                cluster = cluster_of[spec.name]
+                member_results[spec.name] = entry["result"]
+                ledger.add(
+                    network=spec.name,
+                    phase="member",
+                    epochs=entry["result"].epochs_run,
+                    wall_clock_seconds=entry["seconds"],
+                    parameters=entry["parameters"],
+                    samples_per_epoch=entry["samples"],
+                    compute_phases=entry["compute_phases"],
+                )
+                members.append(
+                    EnsembleMember(
+                        name=spec.name,
+                        model=entry["model"],
+                        training_result=entry["result"],
+                        source="hatched",
+                        cluster_id=cluster.cluster_id,
+                        training_seconds=entry["seconds"],
+                    )
+                )
+            ledger.record_phase_makespan("member", time.perf_counter() - phase_start)
+        else:
+            for index, spec in enumerate(specs):
+                cluster = cluster_of[spec.name]
+                parent = mothernet_models[cluster.cluster_id]
+                hatch_start = time.perf_counter()
+                model = hatch(
+                    parent, spec, seed=rngs.seed("hatch", index), noise_std=self.noise_std
+                )
+                hatch_seconds = time.perf_counter() - hatch_start
+                bag = bootstrap_sample(
+                    dataset.x_train, dataset.y_train, seed=rngs.seed("bag", index)
+                )
+                result, seconds, compute_phases = self._fit(
+                    model, bag.x, bag.y, self.member_config, seed=rngs.seed("member-shuffle", index)
+                )
+                member_results[spec.name] = result
+                ledger.add(
+                    network=spec.name,
+                    phase="member",
+                    epochs=result.epochs_run,
+                    wall_clock_seconds=seconds + hatch_seconds,
+                    parameters=model.parameter_count(),
+                    samples_per_epoch=bag.size,
+                    compute_phases=compute_phases,
+                )
+                members.append(
+                    EnsembleMember(
+                        name=spec.name,
+                        model=model,
+                        training_result=result,
+                        source="hatched",
+                        cluster_id=cluster.cluster_id,
+                        training_seconds=seconds + hatch_seconds,
+                    )
+                )
 
         ensemble = Ensemble(members, num_classes=dataset.num_classes)
         return EnsembleTrainingRun(
@@ -290,6 +420,9 @@ def summarize_run(run: EnsembleTrainingRun) -> Dict[str, object]:
         "total_epochs": run.ledger.total_epochs,
         "seconds_by_phase": run.ledger.seconds_by_phase(),
     }
+    if run.ledger.phase_makespans:
+        summary["makespan_seconds"] = run.ledger.makespan_seconds
+        summary["phase_makespans"] = dict(run.ledger.phase_makespans)
     compute_phases = run.ledger.seconds_by_compute_phase()
     if compute_phases:
         summary["seconds_by_compute_phase"] = compute_phases

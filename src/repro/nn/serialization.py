@@ -6,13 +6,19 @@ it back.  Used to checkpoint trained MotherNets so that additional ensemble
 members can be hatched later without retraining (one of the practical
 benefits the paper highlights: the training cost of growing an ensemble is
 just the member fine-tuning).
+
+For *in-memory* transport between processes (the parallel training engine
+ships models over ``multiprocessing`` pipes), :func:`pack_model_state` /
+:func:`unpack_model_state` provide a picklable plain-data form — spec JSON,
+compute dtype, and the weight/state snapshot — without touching the disk
+format.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import Any, Dict, Union
 
 import numpy as np
 
@@ -20,6 +26,33 @@ from repro.arch.serialization import spec_from_json, spec_to_json
 from repro.nn.model import Model
 
 _SPEC_KEY = "__spec_json__"
+
+
+def pack_model_state(model: Model) -> Dict[str, Any]:
+    """A picklable snapshot of ``model``: spec JSON + dtype + weights/state.
+
+    The snapshot is plain data (strings and numpy arrays), safe to ship
+    through ``multiprocessing`` queues under the ``spawn`` start method.
+    """
+    return {
+        "spec_json": spec_to_json(model.spec),
+        "dtype": str(np.dtype(model.dtype)),
+        "weights": model.get_weights(),
+    }
+
+
+def unpack_model_state(state: Dict[str, Any]) -> Model:
+    """Rebuild the model captured by :func:`pack_model_state`.
+
+    The model is re-materialised with ``seed=0`` (matching how the hatching
+    morphisms construct their results) and every parameter and state tensor
+    is then overwritten from the snapshot, so the returned model computes
+    bitwise the same function as the packed one.
+    """
+    spec = spec_from_json(state["spec_json"])
+    model = Model.from_spec(spec, seed=0, dtype=state["dtype"])
+    model.set_weights(state["weights"])
+    return model
 
 
 def save_model(model: Model, path: Union[str, Path]) -> Path:

@@ -52,6 +52,10 @@ class TrainingConfig:
     shuffle: bool = True
     schedule: Optional[LearningRateSchedule] = None
     loss: str = "softmax_cross_entropy"
+    # Number of worker processes used by the *ensemble* trainers to fit
+    # independent members concurrently (repro.parallel).  1 = the serial
+    # in-process path; the single-network Trainer below never forks.
+    workers: int = 1
 
     def __post_init__(self):
         if self.max_epochs < 1:
@@ -64,6 +68,8 @@ class TrainingConfig:
             raise ValueError("convergence_patience must be at least 1")
         if self.convergence_tolerance < 0:
             raise ValueError("convergence_tolerance must be non-negative")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
 
     def scaled(self, epoch_fraction: float) -> "TrainingConfig":
         """A copy with the epoch budget scaled by ``epoch_fraction`` (used for
@@ -84,6 +90,7 @@ class TrainingConfig:
             shuffle=self.shuffle,
             schedule=self.schedule,
             loss=self.loss,
+            workers=self.workers,
         )
 
 
@@ -98,6 +105,22 @@ class EpochRecord:
     seconds: float
     val_loss: Optional[float] = None
     val_accuracy: Optional[float] = None
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form (persisted in ensemble artifacts)."""
+        return {
+            "epoch": self.epoch,
+            "train_loss": self.train_loss,
+            "train_accuracy": self.train_accuracy,
+            "learning_rate": self.learning_rate,
+            "seconds": self.seconds,
+            "val_loss": self.val_loss,
+            "val_accuracy": self.val_accuracy,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EpochRecord":
+        return cls(**data)
 
 
 @dataclass
@@ -127,6 +150,25 @@ class TrainingResult:
 
     def loss_curve(self) -> List[float]:
         return [record.train_loss for record in self.history]
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form (persisted in ensemble artifacts since the
+        ``repro.ensemble_run/v2`` manifest schema)."""
+        return {
+            "history": [record.to_dict() for record in self.history],
+            "converged": self.converged,
+            "wall_clock_seconds": self.wall_clock_seconds,
+            "samples_seen": self.samples_seen,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrainingResult":
+        return cls(
+            history=[EpochRecord.from_dict(record) for record in data.get("history", [])],
+            converged=bool(data.get("converged", False)),
+            wall_clock_seconds=float(data.get("wall_clock_seconds", 0.0)),
+            samples_seen=int(data.get("samples_seen", 0)),
+        )
 
 
 class ConvergenceCriterion:
@@ -160,7 +202,13 @@ def iterate_minibatches(
     shuffle: bool = True,
     rng: Optional[np.random.Generator] = None,
 ):
-    """Yield ``(x_batch, y_batch)`` mini-batches covering the whole data set."""
+    """Yield ``(x_batch, y_batch)`` mini-batches covering the whole data set.
+
+    Every yielded batch is a fresh copy.  The hot training loop in
+    :meth:`Trainer.fit` uses the allocation-free :class:`_BatchGatherer`
+    instead (same permutation, same batch values, reused buffers); this
+    generator remains the simple public API for external callers and tests.
+    """
     n = x.shape[0]
     indices = np.arange(n)
     if shuffle:
@@ -170,6 +218,59 @@ def iterate_minibatches(
     for start in range(0, n, batch_size):
         batch = indices[start : start + batch_size]
         yield x[batch], y[batch]
+
+
+class _BatchGatherer:
+    """Allocation-free mini-batch gathering for steady-state epochs.
+
+    The naive loop fancy-indexes ``x[perm_batch]`` every step, allocating one
+    full pass over the data set per epoch.  This helper shuffles an index
+    permutation instead and gathers each mini-batch into *reused* buffers
+    with ``np.take(..., out=...)``; after the first epoch the loop allocates
+    nothing.  Batches are bitwise identical to the naive loop's: the
+    permutation buffer is reset to the identity before every shuffle, so the
+    generator consumes exactly the same random stream and produces exactly
+    the same index order.
+
+    Without shuffling, contiguous slice *views* are yielded (zero copies).
+    The yielded arrays are only valid until the next ``epoch`` call gathers
+    over them — the trainer finishes forward/backward/update for a batch
+    before requesting the next, so no copy is ever needed.
+    """
+
+    def __init__(self, x: np.ndarray, y: np.ndarray, batch_size: int, shuffle: bool):
+        self.x = x
+        self.y = y
+        self.n = int(x.shape[0])
+        self.batch_size = int(min(batch_size, self.n))
+        self.shuffle = bool(shuffle)
+        if self.shuffle:
+            self._identity = np.arange(self.n)
+            self._perm = np.empty(self.n, dtype=self._identity.dtype)
+            self._x_buf = np.empty((self.batch_size,) + x.shape[1:], dtype=x.dtype)
+            self._y_buf = np.empty((self.batch_size,) + y.shape[1:], dtype=y.dtype)
+
+    def epoch(self, rng: np.random.Generator):
+        """Yield this epoch's ``(x_batch, y_batch)`` pairs."""
+        if not self.shuffle:
+            for start in range(0, self.n, self.batch_size):
+                stop = min(start + self.batch_size, self.n)
+                yield self.x[start:stop], self.y[start:stop]
+            return
+        # Reset to identity before shuffling: rng.shuffle applies its random
+        # permutation to the *current* contents, and matching the naive
+        # loop's batches requires shuffling the identity every epoch.
+        np.copyto(self._perm, self._identity)
+        rng.shuffle(self._perm)
+        for start in range(0, self.n, self.batch_size):
+            stop = min(start + self.batch_size, self.n)
+            size = stop - start
+            batch = self._perm[start:stop]
+            # mode="clip" skips the bounds check; the permutation is in range
+            # by construction.
+            x_batch = np.take(self.x, batch, axis=0, out=self._x_buf[:size], mode="clip")
+            y_batch = np.take(self.y, batch, axis=0, out=self._y_buf[:size], mode="clip")
+            yield x_batch, y_batch
 
 
 class Trainer:
@@ -218,6 +319,7 @@ class Trainer:
         rng = as_rng(seed)
         result = TrainingResult()
         start_time = time.perf_counter()
+        batches = _BatchGatherer(x_train, y_train, config.batch_size, config.shuffle)
 
         for epoch in range(config.max_epochs):
             epoch_start = time.perf_counter()
@@ -225,9 +327,7 @@ class Trainer:
             optimizer.set_learning_rate(lr)
             losses: List[float] = []
             correct = 0
-            for x_batch, y_batch in iterate_minibatches(
-                x_train, y_train, config.batch_size, config.shuffle, rng
-            ):
+            for x_batch, y_batch in batches.epoch(rng):
                 logits = model.forward(x_batch, training=True)
                 loss_value, grad = loss_fn(logits, y_batch)
                 model.zero_grads()

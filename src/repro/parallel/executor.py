@@ -1,0 +1,185 @@
+"""Process-based parallel training of ensemble members.
+
+:class:`ParallelExecutor` is the engine behind ``TrainingConfig(workers=N)``:
+a persistent, ``spawn``-safe ``multiprocessing`` pool whose workers attach the
+training set through shared memory exactly once (see
+:mod:`repro.parallel.shared_data`), train independent ensemble members, and
+ship back ``(weights, TrainingResult, cost)`` records.
+
+Key properties
+--------------
+
+* **Deterministic** — tasks carry the same derived seeds the serial loop
+  would use, workers run the same ``Trainer``, and outcomes come back in task
+  order.  With matching BLAS thread counts the trained members are *bitwise*
+  identical to the serial path, run to run and serial to parallel.
+* **No oversubscription** — worker start-up happens inside
+  :func:`~repro.utils.parallel.blas_thread_limit`, so every worker's BLAS
+  pool is capped (default: one thread per worker) before numpy is imported.
+* **Makespan accounting** — :meth:`train` returns the critical-path wall
+  clock of the whole batch next to the per-member in-worker seconds, so cost
+  ledgers can report both "total compute" and "time you actually waited".
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.parallel.shared_data import SharedDataset
+from repro.parallel.worker import MemberOutcome, MemberTask, _init_worker, _train_member
+from repro.utils.logging import get_logger
+from repro.utils.parallel import blas_thread_limit, cpu_count
+
+logger = get_logger("parallel.executor")
+
+__all__ = ["MemberTask", "MemberOutcome", "ParallelExecutor", "train_members"]
+
+
+class ParallelExecutor:
+    """Persistent spawn-based worker pool over a shared-memory dataset.
+
+    Parameters
+    ----------
+    data:
+        The arrays to publish once for all workers — the trainers pass
+        ``{"x": x_train, "y": y_train}``.
+    workers:
+        Number of worker processes.
+    blas_threads_per_worker:
+        BLAS thread cap applied to each worker before its numpy import
+        (default 1 — with ``workers ~= cores`` this uses the machine fully
+        without oversubscription).  Bitwise serial/parallel equivalence holds
+        when the serial run's BLAS pool has this same size (e.g. under
+        ``OMP_NUM_THREADS=1``).
+    task_timeout:
+        Per-task safety net in seconds; a worker that exceeds it raises
+        ``multiprocessing.TimeoutError`` in the parent instead of hanging the
+        run forever.
+    """
+
+    def __init__(
+        self,
+        data: Dict[str, np.ndarray],
+        workers: int,
+        blas_threads_per_worker: int = 1,
+        task_timeout: float = 900.0,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if blas_threads_per_worker < 1:
+            raise ValueError("blas_threads_per_worker must be at least 1")
+        self.workers = int(workers)
+        self.blas_threads_per_worker = int(blas_threads_per_worker)
+        self.task_timeout = float(task_timeout)
+        self._shared = SharedDataset(data)
+        self._pool: mp.pool.Pool | None = None
+        if self.workers * self.blas_threads_per_worker > cpu_count():
+            logger.info(
+                "workers (%d) x blas threads (%d) exceeds the %d usable cores; "
+                "expect time-slicing rather than speedup",
+                self.workers,
+                self.blas_threads_per_worker,
+                cpu_count(),
+            )
+
+    # ---------------------------------------------------------------- pool
+    def _ensure_pool(self) -> mp.pool.Pool:
+        if self._pool is None:
+            ctx = mp.get_context("spawn")
+            # The env cap must surround process creation: spawn children
+            # inherit the environment at exec time and size their BLAS pools
+            # from it when they import numpy.
+            with blas_thread_limit(self.blas_threads_per_worker):
+                self._pool = ctx.Pool(
+                    processes=self.workers,
+                    initializer=_init_worker,
+                    initargs=(self._shared.meta, self.blas_threads_per_worker),
+                )
+        return self._pool
+
+    # ---------------------------------------------------------------- run
+    def train(self, tasks: Sequence[MemberTask]) -> Tuple[List[MemberOutcome], float]:
+        """Train every task; returns ``(outcomes_in_task_order, makespan)``.
+
+        ``makespan`` is the parent-side wall clock from first submission to
+        last result — the critical path of the batch, as opposed to the sum
+        of the per-member ``MemberOutcome.seconds``.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return [], 0.0
+        pool = self._ensure_pool()
+        start = time.perf_counter()
+        pending = [pool.apply_async(_train_member, (task,)) for task in tasks]
+        try:
+            outcomes = [handle.get(timeout=self.task_timeout) for handle in pending]
+        except BaseException:
+            # A hung or failed worker must not hang the caller a second time:
+            # close()/join() would wait for the stuck task, so kill the pool
+            # outright before the exception propagates.
+            self._terminate()
+            raise
+        makespan = time.perf_counter() - start
+        logger.info(
+            "trained %d members on %d workers: makespan %.2fs, member-seconds %.2fs",
+            len(outcomes),
+            self.workers,
+            makespan,
+            sum(outcome.seconds for outcome in outcomes),
+        )
+        return outcomes, makespan
+
+    # ------------------------------------------------------------- cleanup
+    def _terminate(self) -> None:
+        """Forcibly stop the workers (used on the error path, where waiting
+        for in-flight tasks could block forever) and free the segments."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self._shared.close()
+
+    def close(self) -> None:
+        """Shut the pool down, then destroy the shared segments (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+        self._shared.close()
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best-effort safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def train_members(
+    tasks: Sequence[MemberTask],
+    x: np.ndarray,
+    y: np.ndarray,
+    workers: int,
+    blas_threads_per_worker: int = 1,
+) -> Tuple[List[MemberOutcome], float]:
+    """One-shot convenience wrapper: publish, train, tear down.
+
+    This is what the ensemble trainers call for a single parallel phase; the
+    class form is for callers that run several batches against one published
+    dataset.
+    """
+    with ParallelExecutor(
+        {"x": np.asarray(x), "y": np.asarray(y)},
+        workers=workers,
+        blas_threads_per_worker=blas_threads_per_worker,
+    ) as executor:
+        return executor.train(tasks)

@@ -1,0 +1,157 @@
+"""Lightweight HTTP front for the multi-worker serving pool.
+
+``python -m repro serve`` builds a :class:`~repro.parallel.serving.PoolPredictor`
+and exposes it over a threaded stdlib HTTP server — no third-party web stack.
+
+Endpoints
+---------
+
+* ``GET /healthz`` — liveness: ``{"status": "ok", "alive_workers": N}``.
+* ``GET /info`` — the pool's :meth:`~repro.parallel.serving.PoolPredictor.info`.
+* ``POST /predict`` — body ``{"inputs": [[...], ...], "method": "average",
+  "proba": false}``; answers ``{"predictions": [...]}`` (labels) or
+  ``{"probabilities": [[...], ...]}`` when ``proba`` is true.  Outputs are
+  bitwise identical to a single-process ``EnsemblePredictor`` on the same
+  batch.
+
+Each HTTP connection is handled on its own thread
+(``ThreadingHTTPServer``); the pool's dispatcher coalesces concurrent
+requests into micro-batches across those threads.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.parallel.serving import PoolPredictor
+from repro.utils.logging import get_logger
+
+logger = get_logger("parallel.server")
+
+
+def _make_handler(pool: PoolPredictor):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def _reply(self, status: int, payload: dict) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self):  # noqa: N802 - stdlib API name
+            if self.path == "/healthz":
+                self._reply(200, {"status": "ok", "alive_workers": pool.info()["alive_workers"]})
+            elif self.path == "/info":
+                self._reply(200, pool.info())
+            else:
+                self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+        def do_POST(self):  # noqa: N802 - stdlib API name
+            if self.path != "/predict":
+                self._reply(404, {"error": f"unknown path {self.path!r}"})
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                body = json.loads(self.rfile.read(length) or b"{}")
+                inputs = body.get("inputs")
+                if inputs is None:
+                    raise ValueError('request body needs an "inputs" array')
+                x = np.asarray(inputs, dtype=np.float64)
+                method = body.get("method")
+                if body.get("proba", False):
+                    proba = pool.predict_proba(x, method=method)
+                    self._reply(200, {"probabilities": proba.tolist()})
+                else:
+                    labels = pool.predict(x, method=method)
+                    self._reply(200, {"predictions": labels.tolist()})
+            except (ValueError, TypeError, RuntimeError, json.JSONDecodeError) as exc:
+                self._reply(400, {"error": str(exc)})
+
+        def log_message(self, fmt, *args):  # pragma: no cover - quiet server
+            logger.debug("%s - %s", self.address_string(), fmt % args)
+
+    return Handler
+
+
+def run_server(
+    artifact: Union[str, Path],
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    workers: int = 2,
+    method: str = "average",
+    batch_size: int = 256,
+    max_batch: int = 1024,
+    max_wait_ms: float = 2.0,
+    ready_event: Optional[threading.Event] = None,
+) -> int:
+    """Serve ``artifact`` until SIGINT/SIGTERM; returns the process exit code.
+
+    Prints one machine-readable JSON line (``{"event": "serving", ...}``)
+    once the pool is warm and the socket is bound — with ``--port 0`` this is
+    how callers learn the ephemeral port.
+    """
+    pool = PoolPredictor(
+        artifact,
+        workers=workers,
+        method=method,
+        batch_size=batch_size,
+        max_batch=max_batch,
+        max_wait_ms=max_wait_ms,
+    )
+    try:
+        server = ThreadingHTTPServer((host, int(port)), _make_handler(pool))
+    except BaseException:
+        pool.close()
+        raise
+    bound_port = server.server_address[1]
+
+    def _shutdown(*_args):
+        # serve_forever blocks the main thread; shutdown() must come from
+        # another thread or it deadlocks.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous_handlers = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous_handlers[sig] = signal.signal(sig, _shutdown)
+        except ValueError:  # pragma: no cover - non-main thread (tests)
+            pass
+
+    print(
+        json.dumps(
+            {
+                "event": "serving",
+                "url": f"http://{host}:{bound_port}",
+                "host": host,
+                "port": bound_port,
+                "workers": workers,
+                "method": method,
+                "artifact": str(artifact),
+            }
+        ),
+        flush=True,
+    )
+    if ready_event is not None:
+        ready_event.set()
+    try:
+        server.serve_forever(poll_interval=0.2)
+    finally:
+        server.server_close()
+        pool.close()
+        for sig, handler in previous_handlers.items():
+            try:
+                signal.signal(sig, handler)
+            except ValueError:  # pragma: no cover
+                pass
+        print(json.dumps({"event": "stopped"}), flush=True)
+    return 0

@@ -1,0 +1,434 @@
+"""Multi-worker serving pool on top of the ensemble artifact format.
+
+:class:`PoolPredictor` closes the ROADMAP "multi-process serving" item: N
+worker processes each warm-load one :class:`~repro.api.predictor.EnsemblePredictor`
+from the *same* artifact directory, and a dispatcher coalesces incoming
+requests into micro-batches (up to ``max_batch`` rows or ``max_wait_ms``)
+that are handed to the workers round-robin.  Client calls are thread-safe:
+any number of application threads can call :meth:`predict` /
+:meth:`predict_proba` concurrently; each call blocks only on its own future.
+
+Micro-batching semantics: coalescing groups *requests* into one IPC dispatch
+(amortising queue/pickle overhead); inside the worker each request still runs
+through ``EnsemblePredictor.predict_proba`` with its own rows and the
+configured ``batch_size``, so every answer is **bitwise identical** to what a
+single-process ``EnsemblePredictor`` would return for the same call.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import queue as thread_queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+import multiprocessing as mp
+
+import numpy as np
+
+from repro.core.ensemble import COMBINATION_METHODS
+from repro.utils.logging import get_logger
+
+logger = get_logger("parallel.serving")
+
+_STOP = ("__stop__", -1, None)  # collector-thread shutdown message
+
+
+def _serving_worker(
+    worker_id: int,
+    artifact: str,
+    method: str,
+    batch_size: int,
+    warm: bool,
+    request_queue,
+    result_queue,
+) -> None:
+    """Worker main loop: load the artifact once, answer request groups."""
+    try:
+        from repro.api.predictor import EnsemblePredictor
+
+        predictor = EnsemblePredictor.load(
+            artifact, method=method, batch_size=batch_size, warm=warm
+        )
+        result_queue.put(("ready", worker_id, None))
+    except BaseException as exc:  # pragma: no cover - startup failure path
+        result_queue.put(("fatal", worker_id, f"{type(exc).__name__}: {exc}"))
+        return
+    while True:
+        group = request_queue.get()
+        if group is None:
+            break
+        replies = []
+        for request_id, x, method_override in group:
+            try:
+                proba = predictor.predict_proba(x, method=method_override)
+                replies.append((request_id, proba, None))
+            except Exception as exc:
+                replies.append((request_id, None, f"{type(exc).__name__}: {exc}"))
+        result_queue.put(("result", worker_id, replies))
+
+
+@dataclass
+class _Request:
+    request_id: int
+    x: np.ndarray
+    method: str
+    future: Future = field(default_factory=Future)
+
+    @property
+    def rows(self) -> int:
+        return int(self.x.shape[0])
+
+
+class PoolPredictor:
+    """Serve one saved ensemble artifact from a pool of worker processes.
+
+    Construct directly or via :meth:`load` (mirrors
+    ``EnsemblePredictor.load``).  Always ``close()`` the pool — or use it as a
+    context manager — so worker processes and queues shut down promptly; an
+    ``atexit`` hook covers forgotten pools.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        workers: int = 2,
+        method: str = "average",
+        batch_size: int = 256,
+        max_batch: int = 1024,
+        max_wait_ms: float = 2.0,
+        warm: bool = True,
+        request_timeout: float = 300.0,
+        startup_timeout: float = 180.0,
+    ):
+        from repro.api.artifacts import read_manifest
+
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if method not in COMBINATION_METHODS:
+            raise ValueError(
+                f"unknown combination method {method!r}; valid choices: "
+                + ", ".join(repr(m) for m in COMBINATION_METHODS)
+            )
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+
+        manifest = read_manifest(path)
+        self.path = Path(path)
+        self.method = method
+        self.workers = int(workers)
+        self.max_batch = int(max_batch)
+        self.max_wait_ms = float(max_wait_ms)
+        self.request_timeout = float(request_timeout)
+        self.input_shape = tuple(int(d) for d in manifest["input_shape"])
+        self.num_classes = int(manifest["num_classes"])
+        self.num_members = len(manifest["members"])
+        self.approach = manifest["approach"]
+        self._has_super_learner = manifest.get("super_learner_weights") is not None
+        if method == "super_learner" and not self._has_super_learner:
+            raise RuntimeError(
+                "this artifact has no fitted super-learner weights; pick "
+                "method='average'/'vote'"
+            )
+
+        ctx = mp.get_context("spawn")
+        self._result_queue = ctx.Queue()
+        self._request_queues = []
+        self._processes = []
+        self._closed = False
+        self._lock = threading.Lock()
+        self._futures: Dict[int, Future] = {}
+        # request_id -> worker_id for dispatched-but-unanswered requests, so
+        # a worker death fails exactly its in-flight futures (promptly,
+        # instead of letting clients run into the full request timeout).
+        self._inflight: Dict[int, int] = {}
+        self._dead_workers: set = set()
+        self._request_ids = itertools.count()
+        for worker_id in range(self.workers):
+            request_queue = ctx.Queue()
+            process = ctx.Process(
+                target=_serving_worker,
+                args=(
+                    worker_id,
+                    str(path),
+                    method,
+                    int(batch_size),
+                    bool(warm),
+                    request_queue,
+                    self._result_queue,
+                ),
+                daemon=True,
+                name=f"repro-serve-{worker_id}",
+            )
+            process.start()
+            self._request_queues.append(request_queue)
+            self._processes.append(process)
+
+        # Wait until every worker has its predictor loaded (warm pool).
+        ready = 0
+        deadline = time.monotonic() + float(startup_timeout)
+        try:
+            while ready < self.workers:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise RuntimeError("serving workers failed to start in time")
+                kind, worker_id, info = self._result_queue.get(timeout=remaining)
+                if kind == "ready":
+                    ready += 1
+                elif kind == "fatal":
+                    raise RuntimeError(f"serving worker {worker_id} failed to load: {info}")
+        except BaseException:
+            self._shutdown_processes()
+            raise
+
+        self._pending: "thread_queue.Queue" = thread_queue.Queue()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True
+        )
+        self._collector = threading.Thread(
+            target=self._collect_loop, name="repro-serve-collect", daemon=True
+        )
+        self._dispatcher.start()
+        self._collector.start()
+        atexit.register(self.close)
+        logger.info(
+            "serving %s ensemble (%d members) from %s with %d workers",
+            self.approach,
+            self.num_members,
+            path,
+            self.workers,
+        )
+
+    # ------------------------------------------------------------ factories
+    @classmethod
+    def load(cls, path: Union[str, Path], **kwargs) -> "PoolPredictor":
+        """Mirror of ``EnsemblePredictor.load`` for the pooled server."""
+        return cls(path, **kwargs)
+
+    # ------------------------------------------------------- internal loops
+    def _dispatch_loop(self) -> None:
+        rr = itertools.cycle(range(self.workers))
+        stop = False
+        while not stop:
+            item = self._pending.get()
+            if item is None:
+                break
+            group: List[_Request] = [item]
+            rows = item.rows
+            deadline = time.monotonic() + self.max_wait_ms / 1000.0
+            # Micro-batch: coalesce whatever arrives within the wait window,
+            # up to max_batch total rows.
+            while rows < self.max_batch:
+                timeout = deadline - time.monotonic()
+                if timeout <= 0:
+                    break
+                try:
+                    extra = self._pending.get(timeout=timeout)
+                except thread_queue.Empty:
+                    break
+                if extra is None:
+                    stop = True
+                    break
+                group.append(extra)
+                rows += extra.rows
+            worker_id = self._pick_worker(rr, group)
+            if worker_id is None:
+                continue
+            payload = [(request.request_id, request.x, request.method) for request in group]
+            with self._lock:
+                for request in group:
+                    self._inflight[request.request_id] = worker_id
+            self._request_queues[worker_id].put(payload)
+
+    def _pick_worker(self, rr, group: List[_Request]) -> Optional[int]:
+        """Round-robin over live workers; fail the group if none are left."""
+        for _ in range(self.workers):
+            worker_id = next(rr)
+            if self._processes[worker_id].is_alive():
+                return worker_id
+        error = RuntimeError("no serving workers alive")
+        for request in group:
+            self._resolve(request.request_id, exception=error)
+        return None
+
+    def _collect_loop(self) -> None:
+        while True:
+            try:
+                kind, worker_id, payload = self._result_queue.get(timeout=0.5)
+            except thread_queue.Empty:
+                # No replies: a quiet moment to notice workers that died with
+                # requests in flight (a crashed process sends no message).
+                self._reap_dead_workers()
+                continue
+            if kind == "__stop__":
+                break
+            if kind == "result":
+                for request_id, proba, error in payload:
+                    if error is not None:
+                        self._resolve(request_id, exception=RuntimeError(error))
+                    else:
+                        self._resolve(request_id, result=proba)
+            elif kind == "fatal":  # pragma: no cover - late worker death
+                logger.error("serving worker %d died: %s", worker_id, payload)
+
+    def _reap_dead_workers(self) -> None:
+        """Fail the in-flight futures of any worker process that has died."""
+        if self._closed:
+            return
+        for worker_id, process in enumerate(self._processes):
+            if worker_id in self._dead_workers or process.is_alive():
+                continue
+            self._dead_workers.add(worker_id)
+            with self._lock:
+                orphaned = [
+                    request_id
+                    for request_id, owner in self._inflight.items()
+                    if owner == worker_id
+                ]
+            logger.error(
+                "serving worker %d died (exit code %s); failing %d in-flight requests",
+                worker_id,
+                process.exitcode,
+                len(orphaned),
+            )
+            error = RuntimeError(f"serving worker {worker_id} died")
+            for request_id in orphaned:
+                self._resolve(request_id, exception=error)
+
+    def _resolve(self, request_id: int, result=None, exception=None) -> None:
+        with self._lock:
+            future = self._futures.pop(request_id, None)
+            self._inflight.pop(request_id, None)
+        if future is None:  # pragma: no cover - duplicate/late reply
+            return
+        if exception is not None:
+            future.set_exception(exception)
+        else:
+            future.set_result(result)
+
+    # --------------------------------------------------------------- client
+    def _resolve_method(self, method: Optional[str]) -> str:
+        resolved = self.method if method is None else method
+        if resolved not in COMBINATION_METHODS:
+            raise ValueError(
+                f"unknown combination method {resolved!r}; valid choices: "
+                + ", ".join(repr(m) for m in COMBINATION_METHODS)
+            )
+        if resolved == "super_learner" and not self._has_super_learner:
+            raise RuntimeError(
+                "this artifact has no fitted super-learner weights; pick "
+                "method='average'/'vote'"
+            )
+        return resolved
+
+    def predict_proba(
+        self,
+        x: np.ndarray,
+        method: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> np.ndarray:
+        """Combined class probabilities, shape ``(samples, classes)``.
+
+        Bitwise identical to ``EnsemblePredictor.predict_proba`` on the same
+        input.  Safe to call from many threads at once.
+        """
+        if self._closed:
+            raise RuntimeError("PoolPredictor is closed")
+        from repro.api.predictor import validate_batch
+
+        x = validate_batch(x, self.input_shape)
+        resolved = self._resolve_method(method)
+        request = _Request(next(self._request_ids), x, resolved)
+        with self._lock:
+            self._futures[request.request_id] = request.future
+        self._pending.put(request)
+        return request.future.result(timeout=timeout or self.request_timeout)
+
+    def predict(
+        self,
+        x: np.ndarray,
+        method: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> np.ndarray:
+        """Predicted class labels, shape ``(samples,)``."""
+        return self.predict_proba(x, method=method, timeout=timeout).argmax(axis=1)
+
+    # ------------------------------------------------------------ lifecycle
+    def info(self) -> Dict[str, Any]:
+        """JSON-friendly description of the pool (CLI ``serve`` /info)."""
+        return {
+            "artifact": str(self.path),
+            "approach": self.approach,
+            "workers": self.workers,
+            "alive_workers": sum(1 for p in self._processes if p.is_alive()),
+            "num_members": self.num_members,
+            "num_classes": self.num_classes,
+            "input_shape": list(self.input_shape),
+            "method": self.method,
+            "max_batch": self.max_batch,
+            "max_wait_ms": self.max_wait_ms,
+            "super_learner": self._has_super_learner,
+        }
+
+    def _shutdown_processes(self) -> None:
+        for request_queue in self._request_queues:
+            try:
+                request_queue.put(None)
+            except Exception:  # pragma: no cover
+                pass
+        for process in self._processes:
+            process.join(timeout=10)
+        for process in self._processes:
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=5)
+        for request_queue in self._request_queues:
+            request_queue.close()
+            request_queue.join_thread()
+
+    def close(self) -> None:
+        """Stop the dispatcher, drain the workers, fail pending requests.
+
+        Idempotent; after it returns no child process of the pool is alive.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._pending.put(None)
+        self._dispatcher.join(timeout=10)
+        self._shutdown_processes()
+        self._result_queue.put(_STOP)
+        self._collector.join(timeout=10)
+        self._result_queue.close()
+        self._result_queue.join_thread()
+        with self._lock:
+            leftovers = list(self._futures.values())
+            self._futures.clear()
+            self._inflight.clear()
+        for future in leftovers:
+            if not future.done():
+                future.set_exception(RuntimeError("PoolPredictor closed"))
+        try:
+            atexit.unregister(self.close)
+        except Exception:  # pragma: no cover
+            pass
+        logger.info("serving pool for %s shut down", self.path)
+
+    def __enter__(self) -> "PoolPredictor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PoolPredictor(artifact={str(self.path)!r}, workers={self.workers}, "
+            f"method={self.method!r})"
+        )

@@ -1,0 +1,119 @@
+"""Worker-process side of the parallel training engine.
+
+Everything here runs inside ``spawn``-started worker processes, so it is all
+module-level (picklable by reference) and communicates exclusively through
+the picklable :class:`MemberTask` / :class:`MemberOutcome` records plus the
+shared-memory dataset attached at pool start-up.
+
+A worker trains exactly the way the serial path does — same
+:class:`~repro.nn.training.Trainer`, same seed derivations, same bootstrap
+sampling against the (shared) training set — so a member trained by a worker
+is bitwise identical to the member the serial loop would have produced,
+provided the BLAS thread count matches (floating-point summation order inside
+GEMM depends on it; the executor caps workers to one BLAS thread each by
+default).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.parallel.shared_data import AttachedDataset, SharedArrayMeta
+from repro.utils.parallel import apply_blas_thread_cap
+
+# Populated once per worker by _init_worker; read by every _train_member call.
+_ATTACHED: Optional[AttachedDataset] = None
+
+
+@dataclass
+class MemberTask:
+    """One ensemble member to train, shipped parent -> worker.
+
+    ``init_weights`` (when given) are installed over a ``seed``-initialised
+    model — this is how hatched members travel: the parent hatches from the
+    MotherNet and ships the resulting weight/state snapshot, the worker
+    rebuilds the model (``Model.from_spec(spec, seed=init_seed)``) and
+    restores the snapshot before fine-tuning.  ``bag_seed`` (when given) makes
+    the worker draw the member's bootstrap sample from the shared training
+    set, exactly as the serial path draws it in the parent.
+    """
+
+    name: str
+    spec_json: str
+    config: object  # TrainingConfig; typed loosely to keep this module import-light
+    train_seed: int
+    dtype: Optional[str] = None
+    init_seed: int = 0
+    init_weights: Optional[Dict[str, Dict[str, object]]] = None
+    bag_seed: Optional[int] = None
+    collect_phase_timings: bool = True
+
+
+@dataclass
+class MemberOutcome:
+    """One trained member, shipped worker -> parent."""
+
+    name: str
+    state: Dict[str, object]  # packed model state (spec + dtype + weights)
+    result: object  # TrainingResult
+    seconds: float  # in-worker wall clock of the fit (per-member cost)
+    samples_per_epoch: int
+    parameters: int
+    compute_phases: Dict[str, float] = field(default_factory=dict)
+
+
+def _init_worker(meta: Dict[str, SharedArrayMeta], blas_threads: int) -> None:
+    """Pool initializer: cap BLAS threads and attach the shared dataset."""
+    apply_blas_thread_cap(blas_threads)
+    global _ATTACHED
+    _ATTACHED = AttachedDataset(meta)
+
+
+def _train_member(task: MemberTask) -> MemberOutcome:
+    """Train one member against the shared dataset and return its outcome."""
+    # Imports live here (not at module top) so the parent can enumerate tasks
+    # without paying for the full nn stack, and so spawn start-up stays lean
+    # until a task actually arrives.
+    from repro.arch.serialization import spec_from_json
+    from repro.data.sampling import bootstrap_sample
+    from repro.nn.model import Model
+    from repro.nn.serialization import pack_model_state
+    from repro.nn.training import Trainer
+    from repro.utils.timing import capture_phase_timings
+
+    if _ATTACHED is None:
+        raise RuntimeError("worker used before _init_worker attached the dataset")
+    x = _ATTACHED["x"]
+    y = _ATTACHED["y"]
+
+    spec = spec_from_json(task.spec_json)
+    model = Model.from_spec(spec, seed=task.init_seed, dtype=task.dtype)
+    if task.init_weights is not None:
+        model.set_weights(task.init_weights)
+
+    if task.bag_seed is not None:
+        bag = bootstrap_sample(x, y, seed=task.bag_seed)
+        x_fit, y_fit, samples = bag.x, bag.y, bag.size
+    else:
+        x_fit, y_fit, samples = x, y, int(x.shape[0])
+
+    start = time.perf_counter()
+    if task.collect_phase_timings:
+        with capture_phase_timings() as phases:
+            result = Trainer(task.config).fit(model, x_fit, y_fit, seed=task.train_seed)
+    else:
+        phases = {}
+        result = Trainer(task.config).fit(model, x_fit, y_fit, seed=task.train_seed)
+    seconds = time.perf_counter() - start
+
+    return MemberOutcome(
+        name=task.name,
+        state=pack_model_state(model),
+        result=result,
+        seconds=seconds,
+        samples_per_epoch=samples,
+        parameters=model.parameter_count(),
+        compute_phases=dict(phases),
+    )

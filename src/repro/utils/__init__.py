@@ -1,7 +1,9 @@
-"""Shared utilities: seeded RNG management, timing, and lightweight logging."""
+"""Shared utilities: seeded RNG management, timing, BLAS thread-pool control,
+and lightweight logging."""
 
 from repro.utils.rng import RngManager, as_rng, derive_seed
 from repro.utils.timing import Timer, WallClockAccumulator
+from repro.utils.parallel import apply_blas_thread_cap, blas_thread_limit, cpu_count
 from repro.utils.logging import get_logger
 
 __all__ = [
@@ -10,5 +12,8 @@ __all__ = [
     "derive_seed",
     "Timer",
     "WallClockAccumulator",
+    "blas_thread_limit",
+    "apply_blas_thread_cap",
+    "cpu_count",
     "get_logger",
 ]

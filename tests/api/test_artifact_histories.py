@@ -1,0 +1,90 @@
+"""Schema-v2 artifacts persist per-epoch training histories and parallel
+makespans; schema-v1 artifacts (no histories) keep loading."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    ARTIFACT_SCHEMA,
+    load_ensemble_run,
+    read_manifest,
+    run_experiment,
+    save_ensemble_run,
+)
+from repro.api.artifacts import ARTIFACT_SCHEMA_V1, MANIFEST_NAME
+
+
+@pytest.fixture(scope="module")
+def trained(experiment_dict):
+    result = run_experiment(experiment_dict())
+    # Simulate a parallel member phase so the makespan round-trips too.
+    result.run.ledger.record_phase_makespan("member", 1.25)
+    return result
+
+
+def test_schema_is_v2(trained, tmp_path):
+    path = save_ensemble_run(trained.run, tmp_path / "artifact")
+    manifest = read_manifest(path)
+    assert ARTIFACT_SCHEMA == "repro.ensemble_run/v2"
+    assert manifest["schema"] == ARTIFACT_SCHEMA
+    assert manifest["ledger"]["phase_makespans"] == {"member": 1.25}
+    assert manifest["ledger_summary"]["makespan_seconds"] == pytest.approx(
+        trained.run.ledger.makespan_seconds
+    )
+
+
+def test_histories_survive_round_trip(trained, tmp_path):
+    path = save_ensemble_run(trained.run, tmp_path / "artifact")
+    restored = load_ensemble_run(path)
+
+    assert set(restored.member_results) == set(trained.run.member_results)
+    for member, restored_member in zip(
+        trained.run.ensemble.members, restored.ensemble.members
+    ):
+        original = member.training_result
+        loaded = restored_member.training_result
+        assert loaded is not None
+        assert loaded.epochs_run == original.epochs_run
+        assert loaded.converged == original.converged
+        assert loaded.samples_seen == original.samples_seen
+        assert loaded.loss_curve() == original.loss_curve()
+        assert [r.train_accuracy for r in loaded.history] == [
+            r.train_accuracy for r in original.history
+        ]
+    assert restored.ledger.phase_makespans == {"member": 1.25}
+    assert restored.ledger.makespan_seconds == pytest.approx(
+        trained.run.ledger.makespan_seconds
+    )
+
+
+def test_v1_artifacts_still_load(trained, tmp_path):
+    """A v1 manifest (schema tag, no histories, no makespans) loads fine;
+    members simply carry no training histories."""
+    path = save_ensemble_run(trained.run, tmp_path / "artifact")
+    manifest_path = path / MANIFEST_NAME
+    manifest = json.loads(manifest_path.read_text())
+    manifest["schema"] = ARTIFACT_SCHEMA_V1
+    for member in manifest["members"]:
+        member.pop("training_result", None)
+    manifest["ledger"].pop("phase_makespans", None)
+    manifest["ledger_summary"].pop("makespan_seconds", None)
+    manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+
+    restored = load_ensemble_run(path)
+    assert restored.member_results == {}
+    assert all(m.training_result is None for m in restored.ensemble.members)
+    assert restored.ledger.phase_makespans == {}
+    # Weights and the ledger records still round-trip.
+    assert len(restored.ensemble) == len(trained.run.ensemble)
+    assert len(restored.ledger.records) == len(trained.run.ledger.records)
+
+
+def test_unknown_schema_rejected(trained, tmp_path):
+    path = save_ensemble_run(trained.run, tmp_path / "artifact")
+    manifest_path = path / MANIFEST_NAME
+    manifest = json.loads(manifest_path.read_text())
+    manifest["schema"] = "repro.ensemble_run/v99"
+    manifest_path.write_text(json.dumps(manifest))
+    with pytest.raises(ValueError, match="unsupported artifact schema"):
+        read_manifest(path)

@@ -1,0 +1,63 @@
+"""Shared fixtures for the parallel-engine tests.
+
+One tiny tabular MLP experiment is trained serially once per session; the
+individual tests retrain it with ``workers > 1`` (equivalence), save it as an
+artifact (serving pool / CLI), or both.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import run_experiment, save_ensemble_run
+
+
+def parallel_experiment_dict(**overrides):
+    """A small declarative experiment with enough members to parallelise."""
+    base = {
+        "name": "parallel-tiny",
+        "dataset": {
+            "name": "tabular",
+            "train_samples": 256,
+            "test_samples": 64,
+            "num_classes": 4,
+            "num_features": 12,
+            "class_separation": 2.0,
+            "seed": 5,
+        },
+        "members": {
+            "family": "mlp",
+            "count": 4,
+            "input_features": 12,
+            "num_classes": 4,
+            "base_width": 10,
+            "seed": 1,
+        },
+        "approach": "mothernets",
+        "training": {"max_epochs": 3, "batch_size": 64, "learning_rate": 0.1},
+        "trainer": {"tau": 0.3},
+        "seed": 0,
+        "super_learner": True,
+    }
+    for key, value in overrides.items():
+        base[key] = value
+    return base
+
+
+@pytest.fixture(scope="session")
+def experiment_dict():
+    return parallel_experiment_dict
+
+
+@pytest.fixture(scope="session")
+def serial_result():
+    """The reference run, trained on the plain serial path (workers=1)."""
+    return run_experiment(parallel_experiment_dict())
+
+
+@pytest.fixture(scope="session")
+def saved_artifact(serial_result, tmp_path_factory):
+    """The serial run persisted as an artifact directory (for serving tests)."""
+    path = tmp_path_factory.mktemp("parallel-artifact") / "artifact"
+    save_ensemble_run(serial_result.run, path)
+    return path

@@ -1,0 +1,184 @@
+"""Serial vs parallel ensemble training equivalence.
+
+The contract of ``TrainingConfig(workers=N)``: given the same seeds, the
+parallel engine produces *bitwise* the same ensemble as the serial loop —
+same member weights, same predictions, same ledger structure — while the
+ledger additionally records the phase makespan (critical-path wall clock),
+which can never exceed the summed per-member training seconds.
+"""
+
+import copy
+import multiprocessing as mp
+import os
+import sys
+
+import numpy as np
+import pytest
+
+from repro.api import run_experiment
+from repro.nn.training import TrainingConfig
+
+
+def with_workers(config_dict, workers):
+    """A deep copy of an experiment dict with ``training.workers`` set."""
+    out = copy.deepcopy(config_dict)
+    out["training"] = dict(out["training"], workers=workers)
+    return out
+
+
+def _assert_same_ensembles(reference, candidate, x):
+    assert [m.name for m in reference.ensemble.members] == [
+        m.name for m in candidate.ensemble.members
+    ]
+    for ref_member, cand_member in zip(
+        reference.ensemble.members, candidate.ensemble.members
+    ):
+        ref_weights = ref_member.model.get_weights()
+        cand_weights = cand_member.model.get_weights()
+        assert ref_weights.keys() == cand_weights.keys()
+        for layer in ref_weights:
+            assert ref_weights[layer].keys() == cand_weights[layer].keys()
+            for key in ref_weights[layer]:
+                np.testing.assert_array_equal(
+                    cand_weights[layer][key],
+                    ref_weights[layer][key],
+                    err_msg=f"{ref_member.name}/{layer}/{key}",
+                )
+    np.testing.assert_array_equal(
+        candidate.ensemble.predict_proba_all(x), reference.ensemble.predict_proba_all(x)
+    )
+
+
+def _assert_no_parallel_residue():
+    if sys.platform.startswith("linux"):
+        leftovers = [f for f in os.listdir("/dev/shm") if f.startswith("repro-shm")]
+        assert leftovers == [], f"leaked shared-memory segments: {leftovers}"
+    assert mp.active_children() == []
+
+
+def test_mothernets_parallel_matches_serial_bitwise(serial_result, experiment_dict):
+    """workers=4 vs workers=1: same weights, predictions, and SL fit.
+
+    The member family deliberately contains members whose hatching plan is
+    empty (they equal their cluster's MotherNet) — the sequential-dependency
+    edge the parallel path must replicate faithfully.
+    """
+    parallel = run_experiment(with_workers(experiment_dict(), 4))
+    x = serial_result.dataset.x_test
+    _assert_same_ensembles(serial_result.run, parallel.run, x)
+    np.testing.assert_array_equal(
+        parallel.ensemble.super_learner_weights,
+        serial_result.ensemble.super_learner_weights,
+    )
+    _assert_no_parallel_residue()
+
+
+def test_mothernets_parallel_ledger(serial_result, experiment_dict):
+    parallel = run_experiment(with_workers(experiment_dict(), 2)).run
+    serial = serial_result.run
+    assert [r.network for r in parallel.ledger.records] == [
+        r.network for r in serial.ledger.records
+    ]
+    assert [r.epochs for r in parallel.ledger.records] == [
+        r.epochs for r in serial.ledger.records
+    ]
+    assert [r.samples_per_epoch for r in parallel.ledger.records] == [
+        r.samples_per_epoch for r in serial.ledger.records
+    ]
+    # The parallel run recorded a makespan for the member phase; the serial
+    # run reports makespan == total by construction.
+    assert "member" in parallel.ledger.phase_makespans
+    assert serial.ledger.phase_makespans == {}
+    assert serial.makespan_seconds == pytest.approx(serial.total_training_seconds)
+    _assert_no_parallel_residue()
+
+
+@pytest.mark.parametrize("approach", ["full-data", "bagging"])
+def test_scratch_baselines_parallel_match_serial(experiment_dict, approach):
+    config = experiment_dict(approach=approach)
+    config.pop("trainer")
+    config.pop("super_learner")
+    serial = run_experiment(config)
+    parallel = run_experiment(with_workers(config, 2))
+    _assert_same_ensembles(serial.run, parallel.run, serial.dataset.x_test)
+    assert "scratch" in parallel.run.ledger.phase_makespans
+    _assert_no_parallel_residue()
+
+
+def test_parallel_makespan_bounded_by_member_seconds(experiment_dict):
+    """Makespan (critical path) <= sum of per-member training seconds.
+
+    Sized so training compute dominates worker start-up: each member's
+    in-worker wall clock covers the whole execution window on a loaded
+    machine, so the sum across members bounds the window from above.
+    """
+    config = experiment_dict(
+        approach="full-data",
+        dataset={
+            "name": "tabular",
+            "train_samples": 1536,
+            "test_samples": 32,
+            "num_classes": 4,
+            "num_features": 12,
+            "seed": 5,
+        },
+        members={
+            "family": "mlp",
+            "count": 4,
+            "input_features": 12,
+            "num_classes": 4,
+            "base_width": 192,
+            "seed": 1,
+        },
+        training={
+            "max_epochs": 8,
+            "min_epochs": 8,
+            "convergence_patience": 8,
+            "batch_size": 32,
+            "learning_rate": 0.05,
+            "workers": 4,
+        },
+    )
+    config.pop("trainer")
+    config.pop("super_learner")
+    run = run_experiment(config).run
+    member_seconds = sum(r.wall_clock_seconds for r in run.ledger.records)
+    assert run.ledger.makespan_seconds <= member_seconds
+    assert run.makespan_seconds == run.ledger.makespan_seconds
+    _assert_no_parallel_residue()
+
+
+def test_snapshot_ignores_workers(experiment_dict):
+    """Snapshot cycles are sequential; workers>1 must not change results."""
+    from repro.arch.zoo import mlp_family
+
+    spec = mlp_family(count=1, input_features=12, num_classes=4, base_width=10, seed=1)[0]
+    config = experiment_dict(
+        approach="snapshot",
+        members=[spec],
+        trainer={"num_snapshots": 2, "epochs_per_cycle": 2},
+    )
+    config.pop("super_learner")
+    serial = run_experiment(config)
+    parallel = run_experiment(with_workers(config, 4))
+    _assert_same_ensembles(serial.run, parallel.run, serial.dataset.x_test)
+    assert parallel.run.ledger.phase_makespans == {}
+
+
+def test_training_config_workers_validation():
+    with pytest.raises(ValueError):
+        TrainingConfig(workers=0)
+    assert TrainingConfig().workers == 1
+    assert TrainingConfig(workers=3).scaled(0.5).workers == 3
+
+
+def test_training_config_workers_round_trips_through_dict():
+    from repro.api import training_config_from_dict, training_config_to_dict
+
+    config = TrainingConfig(max_epochs=2, workers=4)
+    data = training_config_to_dict(config)
+    assert data["workers"] == 4
+    assert training_config_from_dict(data).workers == 4
+    # Pre-existing dicts without the key keep the serial default.
+    data.pop("workers")
+    assert training_config_from_dict(data).workers == 1

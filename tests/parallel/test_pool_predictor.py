@@ -1,0 +1,117 @@
+"""PoolPredictor correctness: bitwise parity with EnsemblePredictor, thread
+safety under concurrent clients, and clean worker shutdown."""
+
+import multiprocessing as mp
+import os
+import sys
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.api import EnsemblePredictor
+from repro.parallel import PoolPredictor
+
+
+@pytest.fixture(scope="module")
+def reference(saved_artifact):
+    return EnsemblePredictor.load(saved_artifact)
+
+
+@pytest.fixture(scope="module")
+def pool(saved_artifact):
+    predictor = PoolPredictor(saved_artifact, workers=2, max_wait_ms=1.0)
+    yield predictor
+    predictor.close()
+
+
+def test_pool_matches_single_process_bitwise(pool, reference, serial_result):
+    x = serial_result.dataset.x_test
+    np.testing.assert_array_equal(pool.predict_proba(x), reference.predict_proba(x))
+    np.testing.assert_array_equal(pool.predict(x), reference.predict(x))
+    for method in ("average", "vote", "super_learner"):
+        np.testing.assert_array_equal(
+            pool.predict_proba(x[:9], method=method),
+            reference.predict_proba(x[:9], method=method),
+        )
+
+
+def test_pool_accepts_single_unbatched_sample(pool, reference, serial_result):
+    sample = serial_result.dataset.x_test[3]
+    np.testing.assert_array_equal(
+        pool.predict_proba(sample), reference.predict_proba(sample)
+    )
+
+
+def test_pool_under_concurrent_clients(pool, reference, serial_result):
+    """Many client threads with ragged batch sizes; every reply must match
+    the single-process predictor on the same rows (micro-batching coalesces
+    the dispatches but never mixes rows across requests)."""
+    x = serial_result.dataset.x_test
+    expected_all = reference.predict_proba(x)
+
+    def call(i):
+        start = i % 40
+        size = 1 + (i % 7)
+        batch = x[start : start + size]
+        out = pool.predict_proba(batch)
+        return np.array_equal(out, expected_all[start : start + batch.shape[0]])
+
+    with ThreadPoolExecutor(max_workers=8) as clients:
+        results = list(clients.map(call, range(64)))
+    assert all(results)
+
+
+def test_pool_validates_inputs_in_parent(pool):
+    with pytest.raises(ValueError):
+        pool.predict_proba(np.zeros((3, 99)))  # wrong feature count
+    with pytest.raises(ValueError):
+        pool.predict_proba(np.zeros((0, 12)))  # empty batch
+    with pytest.raises(ValueError):
+        pool.predict_proba(np.zeros((3, 12)), method="nope")
+
+
+def test_pool_rejects_bad_construction(saved_artifact):
+    with pytest.raises(ValueError):
+        PoolPredictor(saved_artifact, workers=0)
+    with pytest.raises(ValueError):
+        PoolPredictor(saved_artifact, method="nope")
+
+
+def test_dead_worker_fails_inflight_requests_promptly(saved_artifact, serial_result):
+    """Killing a worker with a dispatched request must fail that request's
+    future quickly (worker-death reaping), not stall until request_timeout."""
+    import time
+
+    predictor = PoolPredictor(
+        saved_artifact, workers=1, max_wait_ms=0.0, request_timeout=60.0
+    )
+    try:
+        x = serial_result.dataset.x_test[:4]
+        predictor.predict(x)  # pool is warm and round-tripping
+        predictor._processes[0].kill()
+        start = time.monotonic()
+        with pytest.raises(RuntimeError, match="died|alive"):
+            predictor.predict_proba(x)
+        assert time.monotonic() - start < 30.0
+        with predictor._lock:
+            assert predictor._inflight == {}
+    finally:
+        predictor.close()
+
+
+def test_pool_close_is_clean_and_final(saved_artifact, serial_result):
+    predictor = PoolPredictor(saved_artifact, workers=2)
+    x = serial_result.dataset.x_test[:4]
+    predictor.predict(x)
+    processes = list(predictor._processes)
+    predictor.close()
+    assert all(not p.is_alive() for p in processes)
+    # Only this predictor's workers must be gone (the module-scoped pool
+    # fixture is still serving other tests).
+    assert not set(processes) & set(mp.active_children())
+    if sys.platform.startswith("linux"):
+        assert [f for f in os.listdir("/dev/shm") if f.startswith("repro-shm")] == []
+    with pytest.raises(RuntimeError):
+        predictor.predict(x)
+    predictor.close()  # idempotent

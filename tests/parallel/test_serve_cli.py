@@ -1,0 +1,143 @@
+"""End-to-end test of ``python -m repro serve``: ephemeral port, concurrent
+HTTP clients, bitwise parity with EnsemblePredictor, clean SIGTERM exit."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import EnsemblePredictor
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def server(saved_artifact):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--artifact",
+            str(saved_artifact),
+            "--port",
+            "0",
+            "--workers",
+            "2",
+            "--max-wait-ms",
+            "1.0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        line = proc.stdout.readline()
+        banner = json.loads(line)
+        assert banner["event"] == "serving"
+        yield proc, banner["url"]
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=10)
+
+
+def _post(url, payload, timeout=60):
+    request = urllib.request.Request(
+        url + "/predict",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def test_serve_round_trip_concurrent(server, saved_artifact, serial_result):
+    _, url = server
+    reference = EnsemblePredictor.load(saved_artifact)
+    x = serial_result.dataset.x_test
+
+    with urllib.request.urlopen(url + "/healthz", timeout=30) as response:
+        health = json.loads(response.read())
+    assert health["status"] == "ok"
+    assert health["alive_workers"] == 2
+
+    with urllib.request.urlopen(url + "/info", timeout=30) as response:
+        info = json.loads(response.read())
+    assert info["workers"] == 2
+    assert info["num_members"] == len(reference.ensemble)
+
+    results = []
+
+    def client(i):
+        batch = x[i * 3 : i * 3 + 4]
+        out = _post(url, {"inputs": batch.tolist(), "proba": True})
+        expected = reference.predict_proba(batch)
+        # JSON carries exact float64 representations of the float32 values,
+        # so equality (not approx) is the right check.
+        results.append(np.array_equal(np.asarray(out["probabilities"]), expected))
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(12)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert all(results) and len(results) == 12
+
+    labels = _post(url, {"inputs": x[:10].tolist(), "method": "vote"})
+    assert labels["predictions"] == reference.predict(x[:10], method="vote").tolist()
+
+
+def test_serve_rejects_malformed_requests(server):
+    _, url = server
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(url, {"inputs": [[1.0, 2.0]]})
+    assert excinfo.value.code == 400
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(url, {})
+    assert excinfo.value.code == 400
+
+
+def test_serve_shuts_down_cleanly_on_sigterm(saved_artifact):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--artifact",
+            str(saved_artifact),
+            "--port",
+            "0",
+            "--workers",
+            "2",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    banner = json.loads(proc.stdout.readline())
+    assert banner["event"] == "serving"
+    proc.send_signal(signal.SIGTERM)
+    out, _ = proc.communicate(timeout=60)
+    assert proc.returncode == 0
+    assert json.loads(out.strip().splitlines()[-1]) == {"event": "stopped"}

@@ -1,0 +1,58 @@
+"""Shared-memory dataset publication: zero-copy views, clean teardown."""
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+from repro.parallel.shared_data import AttachedDataset, SharedDataset
+
+pytestmark = pytest.mark.skipif(
+    not sys.platform.startswith("linux"), reason="/dev/shm checks are Linux-specific"
+)
+
+
+def _shm_entries():
+    return {name for name in os.listdir("/dev/shm") if name.startswith("repro-shm")}
+
+
+def test_publish_attach_round_trip():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(32, 3, 4, 4)).astype(np.float32)
+    y = rng.integers(0, 5, size=32)
+    with SharedDataset({"x": x, "y": y}) as shared:
+        attached = AttachedDataset(shared.meta)
+        np.testing.assert_array_equal(attached["x"], x)
+        np.testing.assert_array_equal(attached["y"], y)
+        assert attached["x"].dtype == x.dtype
+        # Views share the segment: a write through the publisher's view is
+        # visible to the attacher without any copying.
+        shared.view("x")[0, 0, 0, 0] = 42.0
+        assert attached["x"][0, 0, 0, 0] == 42.0
+        attached.close()
+    assert not _shm_entries()
+
+
+def test_close_unlinks_segments_and_is_idempotent():
+    shared = SharedDataset({"x": np.zeros(8)})
+    assert _shm_entries()
+    shared.close()
+    assert not _shm_entries()
+    shared.close()  # second close is a no-op
+
+
+def test_attacher_close_does_not_unlink():
+    shared = SharedDataset({"x": np.arange(6.0)})
+    attached = AttachedDataset(shared.meta)
+    attached.close()
+    # The publisher's segment must survive its attachers.
+    assert _shm_entries()
+    np.testing.assert_array_equal(shared.view("x"), np.arange(6.0))
+    shared.close()
+    assert not _shm_entries()
+
+
+def test_empty_dataset_rejected():
+    with pytest.raises(ValueError):
+        SharedDataset({})

@@ -122,3 +122,60 @@ def test_get_logger_namespaces_under_repro():
 
 def test_get_logger_keeps_existing_repro_prefix():
     assert get_logger("repro.nn").name == "repro.nn"
+
+
+# ---------------------------------------------------------------------------
+# BLAS thread-pool control (repro.utils.parallel)
+# ---------------------------------------------------------------------------
+
+
+def test_blas_thread_limit_sets_and_restores_env():
+    import os
+
+    from repro.utils.parallel import BLAS_ENV_VARS, blas_thread_limit
+
+    probe = BLAS_ENV_VARS[0]
+    saved = os.environ.get(probe)
+    os.environ[probe] = "7"
+    try:
+        with blas_thread_limit(2):
+            for var in BLAS_ENV_VARS:
+                assert os.environ[var] == "2"
+        assert os.environ[probe] == "7"
+    finally:
+        if saved is None:
+            os.environ.pop(probe, None)
+        else:
+            os.environ[probe] = saved
+
+
+def test_blas_thread_limit_restores_unset_vars():
+    import os
+
+    from repro.utils.parallel import BLAS_ENV_VARS, blas_thread_limit
+
+    probe = BLAS_ENV_VARS[-1]
+    saved = os.environ.pop(probe, None)
+    try:
+        with blas_thread_limit(1):
+            assert os.environ[probe] == "1"
+        assert probe not in os.environ
+    finally:
+        if saved is not None:
+            os.environ[probe] = saved
+
+
+def test_blas_thread_limit_rejects_non_positive():
+    from repro.utils.parallel import apply_blas_thread_cap, blas_thread_limit
+
+    with pytest.raises(ValueError):
+        with blas_thread_limit(0):
+            pass
+    with pytest.raises(ValueError):
+        apply_blas_thread_cap(0)
+
+
+def test_cpu_count_positive():
+    from repro.utils.parallel import cpu_count
+
+    assert cpu_count() >= 1
