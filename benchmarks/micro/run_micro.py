@@ -9,8 +9,11 @@ benchmarks (``ensemble_train_parallel``, ``pool_predict``) instead compare
 the multi-process path (``workers=4``) against the single-process one and
 record the machine's usable ``cpu_count`` next to the ratio — parallel
 speedup is physically bounded by the core count, so the number is only
-meaningful together with it.  Results are written as machine-readable JSON
-so the performance trajectory can be tracked PR over PR.
+meaningful together with it.  ``metrics_overhead`` measures the
+observability tax: the same VGG fit with the ``repro.obs`` registry disabled
+versus enabled (must stay under 2%).  Results are written as
+machine-readable JSON so the performance trajectory can be tracked PR over
+PR.
 
 Usage::
 
@@ -229,6 +232,60 @@ def bench_ensemble_predict(repeats: int) -> Dict:
     }
 
 
+def bench_metrics_overhead(repeats: int) -> Dict:
+    """Observability tax on the training loop: a short VGG fit with the
+    process-wide metrics registry *disabled* (reference) versus *enabled*
+    (fast).  The per-epoch gauge/counter updates must stay under 2% of the
+    step time — ``speedup`` here is expected to sit at ~1.0, and the
+    committed number is guarded by the tier-1 suite via
+    ``overhead_fraction`` (enabled/disabled - 1).
+    """
+    params = {
+        "variant": "V16",
+        "train_samples": 128,
+        "batch": 32,
+        "input_shape": [3, 16, 16],
+        "width_scale": 0.25,
+        "epochs": 2,
+    }
+    from repro.nn.training import Trainer, TrainingConfig
+    from repro.obs.metrics import get_registry
+
+    spec = vgg("V16", num_classes=10, input_shape=(3, 16, 16), width_scale=0.25)
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(params["train_samples"], 3, 16, 16)).astype(np.float32)
+    y = rng.integers(0, 10, size=params["train_samples"])
+    config = TrainingConfig(
+        max_epochs=params["epochs"],
+        min_epochs=params["epochs"],
+        convergence_patience=params["epochs"],
+        batch_size=params["batch"],
+        learning_rate=0.05,
+    )
+    registry = get_registry()
+
+    def fit():
+        model = _fast_model(spec, seed=1)
+        Trainer(config).fit(model, x, y, seed=0)
+
+    def run_disabled():
+        registry.disable()
+        try:
+            fit()
+        finally:
+            registry.enable()
+
+    entry = {
+        "params": params,
+        "reference_seconds": _median_seconds(run_disabled, repeats),
+        "fast_seconds": _median_seconds(fit, repeats),
+    }
+    entry["overhead_fraction"] = (
+        entry["fast_seconds"] / entry["reference_seconds"] - 1.0
+    )
+    return entry
+
+
 def bench_ensemble_train_parallel(repeats: int) -> Dict:
     """Full-data training of a four-member MLP ensemble: serial loop
     (``workers=1``, the reference) versus the process-pool engine
@@ -376,6 +433,7 @@ BENCHMARKS: Dict[str, Callable[[int], Dict]] = {
     "dense": bench_dense,
     "vgg_step": bench_vgg_step,
     "ensemble_predict": bench_ensemble_predict,
+    "metrics_overhead": bench_metrics_overhead,
     "ensemble_train_parallel": bench_ensemble_train_parallel,
     "pool_predict": bench_pool_predict,
 }

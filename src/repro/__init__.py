@@ -32,12 +32,16 @@ Sub-packages
 ``repro.parallel``
     Process-based parallel execution: multi-process ensemble-member training
     over shared-memory datasets (``TrainingConfig(workers=N)``) and the
-    multi-worker :class:`~repro.parallel.PoolPredictor` serving pool behind
-    ``python -m repro serve``.
+    self-healing multi-worker :class:`~repro.parallel.PoolPredictor` serving
+    pool behind ``python -m repro serve``.
+``repro.obs``
+    Observability: dependency-free metrics (Prometheus ``/metrics``
+    exposition), structured JSON event logging, and process gauges,
+    instrumented through the training and serving hot paths.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
-from repro import api, arch, core, data, evaluation, nn, utils
+from repro import api, arch, core, data, evaluation, nn, obs, utils
 
-__all__ = ["api", "arch", "core", "data", "evaluation", "nn", "utils", "__version__"]
+__all__ = ["api", "arch", "core", "data", "evaluation", "nn", "obs", "utils", "__version__"]

@@ -8,9 +8,11 @@ configs and ``.npy`` tensors, with no Python required:
 * ``repro predict --artifact artifact/ --input x.npy`` — one-shot predictions
   from a saved artifact;
 * ``repro serve --artifact artifact/ --workers 4`` — long-running HTTP server
-  backed by a multi-process worker pool (``POST /predict``, ``GET /info``,
-  ``GET /healthz``; stops cleanly on SIGINT/SIGTERM);
-* ``repro inspect --artifact artifact/`` — summarise an artifact.
+  backed by a self-healing multi-process worker pool (``POST /predict``,
+  ``GET /info``, ``GET /healthz``, Prometheus ``GET /metrics``; structured
+  JSON event logs on stderr; stops cleanly on SIGINT/SIGTERM);
+* ``repro inspect --artifact artifact/`` — summarise an artifact, including
+  training phase makespans and per-member training-history summaries.
 """
 
 from __future__ import annotations
@@ -88,6 +90,17 @@ def _build_parser() -> argparse.ArgumentParser:
         default=2.0,
         help="how long the dispatcher waits to coalesce concurrent requests",
     )
+    serve.add_argument(
+        "--no-restart",
+        action="store_true",
+        help="disable the pool supervisor's automatic worker respawn",
+    )
+    serve.add_argument(
+        "--log-format",
+        choices=("json", "text"),
+        default="json",
+        help="stderr log format: structured JSON event lines (default) or text",
+    )
 
     inspect = sub.add_parser("inspect", help="summarise a saved artifact")
     inspect.add_argument("--artifact", required=True, type=Path, help="artifact directory")
@@ -98,6 +111,12 @@ def _build_parser() -> argparse.ArgumentParser:
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro.api import ExperimentSpec, run_experiment, save_ensemble_run
     from repro.api.artifacts import MANIFEST_NAME
+    from repro.obs.events import configure_logging, enable_events
+
+    # Surface experiment lifecycle events on stderr (JSON lines under
+    # REPRO_LOG_FORMAT=json); stdout stays the machine-readable report.
+    configure_logging()
+    enable_events()
 
     # Fail on a taken output location *before* spending the training time.
     if (args.output / MANIFEST_NAME).exists():
@@ -152,14 +171,58 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
+        restart_workers=not args.no_restart,
+        log_format=args.log_format,
     )
+
+
+def _member_history_summary(meta: dict) -> dict:
+    """Collapse one member's persisted training history to headline figures."""
+    summary = {
+        "name": meta["name"],
+        "source": meta.get("source"),
+        "parameters": meta.get("parameters"),
+        "training_seconds": meta.get("training_seconds"),
+    }
+    result = meta.get("training_result")
+    if result:
+        history = result.get("history", [])
+        summary["epochs"] = len(history)
+        summary["converged"] = result.get("converged")
+        if history:
+            last = history[-1]
+            summary["final_train_loss"] = last.get("train_loss")
+            summary["final_train_accuracy"] = last.get("train_accuracy")
+            summary["mean_epoch_seconds"] = sum(
+                record.get("seconds", 0.0) for record in history
+            ) / len(history)
+    return summary
 
 
 def _cmd_inspect(args: argparse.Namespace) -> int:
     from repro.api import EnsemblePredictor
+    from repro.api.artifacts import read_manifest
 
     predictor = EnsemblePredictor.load(args.artifact, warm=False)
-    print(json.dumps(predictor.info(), indent=2, sort_keys=True))
+    report = predictor.info()
+
+    # Surface what the v2 artifact schema persists but info() does not:
+    # parallel-phase makespans from the cost ledger and the per-member
+    # training histories.
+    manifest = read_manifest(args.artifact)
+    ledger = manifest.get("ledger", {})
+    summary = manifest.get("ledger_summary", {})
+    report["training"] = {
+        "total_seconds": summary.get("total_seconds"),
+        "makespan_seconds": summary.get("makespan_seconds"),
+        "total_epochs": summary.get("total_epochs"),
+        "seconds_by_phase": summary.get("seconds_by_phase"),
+        "phase_makespans": ledger.get("phase_makespans", {}),
+    }
+    report["members"] = [
+        _member_history_summary(meta) for meta in manifest.get("members", [])
+    ]
+    print(json.dumps(report, indent=2, sort_keys=True))
     return 0
 
 

@@ -20,9 +20,20 @@ from repro.core.trainer import EnsembleTrainingRun, summarize_run
 from repro.data.datasets import Dataset, load_dataset
 from repro.data.sampling import train_validation_split
 from repro.nn.dtypes import default_dtype
+from repro.obs.events import log_event
+from repro.obs.metrics import get_registry
 from repro.utils.logging import get_logger
 
 logger = get_logger("api.experiment")
+
+_metrics = get_registry()
+_EXPERIMENTS_TOTAL = _metrics.counter(
+    "repro_experiments_total", "Experiments executed end to end.", ("approach",)
+)
+_LAST_EXPERIMENT_SECONDS = _metrics.gauge(
+    "repro_experiment_last_training_seconds",
+    "Summed training seconds of the most recent experiment.",
+)
 
 
 @dataclass
@@ -79,6 +90,14 @@ def run_experiment(
         len(member_specs),
     )
 
+    log_event(
+        "experiment.started",
+        experiment=spec.name,
+        approach=spec.approach,
+        dataset=dataset.name,
+        members=len(member_specs),
+        workers=getattr(spec.training, "workers", 1),
+    )
     dtype_scope = default_dtype(spec.dtype) if spec.dtype is not None else nullcontext()
     with dtype_scope:
         run = trainer.train(member_specs, dataset, seed=spec.seed)
@@ -91,4 +110,14 @@ def run_experiment(
                 seed=int(sl.get("seed", spec.seed)),
             )
             run.ensemble.fit_super_learner(x_val, y_val, seed=int(sl.get("seed", spec.seed)))
+    if _metrics.enabled:
+        _EXPERIMENTS_TOTAL.labels(spec.approach).inc()
+        _LAST_EXPERIMENT_SECONDS.set(run.total_training_seconds)
+    log_event(
+        "experiment.finished",
+        experiment=spec.name,
+        approach=spec.approach,
+        training_seconds=round(run.total_training_seconds, 6),
+        makespan_seconds=round(run.makespan_seconds, 6),
+    )
     return ExperimentResult(spec=spec, dataset=dataset, run=run)

@@ -24,7 +24,7 @@ from repro.arch.spec import ArchitectureSpec
 from repro.core.cost_model import CostLedger
 from repro.core.ensemble import Ensemble, EnsembleMember
 from repro.core.registry import register_trainer
-from repro.core.trainer import EnsembleTrainer, EnsembleTrainingRun
+from repro.core.trainer import EnsembleTrainer, EnsembleTrainingRun, record_training_cost
 from repro.data.datasets import Dataset
 from repro.data.sampling import bootstrap_sample
 from repro.nn.dtypes import resolve_dtype
@@ -97,6 +97,7 @@ class _ScratchTrainer(EnsembleTrainer):
                     samples_per_epoch=outcome.samples_per_epoch,
                     compute_phases=outcome.compute_phases,
                 )
+                record_training_cost(self.approach, "scratch", outcome.seconds)
                 members.append(
                     EnsembleMember(
                         name=spec.name,
@@ -130,6 +131,7 @@ class _ScratchTrainer(EnsembleTrainer):
                     samples_per_epoch=samples,
                     compute_phases=compute_phases,
                 )
+                record_training_cost(self.approach, "scratch", seconds)
                 members.append(
                     EnsembleMember(
                         name=spec.name,
@@ -262,6 +264,7 @@ class SnapshotEnsembleTrainer(EnsembleTrainer):
                 samples_per_epoch=dataset.train_size,
                 compute_phases=compute_phases,
             )
+            record_training_cost(self.approach, "member", seconds)
             members.append(
                 EnsembleMember(
                     name=name,

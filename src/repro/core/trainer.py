@@ -35,11 +35,38 @@ from repro.data.sampling import bootstrap_sample
 from repro.nn.model import Model
 from repro.nn.serialization import unpack_model_state
 from repro.nn.training import Trainer, TrainingConfig, TrainingResult
+from repro.obs.metrics import get_registry
 from repro.utils.logging import get_logger
 from repro.utils.rng import RngManager
 from repro.utils.timing import capture_phase_timings
 
 logger = get_logger("core.trainer")
+
+# Per-member / per-phase training telemetry (repro.obs), shared by every
+# ensemble trainer: networks finished and wall-clock seconds burned, keyed by
+# approach and pipeline phase ("mothernet" | "member" | "scratch").
+_metrics = get_registry()
+_NETWORKS_TRAINED = _metrics.counter(
+    "repro_ensemble_networks_trained_total",
+    "Networks trained by the ensemble trainers.",
+    ("approach", "phase"),
+)
+_TRAINING_SECONDS = _metrics.counter(
+    "repro_ensemble_training_seconds_total",
+    "Wall-clock seconds spent training ensemble networks.",
+    ("approach", "phase"),
+)
+
+
+def record_training_cost(approach: str, phase: str, seconds: float) -> None:
+    """Count one finished network against the per-phase training metrics.
+
+    Called by every trainer right where it books the network into its
+    :class:`~repro.core.cost_model.CostLedger`, so metrics and ledger agree.
+    """
+    if _metrics.enabled:
+        _NETWORKS_TRAINED.labels(approach, phase).inc()
+        _TRAINING_SECONDS.labels(approach, phase).inc(float(seconds))
 
 
 @dataclass
@@ -181,6 +208,11 @@ class MotherNetsTrainer(EnsembleTrainer):
 
     Parallelism
     -----------
+    With ``config.workers > 1`` and more than one cluster, the phase-1
+    MotherNet fits fan out over the process pool (they are mutually
+    independent — one MotherNet per cluster); the resulting models are
+    bitwise identical to the serial loop's under matching BLAS thread
+    counts, so every downstream hatch sees the same weights.
     With ``member_config.workers > 1`` the phase-2 fine-tunes fan out over a
     process pool (:mod:`repro.parallel`) and produce members bitwise
     identical to the serial path under matching BLAS thread counts.  Members
@@ -229,35 +261,83 @@ class MotherNetsTrainer(EnsembleTrainer):
         }
 
         # Phase 1: train every MotherNet from scratch on the full data set.
+        # MotherNets of different clusters are mutually independent, so with
+        # workers > 1 and several clusters they fan out over the same process
+        # pool phase 2 uses; each worker rebuilds its MotherNet from the same
+        # derived seeds the serial loop uses, making the parallel phase
+        # bitwise identical to the serial one (matching BLAS thread counts).
         mothernet_models: Dict[int, Model] = {}
         mothernet_results: Dict[int, TrainingResult] = {}
-        for cluster in clusters:
-            model = Model.from_spec(cluster.mothernet, seed=rngs.seed("mothernet", cluster.cluster_id))
-            result, seconds, compute_phases = self._fit(
-                model,
-                dataset.x_train,
-                dataset.y_train,
-                self.config,
-                seed=rngs.seed("mothernet-shuffle", cluster.cluster_id),
+        mothernet_workers = self._member_workers(self.config, len(clusters))
+        if mothernet_workers > 1:
+            phase_start = time.perf_counter()
+            from repro.nn.dtypes import resolve_dtype
+            from repro.parallel.worker import MemberTask
+
+            # Resolve the compute dtype in the parent: workers are fresh
+            # interpreters and would otherwise fall back to the global default
+            # even when this run opted into another dtype.
+            dtype = str(resolve_dtype(None))
+            tasks = [
+                MemberTask(
+                    name=cluster.mothernet.name,
+                    spec_json=spec_to_json(cluster.mothernet),
+                    config=self.config,
+                    train_seed=rngs.seed("mothernet-shuffle", cluster.cluster_id),
+                    dtype=dtype,
+                    init_seed=rngs.seed("mothernet", cluster.cluster_id),
+                    collect_phase_timings=self.collect_phase_timings,
+                )
+                for cluster in clusters
+            ]
+            outcomes, _ = self._run_parallel(
+                tasks, dataset.x_train, dataset.y_train, mothernet_workers
             )
-            mothernet_models[cluster.cluster_id] = model
-            mothernet_results[cluster.cluster_id] = result
-            ledger.add(
-                network=cluster.mothernet.name,
-                phase="mothernet",
-                epochs=result.epochs_run,
-                wall_clock_seconds=seconds,
-                parameters=model.parameter_count(),
-                samples_per_epoch=dataset.train_size,
-                compute_phases=compute_phases,
-            )
-            logger.info(
-                "trained %s (%d members) in %.2fs / %d epochs",
-                cluster.mothernet.name,
-                cluster.size,
-                seconds,
-                result.epochs_run,
-            )
+            for cluster, outcome in zip(clusters, outcomes):
+                mothernet_models[cluster.cluster_id] = unpack_model_state(outcome.state)
+                mothernet_results[cluster.cluster_id] = outcome.result
+                ledger.add(
+                    network=cluster.mothernet.name,
+                    phase="mothernet",
+                    epochs=outcome.result.epochs_run,
+                    wall_clock_seconds=outcome.seconds,
+                    parameters=outcome.parameters,
+                    samples_per_epoch=outcome.samples_per_epoch,
+                    compute_phases=outcome.compute_phases,
+                )
+                record_training_cost(self.approach, "mothernet", outcome.seconds)
+            ledger.record_phase_makespan("mothernet", time.perf_counter() - phase_start)
+        else:
+            for cluster in clusters:
+                model = Model.from_spec(
+                    cluster.mothernet, seed=rngs.seed("mothernet", cluster.cluster_id)
+                )
+                result, seconds, compute_phases = self._fit(
+                    model,
+                    dataset.x_train,
+                    dataset.y_train,
+                    self.config,
+                    seed=rngs.seed("mothernet-shuffle", cluster.cluster_id),
+                )
+                mothernet_models[cluster.cluster_id] = model
+                mothernet_results[cluster.cluster_id] = result
+                ledger.add(
+                    network=cluster.mothernet.name,
+                    phase="mothernet",
+                    epochs=result.epochs_run,
+                    wall_clock_seconds=seconds,
+                    parameters=model.parameter_count(),
+                    samples_per_epoch=dataset.train_size,
+                    compute_phases=compute_phases,
+                )
+                record_training_cost(self.approach, "mothernet", seconds)
+                logger.info(
+                    "trained %s (%d members) in %.2fs / %d epochs",
+                    cluster.mothernet.name,
+                    cluster.size,
+                    seconds,
+                    result.epochs_run,
+                )
 
         # Phase 2: hatch every member and fine-tune it on a bagged sample.
         # Hatched members are mutually independent, so with workers > 1 the
@@ -350,6 +430,7 @@ class MotherNetsTrainer(EnsembleTrainer):
                     samples_per_epoch=entry["samples"],
                     compute_phases=entry["compute_phases"],
                 )
+                record_training_cost(self.approach, "member", entry["seconds"])
                 members.append(
                     EnsembleMember(
                         name=spec.name,
@@ -386,6 +467,7 @@ class MotherNetsTrainer(EnsembleTrainer):
                     samples_per_epoch=bag.size,
                     compute_phases=compute_phases,
                 )
+                record_training_cost(self.approach, "member", seconds + hatch_seconds)
                 members.append(
                     EnsembleMember(
                         name=spec.name,

@@ -24,10 +24,37 @@ from repro.nn.optimizers import (
     Optimizer,
     SGD,
 )
+from repro.obs.metrics import get_registry
 from repro.utils.logging import get_logger
 from repro.utils.rng import SeedLike, as_rng
 
 logger = get_logger("nn.training")
+
+# Per-epoch training telemetry (repro.obs).  Gauges carry the *last* epoch's
+# figures per model; counters accumulate across every fit in the process.
+# Updates happen once per epoch — far off the per-batch hot path — and are
+# skipped entirely when the registry is disabled.
+_metrics = get_registry()
+_EPOCHS_TOTAL = _metrics.counter(
+    "repro_training_epochs_total", "Training epochs completed in this process."
+)
+_SAMPLES_TOTAL = _metrics.counter(
+    "repro_training_samples_total",
+    "Training samples processed (one count per sample per epoch).",
+)
+_EPOCH_LOSS = _metrics.gauge(
+    "repro_training_epoch_loss", "Mean training loss of the last completed epoch.", ("model",)
+)
+_EPOCH_ACCURACY = _metrics.gauge(
+    "repro_training_epoch_accuracy",
+    "Training accuracy of the last completed epoch.",
+    ("model",),
+)
+_EPOCH_SECONDS = _metrics.gauge(
+    "repro_training_epoch_seconds",
+    "Wall-clock seconds of the last completed epoch.",
+    ("model",),
+)
 
 
 @dataclass
@@ -351,6 +378,13 @@ class Trainer:
                 record.val_loss = SoftmaxCrossEntropy().forward(val_logits, y_val)
                 record.val_accuracy = accuracy(val_logits, y_val)
             result.history.append(record)
+            if _metrics.enabled:
+                model_name = model.spec.name
+                _EPOCHS_TOTAL.inc()
+                _SAMPLES_TOTAL.inc(x_train.shape[0])
+                _EPOCH_LOSS.labels(model_name).set(train_loss)
+                _EPOCH_ACCURACY.labels(model_name).set(train_acc)
+                _EPOCH_SECONDS.labels(model_name).set(record.seconds)
             logger.debug(
                 "%s epoch %d: loss=%.4f acc=%.3f", model.spec.name, epoch, train_loss, train_acc
             )

@@ -1,0 +1,56 @@
+"""Observability subsystem: metrics, Prometheus exposition, structured events.
+
+``repro.obs`` makes the system visible at runtime without adding a single
+third-party dependency:
+
+* :mod:`repro.obs.metrics` — thread-safe :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` primitives behind a process-wide
+  :class:`MetricsRegistry` (near-zero-overhead disabled mode via
+  ``REPRO_METRICS=off``).
+* :mod:`repro.obs.exposition` — :func:`render_prometheus`, the standard text
+  exposition served by ``GET /metrics`` on the serving front.
+* :mod:`repro.obs.events` — structured JSON event logging (one JSON object
+  per line) shared with the classic text logs through a single root handler;
+  :func:`log_event` is how lifecycle transitions (worker death/respawn,
+  server start/stop, experiment phases) are recorded.
+* :mod:`repro.obs.process` — ``repro_process_*`` gauges (RSS, CPU seconds,
+  fds, threads) refreshed on every scrape.
+
+The hot paths are instrumented throughout the library: per-epoch training
+gauges in :mod:`repro.nn.training`, per-phase counters in
+:mod:`repro.core.trainer` and :mod:`repro.parallel.executor`, and request
+count / batch-size / latency histograms in :mod:`repro.parallel.serving`.
+"""
+
+from repro.obs.events import (
+    JsonLineFormatter,
+    configure_logging,
+    enable_events,
+    log_event,
+)
+from repro.obs.exposition import CONTENT_TYPE, render_prometheus
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.process import update_process_metrics
+
+__all__ = [
+    "CONTENT_TYPE",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonLineFormatter",
+    "MetricsRegistry",
+    "configure_logging",
+    "enable_events",
+    "get_registry",
+    "log_event",
+    "render_prometheus",
+    "update_process_metrics",
+]

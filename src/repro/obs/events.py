@@ -1,0 +1,165 @@
+"""Structured event logging: one JSON object per line, stdlib only.
+
+This replaces the ad-hoc root-logger configuration that used to live in
+``repro.utils.logging``: all library loggers still hang off the ``repro``
+root, but the single root handler is installed here and can format records
+either as classic human-readable text (the default) or as machine-parseable
+JSON lines (the serve front's default — each line is one event a log shipper
+can ingest without regexes).
+
+Two layers:
+
+* :func:`configure_logging` — idempotent root configuration.  Format comes
+  from the ``fmt`` argument or the ``REPRO_LOG_FORMAT`` environment variable
+  (``text`` | ``json``); verbosity from ``REPRO_LOG_LEVEL`` as before.
+* :func:`log_event` — emit a structured event (a name plus arbitrary
+  JSON-able fields) through the dedicated ``repro.events`` logger.  In JSON
+  mode the fields become top-level keys; in text mode they render as
+  ``key=value`` pairs.  Events default to INFO, so enable them explicitly
+  with :func:`enable_events` (the serve front does) or by raising the global
+  level.
+
+Event lines look like::
+
+    {"ts": 1753776000.123, "level": "info", "logger": "repro.events",
+     "event": "serve.worker_respawned", "worker": 1, "restarts": 2}
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import threading
+from typing import Any, Dict, Optional, TextIO
+
+__all__ = [
+    "EVENTS_LOGGER_NAME",
+    "JsonLineFormatter",
+    "TextEventFormatter",
+    "configure_logging",
+    "enable_events",
+    "log_event",
+]
+
+EVENTS_LOGGER_NAME = "repro.events"
+
+_FORMAT = "%(asctime)s %(levelname)s %(name)s: %(message)s"
+_lock = threading.Lock()
+_configured_fmt: Optional[str] = None
+_handler: Optional[logging.Handler] = None  # the handler *we* installed
+
+
+def _event_fields(record: logging.LogRecord) -> Dict[str, Any]:
+    fields = getattr(record, "repro_fields", None)
+    return dict(fields) if fields else {}
+
+
+class JsonLineFormatter(logging.Formatter):
+    """Render every record as one JSON object per line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+        }
+        event = getattr(record, "repro_event", None)
+        if event is not None:
+            payload["event"] = event
+        else:
+            payload["message"] = record.getMessage()
+        for key, value in _event_fields(record).items():
+            if key not in payload:
+                payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str, separators=(",", ":"))
+
+
+class TextEventFormatter(logging.Formatter):
+    """The classic human-readable format, with event fields as key=value."""
+
+    def __init__(self) -> None:
+        super().__init__(_FORMAT)
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = super().format(record)
+        fields = _event_fields(record)
+        if fields:
+            rendered = " ".join(f"{key}={value}" for key, value in fields.items())
+            base = f"{base} {rendered}"
+        return base
+
+
+def _resolve_level(level: Optional[str]) -> int:
+    name = (level or os.environ.get("REPRO_LOG_LEVEL", "WARNING")).upper()
+    resolved = getattr(logging, name, None)
+    return resolved if isinstance(resolved, int) else logging.WARNING
+
+
+def _resolve_fmt(fmt: Optional[str]) -> str:
+    resolved = (fmt or os.environ.get("REPRO_LOG_FORMAT", "text")).strip().lower()
+    return resolved if resolved in ("text", "json") else "text"
+
+
+def configure_logging(
+    level: Optional[str] = None,
+    fmt: Optional[str] = None,
+    stream: Optional[TextIO] = None,
+    force: bool = False,
+) -> None:
+    """Install (once) this module's handler on the ``repro`` root logger.
+
+    Subsequent calls are no-ops unless ``force`` is true — ``python -m repro
+    serve`` uses that to switch an already-configured process to JSON event
+    lines.  Only the handler installed here is ever replaced: handlers an
+    application attached to ``logging.getLogger("repro")`` itself are left
+    untouched, and when such handlers exist the library adds its own only
+    under ``force`` (matching the historical "don't double-log" behaviour).
+    ``stream`` defaults to stderr, keeping stdout free for machine-readable
+    command output.
+    """
+    global _configured_fmt, _handler
+    resolved_fmt = _resolve_fmt(fmt)
+    with _lock:
+        root = logging.getLogger("repro")
+        if _configured_fmt is not None and not force:
+            return
+        if _handler is not None:
+            root.removeHandler(_handler)
+            _handler = None
+        if force or not root.handlers:
+            formatter: logging.Formatter = (
+                JsonLineFormatter() if resolved_fmt == "json" else TextEventFormatter()
+            )
+            handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+            handler.setFormatter(formatter)
+            root.addHandler(handler)
+            _handler = handler
+        root.setLevel(_resolve_level(level))
+        _configured_fmt = resolved_fmt
+
+
+def enable_events(level: int = logging.INFO) -> None:
+    """Let INFO-level events through the ``repro.events`` logger regardless
+    of the library-wide verbosity (the serve front calls this on startup)."""
+    logging.getLogger(EVENTS_LOGGER_NAME).setLevel(level)
+
+
+def log_event(event: str, level: int = logging.INFO, **fields: Any) -> None:
+    """Emit a structured event: a dotted name plus JSON-able fields.
+
+    Cheap when the event logger's level filters it out (one ``isEnabledFor``
+    check); formatting happens only for records that are actually emitted.
+    """
+    logger = logging.getLogger(EVENTS_LOGGER_NAME)
+    if not logger.isEnabledFor(level):
+        return
+    configure_logging()  # lazily ensure a handler exists
+    logger.log(
+        level,
+        event,
+        extra={"repro_event": event, "repro_fields": fields},
+    )

@@ -1,0 +1,85 @@
+"""Prometheus text exposition (format version 0.0.4) for the metrics core.
+
+:func:`render_prometheus` turns a :class:`~repro.obs.metrics.MetricsRegistry`
+into the plain-text format every Prometheus-compatible scraper understands::
+
+    # HELP repro_serve_requests_total Predict requests answered by the pool.
+    # TYPE repro_serve_requests_total counter
+    repro_serve_requests_total{status="ok"} 42
+
+Histograms emit the standard cumulative ``_bucket{le="..."}`` series plus
+``_sum`` and ``_count``.  The encoder is deterministic: metrics render in
+name order and children in label-value order, so scrapes diff cleanly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, get_registry
+
+__all__ = ["CONTENT_TYPE", "render_prometheus"]
+
+#: HTTP Content-Type of the rendered exposition.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _labels_text(names: Tuple[str, ...], values: Tuple[str, ...], extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label_value(value)}"' for name, value in zip(names, values)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """Render ``registry`` (default: the process-wide one) as exposition text."""
+    if registry is None:
+        registry = get_registry()
+    lines: List[str] = []
+    for metric in registry.collect():
+        lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.type_name}")
+        samples = sorted(metric.samples(), key=lambda item: item[0])
+        if isinstance(metric, Histogram):
+            for labelvalues, (counts, total) in samples:
+                cumulative = 0
+                for bound, count in zip(metric.buckets, counts):
+                    cumulative += count
+                    le = _labels_text(
+                        metric.labelnames, labelvalues, f'le="{_format_value(bound)}"'
+                    )
+                    lines.append(f"{metric.name}_bucket{le} {cumulative}")
+                cumulative += counts[-1]
+                le = _labels_text(metric.labelnames, labelvalues, 'le="+Inf"')
+                lines.append(f"{metric.name}_bucket{le} {cumulative}")
+                labels = _labels_text(metric.labelnames, labelvalues)
+                lines.append(f"{metric.name}_sum{labels} {_format_value(total)}")
+                lines.append(f"{metric.name}_count{labels} {cumulative}")
+        elif isinstance(metric, (Counter, Gauge)):
+            for labelvalues, value in samples:
+                labels = _labels_text(metric.labelnames, labelvalues)
+                lines.append(f"{metric.name}{labels} {_format_value(value)}")
+        else:  # pragma: no cover - no other metric types exist today
+            continue
+    return "\n".join(lines) + "\n" if lines else ""

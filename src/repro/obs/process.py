@@ -1,0 +1,90 @@
+"""Process-level gauges for the ``/metrics`` endpoint: see the hardware.
+
+Reads ``/proc/self`` on Linux (resident set, open file descriptors, thread
+count) and falls back to portable stdlib sources elsewhere; everything is
+best-effort — a missing source simply leaves its gauge at the last value.
+:func:`update_process_metrics` is called by the HTTP server on every
+``/metrics`` scrape, so the numbers are fresh without any background thread.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import time
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = ["update_process_metrics"]
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+_START_TIME = time.time()
+
+
+def _rss_bytes() -> Optional[float]:
+    try:
+        with open("/proc/self/statm", "rb") as fh:
+            return int(fh.read().split()[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        pass
+    try:
+        rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return float(rss_kb) * 1024.0  # peak, not current — best effort
+    except Exception:  # pragma: no cover - exotic platforms
+        return None
+
+
+def _open_fds() -> Optional[int]:
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:  # pragma: no cover - non-Linux
+        return None
+
+
+def _thread_count() -> Optional[int]:
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("Threads:"):
+                    return int(line.split()[1])
+    except (OSError, IndexError, ValueError):  # pragma: no cover - non-Linux
+        pass
+    return None
+
+
+def update_process_metrics(registry: Optional[MetricsRegistry] = None) -> None:
+    """Refresh the ``repro_process_*`` gauges on ``registry``."""
+    if registry is None:
+        registry = get_registry()
+    if not registry.enabled:
+        return
+
+    times = os.times()
+    registry.gauge(
+        "repro_process_cpu_seconds_total",
+        "Total user+system CPU seconds of this process.",
+    ).set(times.user + times.system)
+    registry.gauge(
+        "repro_process_start_time_seconds",
+        "Unix time the process (observability subsystem) started.",
+    ).set(_START_TIME)
+    registry.gauge(
+        "repro_process_uptime_seconds", "Seconds since the process started."
+    ).set(time.time() - _START_TIME)
+
+    rss = _rss_bytes()
+    if rss is not None:
+        registry.gauge(
+            "repro_process_resident_memory_bytes", "Resident set size in bytes."
+        ).set(rss)
+    fds = _open_fds()
+    if fds is not None:
+        registry.gauge(
+            "repro_process_open_fds", "Open file descriptors."
+        ).set(fds)
+    threads = _thread_count()
+    if threads is not None:
+        registry.gauge(
+            "repro_process_threads", "OS threads in this process."
+        ).set(threads)

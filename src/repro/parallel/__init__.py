@@ -12,9 +12,12 @@ Two halves share the same ``spawn``-safe multiprocessing substrate:
   pre-existing serial code path.
 * **Serving** — :class:`PoolPredictor` answers concurrent predict requests
   from N worker processes that each warm-load one ``EnsemblePredictor`` from
-  a shared artifact directory, with request micro-batching and round-robin
-  dispatch.  Exposed over HTTP by ``python -m repro serve``
-  (:func:`repro.parallel.server.run_server`).
+  a shared artifact directory, with request micro-batching, round-robin
+  dispatch, and a self-healing supervisor (dead workers are evicted and
+  respawned under bounded backoff; each worker owns private crash-isolated
+  queues).  Exposed over HTTP by ``python -m repro serve``
+  (:func:`repro.parallel.server.run_server`), including Prometheus
+  ``GET /metrics`` and a degrading ``GET /healthz``.
 """
 
 from repro.parallel.executor import ParallelExecutor, train_members

@@ -29,12 +29,31 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
 from repro.parallel.shared_data import SharedDataset
 from repro.parallel.worker import MemberOutcome, MemberTask, _init_worker, _train_member
 from repro.utils.logging import get_logger
 from repro.utils.parallel import blas_thread_limit, cpu_count
 
 logger = get_logger("parallel.executor")
+
+# Parallel-phase telemetry (repro.obs): how many member tasks ran on pools,
+# the compute they burned, and the critical path of the latest batch.
+_metrics = get_registry()
+_TASKS_TOTAL = _metrics.counter(
+    "repro_parallel_tasks_total", "Member-training tasks completed on worker pools."
+)
+_TASK_SECONDS = _metrics.counter(
+    "repro_parallel_task_seconds_total",
+    "Summed in-worker training seconds of completed pool tasks.",
+)
+_LAST_MAKESPAN = _metrics.gauge(
+    "repro_parallel_last_makespan_seconds",
+    "Critical-path wall clock of the most recent parallel training batch.",
+)
+_POOL_WORKERS = _metrics.gauge(
+    "repro_parallel_pool_workers", "Worker processes of the most recent training pool."
+)
 
 __all__ = ["MemberTask", "MemberOutcome", "ParallelExecutor", "train_members"]
 
@@ -124,6 +143,11 @@ class ParallelExecutor:
             self._terminate()
             raise
         makespan = time.perf_counter() - start
+        if _metrics.enabled:
+            _TASKS_TOTAL.inc(len(outcomes))
+            _TASK_SECONDS.inc(sum(outcome.seconds for outcome in outcomes))
+            _LAST_MAKESPAN.set(makespan)
+            _POOL_WORKERS.set(self.workers)
         logger.info(
             "trained %d members on %d workers: makespan %.2fs, member-seconds %.2fs",
             len(outcomes),

@@ -6,8 +6,15 @@ and exposes it over a threaded stdlib HTTP server — no third-party web stack.
 Endpoints
 ---------
 
-* ``GET /healthz`` — liveness: ``{"status": "ok", "alive_workers": N}``.
-* ``GET /info`` — the pool's :meth:`~repro.parallel.serving.PoolPredictor.info`.
+* ``GET /healthz`` — health: ``{"status": "ok" | "degraded" | "down", ...}``.
+  ``degraded`` means the supervisor is running below capacity (e.g. a worker
+  died and its respawn is still warming up); ``down`` (HTTP 503) means no
+  worker can answer.
+* ``GET /info`` — the pool's :meth:`~repro.parallel.serving.PoolPredictor.info`
+  (including worker pids and restart counts).
+* ``GET /metrics`` — Prometheus text exposition of the process-wide metrics
+  registry: request counters and latency histograms, dispatch batch sizes,
+  worker lifecycle counters, process gauges.
 * ``POST /predict`` — body ``{"inputs": [[...], ...], "method": "average",
   "proba": false}``; answers ``{"predictions": [...]}`` (labels) or
   ``{"probabilities": [[...], ...]}`` when ``proba`` is true.  Outputs are
@@ -17,6 +24,10 @@ Endpoints
 Each HTTP connection is handled on its own thread
 (``ThreadingHTTPServer``); the pool's dispatcher coalesces concurrent
 requests into micro-batches across those threads.
+
+Logging on the serve front is structured: one JSON object per line on
+stderr (``repro.obs.events``), machine-ingestable without regexes; pass
+``log_format="text"`` (CLI ``--log-format text``) for the classic format.
 """
 
 from __future__ import annotations
@@ -30,52 +41,82 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.obs.events import configure_logging, enable_events, log_event
+from repro.obs.exposition import CONTENT_TYPE, render_prometheus
+from repro.obs.metrics import get_registry
+from repro.obs.process import update_process_metrics
 from repro.parallel.serving import PoolPredictor
 from repro.utils.logging import get_logger
 
 logger = get_logger("parallel.server")
+
+_metrics = get_registry()
+_HTTP_REQUESTS = _metrics.counter(
+    "repro_http_requests_total", "HTTP requests served.", ("path", "code")
+)
+_HTTP_LATENCY = _metrics.histogram(
+    "repro_http_request_latency_seconds", "HTTP request handling latency.", ("path",)
+)
+
+#: Endpoints tracked as metric label values; anything else counts as "other"
+#: so arbitrary probe paths cannot blow up the label cardinality.
+_KNOWN_PATHS = ("/predict", "/info", "/healthz", "/metrics")
 
 
 def _make_handler(pool: PoolPredictor):
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
 
+        def _metric_path(self) -> str:
+            return self.path if self.path in _KNOWN_PATHS else "other"
+
         def _reply(self, status: int, payload: dict) -> None:
             body = json.dumps(payload).encode("utf-8")
+            self._reply_raw(status, body, "application/json")
+
+        def _reply_raw(self, status: int, body: bytes, content_type: str) -> None:
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
             self.wfile.write(body)
+            _HTTP_REQUESTS.labels(self._metric_path(), str(status)).inc()
 
         def do_GET(self):  # noqa: N802 - stdlib API name
-            if self.path == "/healthz":
-                self._reply(200, {"status": "ok", "alive_workers": pool.info()["alive_workers"]})
-            elif self.path == "/info":
-                self._reply(200, pool.info())
-            else:
-                self._reply(404, {"error": f"unknown path {self.path!r}"})
+            with _HTTP_LATENCY.labels(self._metric_path()).time():
+                if self.path == "/healthz":
+                    health = pool.healthz()
+                    self._reply(503 if health["status"] == "down" else 200, health)
+                elif self.path == "/info":
+                    self._reply(200, pool.info())
+                elif self.path == "/metrics":
+                    update_process_metrics()
+                    body = render_prometheus().encode("utf-8")
+                    self._reply_raw(200, body, CONTENT_TYPE)
+                else:
+                    self._reply(404, {"error": f"unknown path {self.path!r}"})
 
         def do_POST(self):  # noqa: N802 - stdlib API name
-            if self.path != "/predict":
-                self._reply(404, {"error": f"unknown path {self.path!r}"})
-                return
-            try:
-                length = int(self.headers.get("Content-Length", "0"))
-                body = json.loads(self.rfile.read(length) or b"{}")
-                inputs = body.get("inputs")
-                if inputs is None:
-                    raise ValueError('request body needs an "inputs" array')
-                x = np.asarray(inputs, dtype=np.float64)
-                method = body.get("method")
-                if body.get("proba", False):
-                    proba = pool.predict_proba(x, method=method)
-                    self._reply(200, {"probabilities": proba.tolist()})
-                else:
-                    labels = pool.predict(x, method=method)
-                    self._reply(200, {"predictions": labels.tolist()})
-            except (ValueError, TypeError, RuntimeError, json.JSONDecodeError) as exc:
-                self._reply(400, {"error": str(exc)})
+            with _HTTP_LATENCY.labels(self._metric_path()).time():
+                if self.path != "/predict":
+                    self._reply(404, {"error": f"unknown path {self.path!r}"})
+                    return
+                try:
+                    length = int(self.headers.get("Content-Length", "0"))
+                    body = json.loads(self.rfile.read(length) or b"{}")
+                    inputs = body.get("inputs")
+                    if inputs is None:
+                        raise ValueError('request body needs an "inputs" array')
+                    x = np.asarray(inputs, dtype=np.float64)
+                    method = body.get("method")
+                    if body.get("proba", False):
+                        proba = pool.predict_proba(x, method=method)
+                        self._reply(200, {"probabilities": proba.tolist()})
+                    else:
+                        labels = pool.predict(x, method=method)
+                        self._reply(200, {"predictions": labels.tolist()})
+                except (ValueError, TypeError, RuntimeError, json.JSONDecodeError) as exc:
+                    self._reply(400, {"error": str(exc)})
 
         def log_message(self, fmt, *args):  # pragma: no cover - quiet server
             logger.debug("%s - %s", self.address_string(), fmt % args)
@@ -92,14 +133,19 @@ def run_server(
     batch_size: int = 256,
     max_batch: int = 1024,
     max_wait_ms: float = 2.0,
+    restart_workers: bool = True,
+    log_format: str = "json",
     ready_event: Optional[threading.Event] = None,
 ) -> int:
     """Serve ``artifact`` until SIGINT/SIGTERM; returns the process exit code.
 
     Prints one machine-readable JSON line (``{"event": "serving", ...}``)
     once the pool is warm and the socket is bound — with ``--port 0`` this is
-    how callers learn the ephemeral port.
+    how callers learn the ephemeral port.  Lifecycle transitions (start,
+    worker death/respawn, stop) are emitted as structured events on stderr.
     """
+    configure_logging(fmt=log_format, force=True)
+    enable_events()
     pool = PoolPredictor(
         artifact,
         workers=workers,
@@ -107,6 +153,7 @@ def run_server(
         batch_size=batch_size,
         max_batch=max_batch,
         max_wait_ms=max_wait_ms,
+        restart_workers=restart_workers,
     )
     try:
         server = ThreadingHTTPServer((host, int(port)), _make_handler(pool))
@@ -141,6 +188,13 @@ def run_server(
         ),
         flush=True,
     )
+    log_event(
+        "serve.started",
+        url=f"http://{host}:{bound_port}",
+        workers=workers,
+        artifact=str(artifact),
+        restart_workers=restart_workers,
+    )
     if ready_event is not None:
         ready_event.set()
     try:
@@ -153,5 +207,6 @@ def run_server(
                 signal.signal(sig, handler)
             except ValueError:  # pragma: no cover
                 pass
+        log_event("serve.stopped", artifact=str(artifact))
         print(json.dumps({"event": "stopped"}), flush=True)
     return 0

@@ -13,6 +13,27 @@ Micro-batching semantics: coalescing groups *requests* into one IPC dispatch
 through ``EnsemblePredictor.predict_proba`` with its own rows and the
 configured ``batch_size``, so every answer is **bitwise identical** to what a
 single-process ``EnsemblePredictor`` would return for the same call.
+
+Self-healing: a supervisor thread health-checks the worker processes every
+``supervise_interval`` seconds.  A dead worker has its in-flight requests
+failed promptly, is evicted from dispatch, and — when ``restart_workers`` is
+on (the default) — is respawned from the artifact directory under a bounded
+exponential backoff (``restart_backoff`` doubling per consecutive failed
+attempt up to ``restart_backoff_max``).  :meth:`healthz` reports ``degraded``
+while capacity is reduced and returns to ``ok`` once the respawned worker has
+its predictor warm again; every transition is recorded as a structured event
+(``serve.worker_died`` / ``serve.worker_respawned`` / ``serve.worker_ready``)
+and counted in the ``repro_serve_*`` metrics.
+
+Crash-safe IPC layout: every worker owns a private request queue (parent
+writes, worker reads) and a private result queue (worker writes, parent
+reads), so each internal queue lock ever has exactly one process on each
+side.  A worker SIGKILLed while holding a lock — e.g. mid-``get`` on its
+request queue — therefore poisons only its *own* queues, and the supervisor
+replaces both with fresh ones at respawn; with a lock shared across workers
+(the naive single result queue) one crash could deadlock the whole pool.
+The collector multiplexes the per-worker result queues through
+``multiprocessing.connection.wait``.
 """
 
 from __future__ import annotations
@@ -28,15 +49,56 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 import multiprocessing as mp
+from multiprocessing.connection import wait as _mp_wait
 
 import numpy as np
 
 from repro.core.ensemble import COMBINATION_METHODS
+from repro.obs.events import log_event
+from repro.obs.metrics import get_registry
 from repro.utils.logging import get_logger
 
 logger = get_logger("parallel.serving")
 
-_STOP = ("__stop__", -1, None)  # collector-thread shutdown message
+# Serving telemetry (repro.obs).  Request counters/latency are observed in
+# the client-facing predict path (the parent process — exactly what the HTTP
+# front scrapes); dispatch histograms in the dispatcher thread; worker
+# lifecycle counters in the supervisor.
+_metrics = get_registry()
+_REQUESTS = _metrics.counter(
+    "repro_serve_requests_total", "Predict requests answered by the pool.", ("status",)
+)
+_REQUESTS_OK = _REQUESTS.labels("ok")
+_REQUESTS_ERROR = _REQUESTS.labels("error")
+_REQUEST_LATENCY = _metrics.histogram(
+    "repro_serve_request_latency_seconds",
+    "End-to-end predict latency (validation, dispatch, IPC, inference).",
+)
+_REQUEST_ROWS = _metrics.histogram(
+    "repro_serve_request_rows",
+    "Rows per predict request.",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048),
+)
+_DISPATCHES = _metrics.counter(
+    "repro_serve_dispatches_total", "Micro-batch dispatches handed to workers."
+)
+_DISPATCH_ROWS = _metrics.histogram(
+    "repro_serve_dispatch_rows",
+    "Coalesced rows per micro-batch dispatch.",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048),
+)
+_WORKERS_ALIVE = _metrics.gauge(
+    "repro_serve_workers_alive", "Pool workers currently loaded and serving."
+)
+_WORKERS_CONFIGURED = _metrics.gauge(
+    "repro_serve_workers", "Pool workers configured at start-up."
+)
+_WORKER_DEATHS = _metrics.counter(
+    "repro_serve_worker_deaths_total", "Pool worker processes found dead."
+)
+_WORKER_RESTARTS = _metrics.counter(
+    "repro_serve_worker_restarts_total", "Pool worker processes respawned."
+)
 
 
 def _serving_worker(
@@ -92,6 +154,21 @@ class PoolPredictor:
     ``EnsemblePredictor.load``).  Always ``close()`` the pool — or use it as a
     context manager — so worker processes and queues shut down promptly; an
     ``atexit`` hook covers forgotten pools.
+
+    Resilience parameters
+    ---------------------
+    restart_workers:
+        When true (default), dead workers are automatically respawned from
+        the artifact directory; when false the pool only evicts them (the
+        pre-supervisor behaviour).
+    restart_backoff / restart_backoff_max:
+        Initial and maximum delay before respawning, doubling per consecutive
+        failed attempt (a worker that reaches "ready" resets its backoff).
+    supervise_interval:
+        How often the supervisor thread health-checks the workers.
+    worker_wait:
+        How long a dispatch waits for *some* worker to become available
+        before failing its requests, when respawn is enabled.
     """
 
     def __init__(
@@ -105,6 +182,11 @@ class PoolPredictor:
         warm: bool = True,
         request_timeout: float = 300.0,
         startup_timeout: float = 180.0,
+        restart_workers: bool = True,
+        restart_backoff: float = 0.5,
+        restart_backoff_max: float = 30.0,
+        supervise_interval: float = 0.25,
+        worker_wait: float = 60.0,
     ):
         from repro.api.artifacts import read_manifest
 
@@ -119,14 +201,25 @@ class PoolPredictor:
             raise ValueError("max_batch must be positive")
         if max_wait_ms < 0:
             raise ValueError("max_wait_ms must be non-negative")
+        if restart_backoff <= 0 or restart_backoff_max < restart_backoff:
+            raise ValueError("need 0 < restart_backoff <= restart_backoff_max")
+        if supervise_interval <= 0:
+            raise ValueError("supervise_interval must be positive")
 
         manifest = read_manifest(path)
         self.path = Path(path)
         self.method = method
         self.workers = int(workers)
+        self.batch_size = int(batch_size)
+        self.warm = bool(warm)
         self.max_batch = int(max_batch)
         self.max_wait_ms = float(max_wait_ms)
         self.request_timeout = float(request_timeout)
+        self.restart_workers = bool(restart_workers)
+        self.restart_backoff = float(restart_backoff)
+        self.restart_backoff_max = float(restart_backoff_max)
+        self.supervise_interval = float(supervise_interval)
+        self.worker_wait = float(worker_wait)
         self.input_shape = tuple(int(d) for d in manifest["input_shape"])
         self.num_classes = int(manifest["num_classes"])
         self.num_members = len(manifest["members"])
@@ -138,10 +231,10 @@ class PoolPredictor:
                 "method='average'/'vote'"
             )
 
-        ctx = mp.get_context("spawn")
-        self._result_queue = ctx.Queue()
+        self._ctx = mp.get_context("spawn")
         self._request_queues = []
-        self._processes = []
+        self._result_queues = []
+        self._processes: List[mp.Process] = []
         self._closed = False
         self._lock = threading.Lock()
         self._futures: Dict[int, Future] = {}
@@ -149,54 +242,57 @@ class PoolPredictor:
         # a worker death fails exactly its in-flight futures (promptly,
         # instead of letting clients run into the full request timeout).
         self._inflight: Dict[int, int] = {}
-        self._dead_workers: set = set()
+        # Worker lifecycle state.  _ready holds the ids whose predictor is
+        # loaded (guarded by _lock, written by the collector/supervisor);
+        # _down maps a dead worker to the monotonic time its respawn is due
+        # (None = respawn disabled) and _attempts counts consecutive failed
+        # starts since the worker last reached "ready" (drives the backoff).
+        # Both are touched only by the supervisor thread (and close()).
+        self._ready: set = set()
+        self._down: Dict[int, Optional[float]] = {}
+        self._attempts: Dict[int, int] = {i: 0 for i in range(self.workers)}
+        self._restarts_total = 0
         self._request_ids = itertools.count()
         for worker_id in range(self.workers):
-            request_queue = ctx.Queue()
-            process = ctx.Process(
-                target=_serving_worker,
-                args=(
-                    worker_id,
-                    str(path),
-                    method,
-                    int(batch_size),
-                    bool(warm),
-                    request_queue,
-                    self._result_queue,
-                ),
-                daemon=True,
-                name=f"repro-serve-{worker_id}",
-            )
-            process.start()
-            self._request_queues.append(request_queue)
-            self._processes.append(process)
+            self._request_queues.append(self._ctx.Queue())
+            self._result_queues.append(self._ctx.Queue())
+            self._processes.append(self._spawn_worker(worker_id))
+        _WORKERS_CONFIGURED.set(self.workers)
 
         # Wait until every worker has its predictor loaded (warm pool).
-        ready = 0
         deadline = time.monotonic() + float(startup_timeout)
         try:
-            while ready < self.workers:
+            while len(self._ready) < self.workers:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     raise RuntimeError("serving workers failed to start in time")
-                kind, worker_id, info = self._result_queue.get(timeout=remaining)
-                if kind == "ready":
-                    ready += 1
-                elif kind == "fatal":
-                    raise RuntimeError(f"serving worker {worker_id} failed to load: {info}")
+                for kind, worker_id, info in self._poll_results(timeout=remaining):
+                    if kind == "ready":
+                        self._ready.add(worker_id)
+                    elif kind == "fatal":
+                        raise RuntimeError(
+                            f"serving worker {worker_id} failed to load: {info}"
+                        )
         except BaseException:
             self._shutdown_processes()
             raise
+        _WORKERS_ALIVE.set(len(self._ready))
 
         self._pending: "thread_queue.Queue" = thread_queue.Queue()
+        self._stop_supervisor = threading.Event()
+        self._stop_collector = threading.Event()
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True
         )
         self._collector = threading.Thread(
             target=self._collect_loop, name="repro-serve-collect", daemon=True
         )
+        self._supervisor = threading.Thread(
+            target=self._supervise_loop, name="repro-serve-supervise", daemon=True
+        )
         self._dispatcher.start()
         self._collector.start()
+        self._supervisor.start()
         atexit.register(self.close)
         logger.info(
             "serving %s ensemble (%d members) from %s with %d workers",
@@ -211,6 +307,53 @@ class PoolPredictor:
     def load(cls, path: Union[str, Path], **kwargs) -> "PoolPredictor":
         """Mirror of ``EnsemblePredictor.load`` for the pooled server."""
         return cls(path, **kwargs)
+
+    def _spawn_worker(self, worker_id: int) -> mp.Process:
+        """Start the worker process for ``worker_id`` on that worker's
+        *current* private queues (respawns install fresh ones first — see
+        :meth:`_respawn_worker`)."""
+        process = self._ctx.Process(
+            target=_serving_worker,
+            args=(
+                worker_id,
+                str(self.path),
+                self.method,
+                self.batch_size,
+                self.warm,
+                self._request_queues[worker_id],
+                self._result_queues[worker_id],
+            ),
+            daemon=True,
+            name=f"repro-serve-{worker_id}",
+        )
+        process.start()
+        return process
+
+    def _poll_results(self, timeout: float) -> List[tuple]:
+        """Drain whatever messages the per-worker result queues hold.
+
+        Multiplexes over every queue's reader pipe with
+        ``multiprocessing.connection.wait``; returns (possibly empty) list of
+        ``(kind, worker_id, payload)`` messages.  Queues swapped out by a
+        concurrent respawn surface as closed readers and are skipped — the
+        next call picks up their replacements.
+        """
+        snapshot = {queue._reader: queue for queue in list(self._result_queues)}
+        try:
+            readable = _mp_wait(list(snapshot), timeout=timeout)
+        except OSError:  # pragma: no cover - reader closed mid-wait (respawn)
+            return []
+        messages: List[tuple] = []
+        for reader in readable:
+            queue = snapshot[reader]
+            while True:
+                try:
+                    messages.append(queue.get_nowait())
+                except thread_queue.Empty:
+                    break
+                except (OSError, ValueError, EOFError):  # pragma: no cover
+                    break  # queue closed/poisoned; successor takes over
+        return messages
 
     # ------------------------------------------------------- internal loops
     def _dispatch_loop(self) -> None:
@@ -245,62 +388,145 @@ class PoolPredictor:
             with self._lock:
                 for request in group:
                     self._inflight[request.request_id] = worker_id
+            if _metrics.enabled:
+                _DISPATCHES.inc()
+                _DISPATCH_ROWS.observe(rows)
             self._request_queues[worker_id].put(payload)
 
+    def _is_serving(self, worker_id: int) -> bool:
+        with self._lock:
+            if worker_id not in self._ready:
+                return False
+        return self._processes[worker_id].is_alive()
+
     def _pick_worker(self, rr, group: List[_Request]) -> Optional[int]:
-        """Round-robin over live workers; fail the group if none are left."""
-        for _ in range(self.workers):
-            worker_id = next(rr)
-            if self._processes[worker_id].is_alive():
-                return worker_id
+        """Round-robin over ready workers; with respawn enabled, wait up to
+        ``worker_wait`` for capacity to come back before failing the group."""
+        deadline = time.monotonic() + self.worker_wait
+        while True:
+            for _ in range(self.workers):
+                worker_id = next(rr)
+                if self._is_serving(worker_id):
+                    return worker_id
+            if self._closed or not self.restart_workers or time.monotonic() >= deadline:
+                break
+            time.sleep(0.05)
         error = RuntimeError("no serving workers alive")
         for request in group:
             self._resolve(request.request_id, exception=error)
         return None
 
     def _collect_loop(self) -> None:
-        while True:
-            try:
-                kind, worker_id, payload = self._result_queue.get(timeout=0.5)
-            except thread_queue.Empty:
-                # No replies: a quiet moment to notice workers that died with
-                # requests in flight (a crashed process sends no message).
-                self._reap_dead_workers()
-                continue
-            if kind == "__stop__":
-                break
-            if kind == "result":
-                for request_id, proba, error in payload:
-                    if error is not None:
-                        self._resolve(request_id, exception=RuntimeError(error))
-                    else:
-                        self._resolve(request_id, result=proba)
-            elif kind == "fatal":  # pragma: no cover - late worker death
-                logger.error("serving worker %d died: %s", worker_id, payload)
+        while not self._stop_collector.is_set():
+            for kind, worker_id, payload in self._poll_results(timeout=0.2):
+                if kind == "result":
+                    for request_id, proba, error in payload:
+                        if error is not None:
+                            self._resolve(request_id, exception=RuntimeError(error))
+                        else:
+                            self._resolve(request_id, result=proba)
+                elif kind == "ready":
+                    # A respawned worker finished loading its predictor.
+                    with self._lock:
+                        self._ready.add(worker_id)
+                        self._attempts[worker_id] = 0
+                    _WORKERS_ALIVE.set(self.alive_workers())
+                    log_event("serve.worker_ready", worker=worker_id)
+                    logger.info("serving worker %d is ready", worker_id)
+                elif kind == "fatal":
+                    # The worker failed to load and exited; the supervisor
+                    # will notice the dead process and schedule the next
+                    # attempt.
+                    logger.error(
+                        "serving worker %d failed to load: %s", worker_id, payload
+                    )
+                    log_event(
+                        "serve.worker_load_failed", worker=worker_id, error=str(payload)
+                    )
 
-    def _reap_dead_workers(self) -> None:
-        """Fail the in-flight futures of any worker process that has died."""
-        if self._closed:
-            return
+    # ------------------------------------------------------------ supervisor
+    def _supervise_loop(self) -> None:
+        while not self._stop_supervisor.wait(self.supervise_interval):
+            try:
+                self._check_workers()
+            except Exception:  # pragma: no cover - supervisor must survive
+                logger.exception("pool supervisor check failed")
+
+    def _check_workers(self) -> None:
+        now = time.monotonic()
         for worker_id, process in enumerate(self._processes):
-            if worker_id in self._dead_workers or process.is_alive():
+            if process.is_alive():
                 continue
-            self._dead_workers.add(worker_id)
-            with self._lock:
-                orphaned = [
-                    request_id
-                    for request_id, owner in self._inflight.items()
-                    if owner == worker_id
-                ]
-            logger.error(
-                "serving worker %d died (exit code %s); failing %d in-flight requests",
-                worker_id,
-                process.exitcode,
-                len(orphaned),
-            )
-            error = RuntimeError(f"serving worker {worker_id} died")
-            for request_id in orphaned:
-                self._resolve(request_id, exception=error)
+            if worker_id not in self._down:
+                self._on_worker_death(worker_id, process)
+            else:
+                restart_at = self._down[worker_id]
+                if (
+                    restart_at is None
+                    or self._closed
+                    or not self.restart_workers
+                    or now < restart_at
+                ):
+                    continue
+                self._respawn_worker(worker_id)
+        _WORKERS_ALIVE.set(self.alive_workers())
+
+    def _on_worker_death(self, worker_id: int, process: mp.Process) -> None:
+        """Evict a dead worker: fail its in-flight requests, schedule respawn."""
+        with self._lock:
+            self._ready.discard(worker_id)
+            attempts = self._attempts[worker_id]
+            self._attempts[worker_id] = attempts + 1
+            orphaned = [
+                request_id
+                for request_id, owner in self._inflight.items()
+                if owner == worker_id
+            ]
+        backoff = min(self.restart_backoff * (2 ** attempts), self.restart_backoff_max)
+        restart = self.restart_workers and not self._closed
+        self._down[worker_id] = (time.monotonic() + backoff) if restart else None
+        _WORKER_DEATHS.inc()
+        logger.error(
+            "serving worker %d died (exit code %s); failing %d in-flight requests%s",
+            worker_id,
+            process.exitcode,
+            len(orphaned),
+            f", respawning in {backoff:.1f}s" if restart else "",
+        )
+        log_event(
+            "serve.worker_died",
+            worker=worker_id,
+            exitcode=process.exitcode,
+            inflight_failed=len(orphaned),
+            restart_in_seconds=backoff if restart else None,
+        )
+        error = RuntimeError(f"serving worker {worker_id} died")
+        for request_id in orphaned:
+            self._resolve(request_id, exception=error)
+
+    def _respawn_worker(self, worker_id: int) -> None:
+        # A SIGKILL can land while the worker holds one of its queue locks
+        # (it spends its life blocked in request_queue.get(), and replies
+        # under the result queue's write lock), leaving that lock acquired
+        # forever.  The successor therefore gets *fresh* queues rather than
+        # inheriting potentially poisoned ones; undelivered payloads on the
+        # old queues belong to futures that were already failed at death.
+        old_queues = (self._request_queues[worker_id], self._result_queues[worker_id])
+        self._request_queues[worker_id] = self._ctx.Queue()
+        self._result_queues[worker_id] = self._ctx.Queue()
+        self._processes[worker_id] = self._spawn_worker(worker_id)
+        for old_queue in old_queues:
+            try:
+                old_queue.close()
+            except Exception:  # pragma: no cover - feeder already gone
+                pass
+        del self._down[worker_id]
+        self._restarts_total += 1
+        _WORKER_RESTARTS.inc()
+        with self._lock:
+            attempt = self._attempts[worker_id]
+        logger.info("respawned serving worker %d (attempt %d)", worker_id, attempt)
+        log_event("serve.worker_respawned", worker=worker_id, attempt=attempt)
 
     def _resolve(self, request_id: int, result=None, exception=None) -> None:
         with self._lock:
@@ -339,17 +565,27 @@ class PoolPredictor:
         Bitwise identical to ``EnsemblePredictor.predict_proba`` on the same
         input.  Safe to call from many threads at once.
         """
-        if self._closed:
-            raise RuntimeError("PoolPredictor is closed")
-        from repro.api.predictor import validate_batch
+        start = time.perf_counter()
+        try:
+            if self._closed:
+                raise RuntimeError("PoolPredictor is closed")
+            from repro.api.predictor import validate_batch
 
-        x = validate_batch(x, self.input_shape)
-        resolved = self._resolve_method(method)
-        request = _Request(next(self._request_ids), x, resolved)
-        with self._lock:
-            self._futures[request.request_id] = request.future
-        self._pending.put(request)
-        return request.future.result(timeout=timeout or self.request_timeout)
+            x = validate_batch(x, self.input_shape)
+            resolved = self._resolve_method(method)
+            request = _Request(next(self._request_ids), x, resolved)
+            with self._lock:
+                self._futures[request.request_id] = request.future
+            self._pending.put(request)
+            result = request.future.result(timeout=timeout or self.request_timeout)
+        except BaseException:
+            _REQUESTS_ERROR.inc()
+            raise
+        if _metrics.enabled:
+            _REQUESTS_OK.inc()
+            _REQUEST_ROWS.observe(x.shape[0])
+            _REQUEST_LATENCY.observe(time.perf_counter() - start)
+        return result
 
     def predict(
         self,
@@ -361,13 +597,44 @@ class PoolPredictor:
         return self.predict_proba(x, method=method, timeout=timeout).argmax(axis=1)
 
     # ------------------------------------------------------------ lifecycle
+    def alive_workers(self) -> int:
+        """Workers that are loaded *and* whose process is alive right now."""
+        with self._lock:
+            ready = list(self._ready)
+        return sum(1 for worker_id in ready if self._processes[worker_id].is_alive())
+
+    def healthz(self) -> Dict[str, Any]:
+        """Health summary for the ``/healthz`` endpoint.
+
+        ``status`` is ``ok`` at full capacity, ``degraded`` while some (but
+        not all) workers are down — e.g. during the death-to-respawn-to-warm
+        gap — and ``down`` when no worker can answer.
+        """
+        alive = self.alive_workers()
+        if alive == self.workers:
+            status = "ok"
+        elif alive > 0:
+            status = "degraded"
+        else:
+            status = "down"
+        return {
+            "status": status,
+            "alive_workers": alive,
+            "workers": self.workers,
+            "restarts": self._restarts_total,
+            "restart_workers": self.restart_workers,
+        }
+
     def info(self) -> Dict[str, Any]:
         """JSON-friendly description of the pool (CLI ``serve`` /info)."""
         return {
             "artifact": str(self.path),
             "approach": self.approach,
             "workers": self.workers,
-            "alive_workers": sum(1 for p in self._processes if p.is_alive()),
+            "alive_workers": self.alive_workers(),
+            "worker_pids": [process.pid for process in self._processes],
+            "restarts": self._restarts_total,
+            "restart_workers": self.restart_workers,
             "num_members": self.num_members,
             "num_classes": self.num_classes,
             "input_shape": list(self.input_shape),
@@ -394,20 +661,24 @@ class PoolPredictor:
             request_queue.join_thread()
 
     def close(self) -> None:
-        """Stop the dispatcher, drain the workers, fail pending requests.
+        """Stop the supervisor and dispatcher, drain the workers, fail
+        pending requests.
 
         Idempotent; after it returns no child process of the pool is alive.
         """
         if self._closed:
             return
         self._closed = True
+        self._stop_supervisor.set()
+        self._supervisor.join(timeout=10)
         self._pending.put(None)
         self._dispatcher.join(timeout=10)
         self._shutdown_processes()
-        self._result_queue.put(_STOP)
+        self._stop_collector.set()
         self._collector.join(timeout=10)
-        self._result_queue.close()
-        self._result_queue.join_thread()
+        for result_queue in self._result_queues:
+            result_queue.close()
+            result_queue.join_thread()
         with self._lock:
             leftovers = list(self._futures.values())
             self._futures.clear()
@@ -419,6 +690,7 @@ class PoolPredictor:
             atexit.unregister(self.close)
         except Exception:  # pragma: no cover
             pass
+        log_event("serve.pool_closed", artifact=str(self.path))
         logger.info("serving pool for %s shut down", self.path)
 
     def __enter__(self) -> "PoolPredictor":

@@ -1,36 +1,29 @@
-"""Lightweight logging configuration shared across the library."""
+"""Logger access for the library (configuration lives in ``repro.obs.events``).
+
+Historically this module carried its own ad-hoc root-logger setup; the
+observability subsystem replaced that with a single shared configuration
+(:func:`repro.obs.events.configure_logging`) that supports both the classic
+text format and structured JSON event lines.  ``get_logger`` keeps its
+long-standing contract: loggers are namespaced under ``repro`` and the
+library-wide verbosity is controlled by ``REPRO_LOG_LEVEL`` (default
+``WARNING``); the output format additionally honours ``REPRO_LOG_FORMAT``
+(``text`` | ``json``).
+"""
 
 from __future__ import annotations
 
 import logging
-import os
 
-_FORMAT = "%(asctime)s %(levelname)s %(name)s: %(message)s"
-_CONFIGURED = False
-
-
-def _configure_root() -> None:
-    global _CONFIGURED
-    if _CONFIGURED:
-        return
-    level_name = os.environ.get("REPRO_LOG_LEVEL", "WARNING").upper()
-    level = getattr(logging, level_name, logging.WARNING)
-    handler = logging.StreamHandler()
-    handler.setFormatter(logging.Formatter(_FORMAT))
-    root = logging.getLogger("repro")
-    root.setLevel(level)
-    if not root.handlers:
-        root.addHandler(handler)
-    _CONFIGURED = True
+from repro.obs.events import configure_logging
 
 
 def get_logger(name: str) -> logging.Logger:
     """Return a logger namespaced under ``repro``.
 
-    The verbosity of the whole library is controlled by the
-    ``REPRO_LOG_LEVEL`` environment variable (default ``WARNING``).
+    Ensures the shared root handler is installed (idempotent), then hands out
+    the named child logger.
     """
-    _configure_root()
+    configure_logging()
     if not name.startswith("repro"):
         name = f"repro.{name}"
     return logging.getLogger(name)

@@ -70,6 +70,33 @@ def test_inspect_reports_manifest_summary(cli_workspace, capsys):
     assert info["super_learner"] is True
 
 
+def test_inspect_surfaces_makespans_and_member_histories(cli_workspace, capsys):
+    """`repro inspect` must report what the v2 artifact persists: the cost
+    ledger's phase makespans/totals and a per-member training-history
+    summary (epochs, final loss/accuracy, mean epoch seconds)."""
+    _, _, artifact, _ = cli_workspace
+    code = main(["inspect", "--artifact", str(artifact)])
+    assert code == 0
+    info = json.loads(capsys.readouterr().out)
+
+    training = info["training"]
+    assert training["total_seconds"] > 0
+    assert training["makespan_seconds"] > 0
+    assert training["total_epochs"] > 0
+    assert set(training["seconds_by_phase"]) == {"mothernet", "member"}
+    assert isinstance(training["phase_makespans"], dict)  # {} for serial runs
+
+    members = info["members"]
+    assert len(members) == info["num_members"]
+    for member in members:
+        assert member["epochs"] > 0
+        assert member["training_seconds"] >= 0
+        assert isinstance(member["final_train_loss"], float)
+        assert isinstance(member["final_train_accuracy"], float)
+        assert member["mean_epoch_seconds"] > 0
+        assert "converged" in member
+
+
 def test_cli_reports_errors_without_traceback(cli_workspace, tmp_path, capsys):
     _, _, artifact, inputs = cli_workspace
     # Unknown combination method.

@@ -1,0 +1,119 @@
+"""Structured event logging: JSON line format, text fallback, configuration
+idempotence, and the get_logger delegation from repro.utils.logging."""
+
+import io
+import json
+import logging
+
+import pytest
+
+import repro.obs.events as events
+from repro.obs.events import (
+    EVENTS_LOGGER_NAME,
+    JsonLineFormatter,
+    TextEventFormatter,
+    configure_logging,
+    enable_events,
+    log_event,
+)
+
+
+@pytest.fixture()
+def capture():
+    """Route the repro root handler into a buffer for the duration of a test,
+    then restore the unconfigured state."""
+    stream = io.StringIO()
+    configure_logging(fmt="json", stream=stream, force=True)
+    enable_events()
+    yield stream
+    events._configured_fmt = None
+    logging.getLogger(EVENTS_LOGGER_NAME).setLevel(logging.NOTSET)
+    configure_logging(force=True)
+
+
+def _lines(stream):
+    return [line for line in stream.getvalue().splitlines() if line]
+
+
+def test_log_event_emits_one_json_object_per_line(capture):
+    log_event("serve.worker_died", worker=0, exitcode=-9)
+    log_event("serve.worker_respawned", worker=0, attempt=1)
+    lines = _lines(capture)
+    assert len(lines) == 2
+    first = json.loads(lines[0])
+    assert first["event"] == "serve.worker_died"
+    assert first["worker"] == 0
+    assert first["exitcode"] == -9
+    assert first["level"] == "info"
+    assert first["logger"] == EVENTS_LOGGER_NAME
+    assert isinstance(first["ts"], float)
+    second = json.loads(lines[1])
+    assert second["event"] == "serve.worker_respawned"
+    assert second["attempt"] == 1
+
+
+def test_plain_logger_records_render_as_json_messages(capture):
+    logger = logging.getLogger("repro.test.module")
+    logger.warning("something %s", "happened")
+    payload = json.loads(_lines(capture)[0])
+    assert payload["message"] == "something happened"
+    assert payload["level"] == "warning"
+    assert "event" not in payload
+
+
+def test_non_jsonable_fields_are_stringified(capture):
+    log_event("test.event", path=object())
+    payload = json.loads(_lines(capture)[0])
+    assert isinstance(payload["path"], str)
+
+
+def test_events_below_logger_level_are_dropped(capture):
+    logging.getLogger(EVENTS_LOGGER_NAME).setLevel(logging.ERROR)
+    log_event("test.suppressed", a=1)
+    assert _lines(capture) == []
+    log_event("test.error", level=logging.ERROR, a=1)
+    assert json.loads(_lines(capture)[0])["event"] == "test.error"
+
+
+def test_text_formatter_renders_fields_as_key_value_pairs():
+    record = logging.LogRecord(
+        EVENTS_LOGGER_NAME, logging.INFO, __file__, 1, "my.event", (), None
+    )
+    record.repro_event = "my.event"
+    record.repro_fields = {"worker": 3, "status": "ok"}
+    rendered = TextEventFormatter().format(record)
+    assert "my.event" in rendered
+    assert "worker=3" in rendered
+    assert "status=ok" in rendered
+
+
+def test_json_formatter_includes_exceptions():
+    try:
+        raise RuntimeError("boom")
+    except RuntimeError:
+        import sys
+
+        record = logging.LogRecord(
+            "repro.x", logging.ERROR, __file__, 1, "failed", (), sys.exc_info()
+        )
+    payload = json.loads(JsonLineFormatter().format(record))
+    assert payload["message"] == "failed"
+    assert "RuntimeError: boom" in payload["exception"]
+
+
+def test_configure_logging_is_idempotent_without_force(capture):
+    root = logging.getLogger("repro")
+    handlers_before = list(root.handlers)
+    configure_logging(fmt="text")  # ignored: already configured
+    assert list(root.handlers) == handlers_before
+    log_event("still.json", x=1)
+    assert json.loads(_lines(capture)[0])["event"] == "still.json"
+
+
+def test_get_logger_delegates_and_namespaces():
+    from repro.utils.logging import get_logger
+
+    assert get_logger("nn.training").name == "repro.nn.training"
+    assert get_logger("repro.parallel").name == "repro.parallel"
+    # The shared root handler is installed exactly once.
+    assert len(logging.getLogger("repro").handlers) == 1

@@ -1,0 +1,83 @@
+"""Prometheus text exposition: format conformance, escaping, determinism."""
+
+import pytest
+
+from repro.obs.exposition import CONTENT_TYPE, render_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry(enabled=True)
+
+
+def test_counter_and_gauge_exposition(registry):
+    counter = registry.counter("reqs_total", "Requests served.", ("status",))
+    counter.labels("ok").inc(3)
+    counter.labels("error").inc()
+    registry.gauge("workers", "Alive workers.").set(2)
+    text = render_prometheus(registry)
+    lines = text.splitlines()
+    assert "# HELP reqs_total Requests served." in lines
+    assert "# TYPE reqs_total counter" in lines
+    assert 'reqs_total{status="ok"} 3' in lines
+    assert 'reqs_total{status="error"} 1' in lines
+    assert "# TYPE workers gauge" in lines
+    assert "workers 2" in lines
+    assert text.endswith("\n")
+
+
+def test_histogram_exposition_is_cumulative(registry):
+    hist = registry.histogram("lat_seconds", "Latency.", buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 5.0):
+        hist.observe(value)
+    lines = render_prometheus(registry).splitlines()
+    assert "# TYPE lat_seconds histogram" in lines
+    assert 'lat_seconds_bucket{le="0.1"} 1' in lines
+    assert 'lat_seconds_bucket{le="1"} 2' in lines
+    assert 'lat_seconds_bucket{le="+Inf"} 3' in lines
+    assert "lat_seconds_count 3" in lines
+    assert any(line.startswith("lat_seconds_sum ") for line in lines)
+
+
+def test_labelled_histogram_exposition(registry):
+    hist = registry.histogram("h_seconds", "H.", ("path",), buckets=(1.0,))
+    hist.labels("/predict").observe(0.5)
+    lines = render_prometheus(registry).splitlines()
+    assert 'h_seconds_bucket{path="/predict",le="1"} 1' in lines
+    assert 'h_seconds_bucket{path="/predict",le="+Inf"} 1' in lines
+    assert 'h_seconds_count{path="/predict"} 1' in lines
+
+
+def test_label_value_escaping(registry):
+    counter = registry.counter("esc_total", "Escapes.", ("msg",))
+    counter.labels('he said "hi"\nback\\slash').inc()
+    text = render_prometheus(registry)
+    assert r'msg="he said \"hi\"\nback\\slash"' in text
+
+
+def test_help_escaping_and_empty_registry(registry):
+    assert render_prometheus(MetricsRegistry(enabled=True)) == ""
+    registry.counter("multi_total", "line one\nline two")
+    assert "# HELP multi_total line one\\nline two" in render_prometheus(registry)
+
+
+def test_output_is_deterministically_ordered(registry):
+    registry.counter("z_total", "z")
+    registry.counter("a_total", "a")
+    counter = registry.counter("m_total", "m", ("k",))
+    counter.labels("b").inc()
+    counter.labels("a").inc()
+    first = render_prometheus(registry)
+    second = render_prometheus(registry)
+    assert first == second
+    a_index = first.index("a_total")
+    m_index = first.index("m_total")
+    z_index = first.index("z_total")
+    assert a_index < m_index < z_index
+    assert first.index('m_total{k="a"}') < first.index('m_total{k="b"}')
+
+
+def test_content_type_is_prometheus_text():
+    assert CONTENT_TYPE.startswith("text/plain")
+    assert "version=0.0.4" in CONTENT_TYPE

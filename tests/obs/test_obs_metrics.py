@@ -1,0 +1,193 @@
+"""Metrics core: counter/gauge/histogram semantics, labels, registry
+behaviour (get-or-create, enable/disable, reset), and thread safety."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry(enabled=True)
+
+
+def test_counter_increments_and_rejects_decrease(registry):
+    counter = registry.counter("test_total", "help")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_set_inc_dec(registry):
+    gauge = registry.gauge("test_gauge", "help")
+    gauge.set(10)
+    gauge.inc(2)
+    gauge.dec(0.5)
+    assert gauge.value == 11.5
+
+
+def test_histogram_buckets_sum_count(registry):
+    hist = registry.histogram("test_seconds", "help", buckets=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 5.0, 50.0):
+        hist.observe(value)
+    assert hist.count == 4
+    assert hist.sum == pytest.approx(55.55)
+    counts, total = hist._read()
+    assert counts == [1, 1, 1, 1]  # one per bucket incl. +Inf
+    assert total == pytest.approx(55.55)
+
+
+def test_histogram_timer_context_manager(registry):
+    hist = registry.histogram("timed_seconds", "help")
+    with hist.time():
+        pass
+    assert hist.count == 1
+    assert hist.sum >= 0.0
+
+
+def test_histogram_rejects_bad_buckets(registry):
+    with pytest.raises(ValueError):
+        registry.histogram("bad1_seconds", "help", buckets=())
+    with pytest.raises(ValueError):
+        registry.histogram("bad2_seconds", "help", buckets=(1.0, 0.5))
+    with pytest.raises(ValueError):
+        registry.histogram("bad3_seconds", "help", buckets=(1.0, 1.0))
+
+
+def test_default_latency_buckets_are_sorted():
+    assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+    assert DEFAULT_LATENCY_BUCKETS[0] <= 0.001  # sub-ms dispatch overhead visible
+
+
+def test_labelled_children_are_independent(registry):
+    counter = registry.counter("lbl_total", "help", ("status",))
+    counter.labels("ok").inc()
+    counter.labels("ok").inc()
+    counter.labels(status="error").inc()
+    assert counter.labels("ok").value == 2
+    assert counter.labels("error").value == 1
+    samples = dict(counter.samples())
+    assert samples[("ok",)] == 2
+    assert samples[("error",)] == 1
+
+
+def test_label_misuse_raises(registry):
+    counter = registry.counter("misuse_total", "help", ("a", "b"))
+    with pytest.raises(ValueError):
+        counter.inc()  # labelled metric used without labels
+    with pytest.raises(ValueError):
+        counter.labels("only-one")
+    with pytest.raises(ValueError):
+        counter.labels(a="x", wrong="y")
+    unlabelled = registry.counter("plain_total", "help")
+    with pytest.raises(ValueError):
+        unlabelled.labels("x")
+
+
+def test_invalid_names_rejected(registry):
+    with pytest.raises(ValueError):
+        registry.counter("0bad", "help")
+    with pytest.raises(ValueError):
+        registry.counter("ok_total", "help", ("bad-label",))
+
+
+def test_registry_get_or_create_is_idempotent(registry):
+    first = registry.counter("idem_total", "help")
+    again = registry.counter("idem_total", "other help ignored")
+    assert first is again
+    with pytest.raises(ValueError):
+        registry.gauge("idem_total", "help")  # type conflict
+    with pytest.raises(ValueError):
+        registry.counter("idem_total", "help", ("label",))  # label conflict
+    hist = registry.histogram("idem_seconds", "help", buckets=(1.0, 2.0))
+    assert registry.histogram("idem_seconds", "help", buckets=(1.0, 2.0)) is hist
+    with pytest.raises(ValueError):
+        registry.histogram("idem_seconds", "help", buckets=(1.0, 3.0))
+
+
+def test_disabled_registry_mutators_are_noops():
+    registry = MetricsRegistry(enabled=False)
+    counter = registry.counter("off_total", "help")
+    gauge = registry.gauge("off_gauge", "help")
+    hist = registry.histogram("off_seconds", "help")
+    counter.inc()
+    gauge.set(5)
+    hist.observe(1.0)
+    assert counter.value == 0
+    assert gauge.value == 0
+    assert hist.count == 0
+    registry.enable()
+    counter.inc()
+    assert counter.value == 1
+
+
+def test_registry_reset_zeroes_values_keeps_registrations(registry):
+    counter = registry.counter("reset_total", "help", ("x",))
+    counter.labels("a").inc(5)
+    hist = registry.histogram("reset_seconds", "help")
+    hist.observe(0.1)
+    registry.reset()
+    assert counter.labels("a").value == 0
+    assert hist.count == 0
+    assert "reset_total" in registry
+
+
+def test_counter_thread_safety(registry):
+    counter = registry.counter("race_total", "help")
+    hist = registry.histogram("race_seconds", "help", buckets=(0.5,))
+
+    def work():
+        for _ in range(1000):
+            counter.inc()
+            hist.observe(0.1)
+
+    threads = [threading.Thread(target=work) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert counter.value == 8000
+    assert hist.count == 8000
+
+
+def test_process_wide_registry_is_shared():
+    assert get_registry() is get_registry()
+    assert isinstance(get_registry(), MetricsRegistry)
+
+
+def test_library_instrumentation_registers_core_series():
+    """Importing the instrumented modules must register the documented
+    metric names on the process-wide registry."""
+    import repro.core.trainer  # noqa: F401
+    import repro.nn.training  # noqa: F401
+    import repro.parallel.executor  # noqa: F401
+    import repro.parallel.server  # noqa: F401
+    import repro.parallel.serving  # noqa: F401
+
+    registry = get_registry()
+    for name in (
+        "repro_training_epochs_total",
+        "repro_training_epoch_loss",
+        "repro_ensemble_networks_trained_total",
+        "repro_parallel_tasks_total",
+        "repro_serve_requests_total",
+        "repro_serve_request_latency_seconds",
+        "repro_serve_workers_alive",
+        "repro_serve_worker_restarts_total",
+        "repro_http_requests_total",
+    ):
+        assert name in registry, name
+    assert isinstance(registry.get("repro_serve_request_latency_seconds"), Histogram)
+    assert isinstance(registry.get("repro_serve_workers_alive"), Gauge)
+    assert isinstance(registry.get("repro_training_epochs_total"), Counter)

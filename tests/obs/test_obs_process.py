@@ -1,0 +1,22 @@
+"""Process-level gauges: populated on demand, skipped when disabled."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.process import update_process_metrics
+
+
+def test_update_populates_process_gauges():
+    registry = MetricsRegistry(enabled=True)
+    update_process_metrics(registry)
+    cpu = registry.get("repro_process_cpu_seconds_total")
+    assert cpu is not None and cpu.value >= 0.0
+    uptime = registry.get("repro_process_uptime_seconds")
+    assert uptime is not None and uptime.value >= 0.0
+    rss = registry.get("repro_process_resident_memory_bytes")
+    if rss is not None:  # Linux /proc (or getrusage fallback) available
+        assert rss.value > 1024 * 1024  # a Python process is at least a MiB
+
+
+def test_update_is_a_noop_when_disabled():
+    registry = MetricsRegistry(enabled=False)
+    update_process_metrics(registry)
+    assert registry.get("repro_process_cpu_seconds_total") is None

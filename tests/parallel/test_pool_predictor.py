@@ -78,13 +78,23 @@ def test_pool_rejects_bad_construction(saved_artifact):
         PoolPredictor(saved_artifact, method="nope")
 
 
-def test_dead_worker_fails_inflight_requests_promptly(saved_artifact, serial_result):
-    """Killing a worker with a dispatched request must fail that request's
-    future quickly (worker-death reaping), not stall until request_timeout."""
+def test_dead_worker_fails_requests_promptly_without_respawn(
+    saved_artifact, serial_result
+):
+    """With the supervisor's respawn disabled, killing the only worker must
+    fail subsequent requests quickly (health-based eviction), not stall until
+    request_timeout — the pre-supervisor contract, still available via
+    ``restart_workers=False``.  (Respawn behaviour is covered in
+    test_supervisor.py.)"""
     import time
 
     predictor = PoolPredictor(
-        saved_artifact, workers=1, max_wait_ms=0.0, request_timeout=60.0
+        saved_artifact,
+        workers=1,
+        max_wait_ms=0.0,
+        request_timeout=60.0,
+        restart_workers=False,
+        supervise_interval=0.05,
     )
     try:
         x = serial_result.dataset.x_test[:4]
@@ -94,6 +104,13 @@ def test_dead_worker_fails_inflight_requests_promptly(saved_artifact, serial_res
         with pytest.raises(RuntimeError, match="died|alive"):
             predictor.predict_proba(x)
         assert time.monotonic() - start < 30.0
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline and predictor.healthz()["status"] != "down":
+            time.sleep(0.05)
+        health = predictor.healthz()
+        assert health["status"] == "down"
+        assert health["alive_workers"] == 0
+        assert health["restarts"] == 0
         with predictor._lock:
             assert predictor._inflight == {}
     finally:

@@ -104,6 +104,35 @@ def test_serve_round_trip_concurrent(server, saved_artifact, serial_result):
     assert labels["predictions"] == reference.predict(x[:10], method="vote").tolist()
 
 
+def test_serve_metrics_endpoint_exposes_prometheus_text(server):
+    """GET /metrics must be valid Prometheus text exposition with the core
+    serving series populated by the traffic the earlier tests generated."""
+    _, url = server
+    # Generate at least one request in case this test runs in isolation.
+    _post(url, {"inputs": [[0.0] * 12]})
+    request = urllib.request.Request(url + "/metrics")
+    with urllib.request.urlopen(request, timeout=30) as response:
+        assert response.status == 200
+        content_type = response.headers.get("Content-Type", "")
+        body = response.read().decode("utf-8")
+    assert content_type.startswith("text/plain")
+    assert "version=0.0.4" in content_type
+    lines = body.splitlines()
+    assert 'repro_serve_requests_total{status="ok"}' in body
+    assert "# TYPE repro_serve_request_latency_seconds histogram" in lines
+    assert 'repro_serve_request_latency_seconds_bucket{le="+Inf"}' in body
+    assert "repro_serve_request_latency_seconds_count" in body
+    assert "repro_serve_workers_alive 2" in lines
+    assert "# TYPE repro_serve_worker_restarts_total counter" in lines
+    assert "repro_http_requests_total" in body
+    assert "repro_process_cpu_seconds_total" in body
+    # Counters populated by real traffic, not just declared.
+    ok_line = next(
+        line for line in lines if line.startswith('repro_serve_requests_total{status="ok"}')
+    )
+    assert float(ok_line.rsplit(" ", 1)[1]) >= 1
+
+
 def test_serve_rejects_malformed_requests(server):
     _, url = server
     with pytest.raises(urllib.error.HTTPError) as excinfo:
@@ -112,6 +141,53 @@ def test_serve_rejects_malformed_requests(server):
     with pytest.raises(urllib.error.HTTPError) as excinfo:
         _post(url, {})
     assert excinfo.value.code == 400
+
+
+def test_serve_healthz_degrades_and_recovers_after_worker_sigkill(server):
+    """SIGKILL a pool worker through its advertised pid: /healthz must report
+    'degraded' during the gap and return to 'ok' once the supervisor's
+    respawned worker is warm; /metrics must count the restart.
+
+    Runs last against the shared server — recovery restores full capacity.
+    """
+    import time
+
+    _, url = server
+
+    def get(path):
+        with urllib.request.urlopen(url + path, timeout=30) as response:
+            return json.loads(response.read())
+
+    info = get("/info")
+    assert len(info["worker_pids"]) == 2
+    os.kill(info["worker_pids"][0], signal.SIGKILL)
+
+    def wait_status(value, timeout):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if get("/healthz")["status"] == value:
+                return True
+            time.sleep(0.05)
+        return get("/healthz")["status"] == value
+
+    assert wait_status("degraded", timeout=15.0)
+    assert wait_status("ok", timeout=90.0)
+    health = get("/healthz")
+    assert health["alive_workers"] == 2
+    assert health["restarts"] >= 1
+
+    with urllib.request.urlopen(url + "/metrics", timeout=30) as response:
+        body = response.read().decode("utf-8")
+    restarts = next(
+        line
+        for line in body.splitlines()
+        if line.startswith("repro_serve_worker_restarts_total ")
+    )
+    assert float(restarts.rsplit(" ", 1)[1]) >= 1
+
+    # The recovered pool still answers.
+    out = _post(url, {"inputs": [[0.0] * 12], "proba": True})
+    assert len(out["probabilities"]) == 1
 
 
 def test_serve_shuts_down_cleanly_on_sigterm(saved_artifact):

@@ -8,6 +8,8 @@ import subprocess
 import sys
 from pathlib import Path
 
+import pytest
+
 REPO_ROOT = Path(__file__).resolve().parents[1]
 HARNESS = REPO_ROOT / "benchmarks" / "micro" / "run_micro.py"
 
@@ -61,6 +63,19 @@ def test_checked_in_bench_results_meet_acceptance():
     payload = json.loads((REPO_ROOT / "benchmarks" / "micro" / "BENCH_micro.json").read_text())
     assert payload["benchmarks"]["vgg_step"]["speedup"] >= 2.0
     assert payload["benchmarks"]["ensemble_predict"]["speedup"] >= 2.0
+
+
+def test_checked_in_metrics_overhead_under_two_percent():
+    """The committed metrics_overhead benchmark must document that enabling
+    the repro.obs registry costs < 2% on a real VGG training run (the
+    observability subsystem's acceptance criterion)."""
+    payload = json.loads((REPO_ROOT / "benchmarks" / "micro" / "BENCH_micro.json").read_text())
+    entry = payload["benchmarks"]["metrics_overhead"]
+    assert entry["reference_seconds"] > 0 and entry["fast_seconds"] > 0
+    assert entry["overhead_fraction"] == pytest.approx(
+        entry["fast_seconds"] / entry["reference_seconds"] - 1.0
+    )
+    assert entry["overhead_fraction"] < 0.02
 
 
 def test_checked_in_parallel_training_speedup():
