@@ -49,6 +49,24 @@ def _build_parser() -> argparse.ArgumentParser:
     train.add_argument(
         "--no-eval", action="store_true", help="skip test-set evaluation after training"
     )
+    train.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted run from the checkpoint journal in --output "
+        "(finished members are restored bitwise, not retrained)",
+    )
+    train.add_argument(
+        "--log-file",
+        type=Path,
+        default=None,
+        help="also write JSON event logs to this file (size-rotated)",
+    )
+    train.add_argument(
+        "--metrics-file",
+        type=Path,
+        default=None,
+        help="write a Prometheus text dump of the run's metrics here on exit",
+    )
 
     predict = sub.add_parser("predict", help="serve predictions from a saved artifact")
     predict.add_argument("--artifact", required=True, type=Path, help="artifact directory")
@@ -101,6 +119,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default="json",
         help="stderr log format: structured JSON event lines (default) or text",
     )
+    serve.add_argument(
+        "--log-file",
+        type=Path,
+        default=None,
+        help="also write JSON event logs to this file (size-rotated)",
+    )
 
     inspect = sub.add_parser("inspect", help="summarise a saved artifact")
     inspect.add_argument("--artifact", required=True, type=Path, help="artifact directory")
@@ -115,28 +139,45 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
     # Surface experiment lifecycle events on stderr (JSON lines under
     # REPRO_LOG_FORMAT=json); stdout stays the machine-readable report.
-    configure_logging()
+    configure_logging(log_file=args.log_file)
     enable_events()
 
     # Fail on a taken output location *before* spending the training time.
     if (args.output / MANIFEST_NAME).exists():
         raise FileExistsError(f"an ensemble artifact already exists at {args.output}")
     spec = ExperimentSpec.from_file(args.config)
-    result = run_experiment(spec)
-    save_ensemble_run(result.run, args.output)
-    if args.dump_test_inputs is not None:
-        args.dump_test_inputs.parent.mkdir(parents=True, exist_ok=True)
-        np.save(args.dump_test_inputs, result.dataset.x_test)
+    try:
+        # The output directory doubles as the checkpoint journal: every
+        # finished member lands there as it completes, so an interrupted run
+        # continues with `--resume` instead of retraining from zero.
+        result = run_experiment(spec, checkpoint_dir=args.output, resume=args.resume)
+        save_ensemble_run(result.run, args.output)
+        if result.checkpoint is not None:
+            result.checkpoint.discard()  # the manifest is on disk; journal done
+        if args.dump_test_inputs is not None:
+            args.dump_test_inputs.parent.mkdir(parents=True, exist_ok=True)
+            np.save(args.dump_test_inputs, result.dataset.x_test)
 
-    report = result.summary()
-    report["artifact"] = str(args.output)
-    if not args.no_eval:
-        methods = ["average", "vote"]
-        if result.ensemble.super_learner_weights is not None:
-            methods.append("super_learner")
-        report["test_error_rate"] = result.evaluate(methods=methods)
-    print(json.dumps(report, indent=2, sort_keys=True))
-    return 0
+        report = result.summary()
+        report["artifact"] = str(args.output)
+        if not args.no_eval:
+            methods = ["average", "vote"]
+            if result.ensemble.super_learner_weights is not None:
+                methods.append("super_learner")
+            report["test_error_rate"] = result.evaluate(methods=methods)
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    finally:
+        if args.metrics_file is not None:
+            _dump_metrics(args.metrics_file)
+
+
+def _dump_metrics(path: Path) -> None:
+    """Write a Prometheus text dump of this process's metrics registry."""
+    from repro.obs.exposition import render_prometheus
+    from repro.utils.atomic import atomic_write_text
+
+    atomic_write_text(path, render_prometheus())
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
@@ -173,6 +214,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_wait_ms=args.max_wait_ms,
         restart_workers=not args.no_restart,
         log_format=args.log_format,
+        log_file=args.log_file,
     )
 
 

@@ -40,6 +40,7 @@ from repro.core.ensemble import Ensemble, EnsembleMember
 from repro.core.trainer import EnsembleTrainingRun
 from repro.nn.serialization import load_model, save_model
 from repro.nn.training import TrainingResult
+from repro.utils.atomic import atomic_write_text
 from repro.utils.logging import get_logger
 
 logger = get_logger("api.artifacts")
@@ -73,7 +74,7 @@ def save_ensemble_run(run: EnsembleTrainingRun, path: Union[str, Path]) -> Path:
         stem = f"{index:03d}-{_safe_filename(member.name)}"
         weights_file = save_model(member.model, member_dir / f"{stem}.npz")
         spec_file = member_dir / f"{stem}.spec.json"
-        spec_file.write_text(spec_to_json(member.model.spec) + "\n", encoding="utf-8")
+        atomic_write_text(spec_file, spec_to_json(member.model.spec) + "\n")
         members_meta.append(
             {
                 "name": member.name,
@@ -131,7 +132,11 @@ def save_ensemble_run(run: EnsembleTrainingRun, path: Union[str, Path]) -> Path:
             "seconds_by_compute_phase": run.ledger.seconds_by_compute_phase(),
         },
     }
-    manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    # The manifest is written last and atomically: its presence is the commit
+    # point of the whole artifact — a kill at any earlier instant leaves a
+    # directory load_ensemble_run refuses cleanly (no manifest) rather than
+    # one it misparses.
+    atomic_write_text(manifest_path, json.dumps(manifest, indent=2, sort_keys=True) + "\n")
     logger.info("saved %s ensemble (%d members) to %s", run.approach, len(members_meta), path)
     return path
 

@@ -11,9 +11,11 @@ from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from repro.api.spec import ExperimentSpec
+from repro.core.checkpoint import RunCheckpoint
 from repro.core.ensemble import Ensemble
 from repro.core.registry import create_trainer
 from repro.core.trainer import EnsembleTrainingRun, summarize_run
@@ -44,6 +46,9 @@ class ExperimentResult:
     spec: ExperimentSpec
     dataset: Dataset
     run: EnsembleTrainingRun
+    # The checkpoint journal the run trained against (None when the caller
+    # did not checkpoint).  Discard it once the final artifact is saved.
+    checkpoint: Optional[RunCheckpoint] = None
 
     @property
     def ensemble(self) -> Ensemble:
@@ -66,12 +71,23 @@ class ExperimentResult:
 def run_experiment(
     spec: Union[ExperimentSpec, Dict[str, Any]],
     dataset: Optional[Dataset] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Execute ``spec`` end to end and return the :class:`ExperimentResult`.
 
     ``spec`` may be an :class:`ExperimentSpec` or its plain-dict/JSON form.
     ``dataset`` overrides the spec's dataset description (useful for reusing
     an already-generated data set across approaches).
+
+    ``checkpoint_dir`` turns on crash-safe incremental checkpointing: every
+    finished network is journaled under ``<checkpoint_dir>/checkpoint`` as it
+    completes, and with ``resume=True`` an interrupted run continues from the
+    journal, restoring finished networks bitwise instead of retraining them
+    (all member training is fully seeded, so the completed ensemble is
+    identical to an uninterrupted run's).  The journal stays on disk for the
+    caller to :meth:`~repro.core.checkpoint.RunCheckpoint.discard` after the
+    final artifact is saved — ``repro train`` does exactly that.
     """
     if isinstance(spec, dict):
         spec = ExperimentSpec.from_dict(spec)
@@ -80,8 +96,15 @@ def run_experiment(
         dataset_name = dataset_kwargs.pop("name")
         dataset = load_dataset(dataset_name, **dataset_kwargs)
 
+    checkpoint: Optional[RunCheckpoint] = None
+    if checkpoint_dir is not None:
+        # The spec dictionary is the journal's fingerprint: resuming a
+        # different experiment into the same journal is refused.
+        checkpoint = RunCheckpoint.open(checkpoint_dir, spec.to_dict(), resume=resume)
+
     member_specs = spec.member_specs()
     trainer = create_trainer(spec.approach, config=spec.training, **spec.trainer)
+    trainer.checkpoint = checkpoint
     logger.info(
         "experiment %s: %s on %s (%d members)",
         spec.name,
@@ -120,4 +143,4 @@ def run_experiment(
         training_seconds=round(run.total_training_seconds, 6),
         makespan_seconds=round(run.makespan_seconds, 6),
     )
-    return ExperimentResult(spec=spec, dataset=dataset, run=run)
+    return ExperimentResult(spec=spec, dataset=dataset, run=run, checkpoint=checkpoint)

@@ -58,6 +58,8 @@ _CONFIG_FIELDS = (
     "shuffle",
     "loss",
     "workers",
+    "task_timeout",
+    "max_task_retries",
 )
 
 
@@ -228,7 +230,6 @@ class ExperimentSpec:
         return cls.from_json(Path(path).read_text(encoding="utf-8"))
 
     def save(self, path: Union[str, Path]) -> Path:
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_json() + "\n", encoding="utf-8")
-        return path
+        from repro.utils.atomic import atomic_write_text
+
+        return atomic_write_text(Path(path), self.to_json() + "\n")

@@ -61,6 +61,23 @@ class _ScratchTrainer(EnsembleTrainer):
         members: List[EnsembleMember] = []
         member_results: Dict[str, TrainingResult] = {}
 
+        # Per-member records, in spec order; members journaled by an
+        # interrupted checkpointed run come back flagged "restored" (reused
+        # bitwise, booked into the ledger, but not re-counted as trained).
+        entries: List[Optional[Dict[str, object]]] = [None] * len(specs)
+        for index in range(len(specs)):
+            restored = self._restored_member(index)
+            if restored is not None:
+                entries[index] = {
+                    "model": restored.model,
+                    "result": restored.result,
+                    "seconds": restored.seconds,
+                    "compute_phases": restored.compute_phases,
+                    "samples": restored.samples_per_epoch,
+                    "parameters": restored.parameters,
+                    "restored": True,
+                }
+
         workers = self._member_workers(self.config, len(specs))
         if workers > 1:
             phase_start = time.perf_counter()
@@ -70,46 +87,70 @@ class _ScratchTrainer(EnsembleTrainer):
             # interpreters and would otherwise fall back to the global
             # default even when this run opted into another dtype.
             dtype = str(resolve_dtype(None))
-            tasks = [
-                MemberTask(
-                    name=spec.name,
-                    spec_json=spec_to_json(spec),
-                    config=self.config,
-                    train_seed=rngs.seed("shuffle", index),
-                    dtype=dtype,
-                    init_seed=rngs.seed("init", index),
-                    bag_seed=rngs.seed("bag", index) if self.use_bagging else None,
-                    collect_phase_timings=self.collect_phase_timings,
-                )
-                for index, spec in enumerate(specs)
-            ]
-            outcomes, _ = self._run_parallel(
-                tasks, dataset.x_train, dataset.y_train, workers
-            )
-            for spec, outcome in zip(specs, outcomes):
-                member_results[spec.name] = outcome.result
-                ledger.add(
-                    network=spec.name,
-                    phase="scratch",
-                    epochs=outcome.result.epochs_run,
-                    wall_clock_seconds=outcome.seconds,
-                    parameters=outcome.parameters,
-                    samples_per_epoch=outcome.samples_per_epoch,
-                    compute_phases=outcome.compute_phases,
-                )
-                record_training_cost(self.approach, "scratch", outcome.seconds)
-                members.append(
-                    EnsembleMember(
+            tasks: List[MemberTask] = []
+            task_indices: List[int] = []
+            for index, spec in enumerate(specs):
+                if entries[index] is not None:
+                    continue
+                tasks.append(
+                    MemberTask(
                         name=spec.name,
-                        model=unpack_model_state(outcome.state),
-                        training_result=outcome.result,
-                        source="scratch",
-                        training_seconds=outcome.seconds,
+                        spec_json=spec_to_json(spec),
+                        config=self.config,
+                        train_seed=rngs.seed("shuffle", index),
+                        dtype=dtype,
+                        init_seed=rngs.seed("init", index),
+                        bag_seed=rngs.seed("bag", index) if self.use_bagging else None,
+                        collect_phase_timings=self.collect_phase_timings,
                     )
                 )
+                task_indices.append(index)
+            unpacked: Dict[int, Model] = {}
+
+            def on_member(task_index: int, outcome) -> None:
+                # Streaming journal hook: persist each member as its worker
+                # delivers it (a parent crash loses only in-flight fits).
+                index = task_indices[task_index]
+                model = unpack_model_state(outcome.state)
+                unpacked[task_index] = model
+                self._journal_member(
+                    index,
+                    name=specs[index].name,
+                    model=model,
+                    result=outcome.result,
+                    seconds=outcome.seconds,
+                    parameters=outcome.parameters,
+                    samples=outcome.samples_per_epoch,
+                    compute_phases=outcome.compute_phases,
+                )
+
+            outcomes = []
+            if tasks:
+                outcomes, _ = self._run_parallel(
+                    tasks,
+                    dataset.x_train,
+                    dataset.y_train,
+                    min(workers, len(tasks)),
+                    config=self.config,
+                    on_outcome=on_member,
+                )
+            for task_index, (index, outcome) in enumerate(zip(task_indices, outcomes)):
+                model = unpacked.get(task_index)
+                if model is None:  # pragma: no cover - callback always ran
+                    model = unpack_model_state(outcome.state)
+                entries[index] = {
+                    "model": model,
+                    "result": outcome.result,
+                    "seconds": outcome.seconds,
+                    "compute_phases": outcome.compute_phases,
+                    "samples": outcome.samples_per_epoch,
+                    "parameters": outcome.parameters,
+                }
             ledger.record_phase_makespan("scratch", time.perf_counter() - phase_start)
         else:
             for index, spec in enumerate(specs):
+                if entries[index] is not None:
+                    continue
                 model = Model.from_spec(spec, seed=rngs.seed("init", index))
                 if self.use_bagging:
                     bag = bootstrap_sample(
@@ -121,27 +162,48 @@ class _ScratchTrainer(EnsembleTrainer):
                 result, seconds, compute_phases = self._fit(
                     model, x, y, self.config, seed=rngs.seed("shuffle", index)
                 )
-                member_results[spec.name] = result
-                ledger.add(
-                    network=spec.name,
-                    phase="scratch",
-                    epochs=result.epochs_run,
-                    wall_clock_seconds=seconds,
+                self._journal_member(
+                    index,
+                    name=spec.name,
+                    model=model,
+                    result=result,
+                    seconds=seconds,
                     parameters=model.parameter_count(),
-                    samples_per_epoch=samples,
+                    samples=samples,
                     compute_phases=compute_phases,
                 )
-                record_training_cost(self.approach, "scratch", seconds)
-                members.append(
-                    EnsembleMember(
-                        name=spec.name,
-                        model=model,
-                        training_result=result,
-                        source="scratch",
-                        training_seconds=seconds,
-                    )
-                )
+                entries[index] = {
+                    "model": model,
+                    "result": result,
+                    "seconds": seconds,
+                    "compute_phases": compute_phases,
+                    "samples": samples,
+                    "parameters": model.parameter_count(),
+                }
                 logger.info("trained %s from scratch in %.2fs", spec.name, seconds)
+
+        for spec, entry in zip(specs, entries):
+            member_results[spec.name] = entry["result"]
+            ledger.add(
+                network=spec.name,
+                phase="scratch",
+                epochs=entry["result"].epochs_run,
+                wall_clock_seconds=entry["seconds"],
+                parameters=entry["parameters"],
+                samples_per_epoch=entry["samples"],
+                compute_phases=entry["compute_phases"],
+            )
+            if not entry.get("restored"):
+                record_training_cost(self.approach, "scratch", entry["seconds"])
+            members.append(
+                EnsembleMember(
+                    name=spec.name,
+                    model=entry["model"],
+                    training_result=entry["result"],
+                    source="scratch",
+                    training_seconds=entry["seconds"],
+                )
+            )
 
         ensemble = Ensemble(members, num_classes=dataset.num_classes)
         return EnsembleTrainingRun(
@@ -244,7 +306,40 @@ class SnapshotEnsembleTrainer(EnsembleTrainer):
         model = Model.from_spec(spec, seed=rngs.seed("init"))
         members: List[EnsembleMember] = []
         member_results: Dict[str, TrainingResult] = {}
-        for cycle in range(self.num_snapshots):
+
+        # Checkpoint/resume: snapshots form a sequential chain, so the
+        # journal always holds a contiguous prefix of cycles.  Restore it,
+        # then continue the chain from the last snapshot's weights (a
+        # snapshot is a copy of the live network at cycle end, and model
+        # serialisation round-trips bitwise).
+        start_cycle = 0
+        while start_cycle < self.num_snapshots:
+            restored = self._restored_member(start_cycle)
+            if restored is None:
+                break
+            member_results[restored.name] = restored.result
+            ledger.add(
+                network=restored.name,
+                phase="member",
+                epochs=restored.result.epochs_run if restored.result else 0,
+                wall_clock_seconds=restored.seconds,
+                parameters=restored.parameters,
+                samples_per_epoch=restored.samples_per_epoch,
+                compute_phases=restored.compute_phases,
+            )
+            members.append(
+                EnsembleMember(
+                    name=restored.name,
+                    model=restored.model,
+                    training_result=restored.result,
+                    source="snapshot",
+                    training_seconds=restored.seconds,
+                )
+            )
+            model = restored.model.copy()
+            start_cycle += 1
+
+        for cycle in range(start_cycle, self.num_snapshots):
             result, seconds, compute_phases = self._fit(
                 model,
                 dataset.x_train,
@@ -254,6 +349,16 @@ class SnapshotEnsembleTrainer(EnsembleTrainer):
             )
             snapshot = model.copy()
             name = f"{spec.name}-snapshot-{cycle}"
+            self._journal_member(
+                cycle,
+                name=name,
+                model=snapshot,
+                result=result,
+                seconds=seconds,
+                parameters=snapshot.parameter_count(),
+                samples=dataset.train_size,
+                compute_phases=compute_phases,
+            )
             member_results[name] = result
             ledger.add(
                 network=name,

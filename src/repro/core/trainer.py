@@ -123,6 +123,10 @@ class EnsembleTrainer:
     ):
         self.config = config or TrainingConfig()
         self.collect_phase_timings = bool(collect_phase_timings)
+        # Optional RunCheckpoint journal (repro.core.checkpoint), attached by
+        # run_experiment when the caller wants crash-safe incremental
+        # checkpointing; None leaves training exactly as before.
+        self.checkpoint = None
 
     # ------------------------------------------------------------ interface
     def train(
@@ -173,12 +177,74 @@ class EnsembleTrainer:
         workers = max(1, int(getattr(config, "workers", 1)))
         return min(workers, num_tasks)
 
-    def _run_parallel(self, tasks, x, y, workers: int):
+    def _run_parallel(
+        self, tasks, x, y, workers: int, config: Optional[TrainingConfig] = None, on_outcome=None
+    ):
         """Fan the member tasks out over the process pool (see
-        :mod:`repro.parallel`); returns ``(outcomes, makespan_seconds)``."""
+        :mod:`repro.parallel`); returns ``(outcomes, makespan_seconds)``.
+
+        ``config`` (default ``self.config``) supplies the fault-tolerance
+        knobs — per-task deadline and retry budget; ``on_outcome(task_index,
+        outcome)`` streams results back as they finish (the checkpoint
+        journal hook).
+        """
         from repro.parallel.executor import train_members
 
-        return train_members(tasks, x, y, workers=workers)
+        config = config if config is not None else self.config
+        return train_members(
+            tasks,
+            x,
+            y,
+            workers=workers,
+            task_timeout=float(getattr(config, "task_timeout", 900.0)),
+            max_task_retries=int(getattr(config, "max_task_retries", 2)),
+            on_outcome=on_outcome,
+        )
+
+    # ---------------------------------------------------------- checkpointing
+    def _restored_member(self, index: int):
+        """The journaled member at ``index``, or None (also when not
+        checkpointing).  Books the restore against the resume telemetry."""
+        if self.checkpoint is None:
+            return None
+        net = self.checkpoint.member(index)
+        if net is not None:
+            self.checkpoint.mark_restored("member", net.name)
+        return net
+
+    def _journal_member(
+        self,
+        index: int,
+        *,
+        name: str,
+        model: Model,
+        result: TrainingResult,
+        seconds: float,
+        parameters: int,
+        samples: int,
+        compute_phases: Dict[str, float],
+        cluster_id: Optional[int] = None,
+        aliased_mothernet: bool = False,
+    ) -> None:
+        """Journal one finished member when a checkpoint is attached."""
+        if self.checkpoint is None:
+            return
+        from repro.core.checkpoint import CheckpointedNetwork
+
+        self.checkpoint.record_member(
+            index,
+            CheckpointedNetwork(
+                name=name,
+                model=model,
+                result=result,
+                seconds=seconds,
+                parameters=parameters,
+                samples_per_epoch=samples,
+                compute_phases=dict(compute_phases),
+                cluster_id=cluster_id,
+                aliased_mothernet=aliased_mothernet,
+            ),
+        )
 
 
 @register_trainer("mothernets")
@@ -268,7 +334,53 @@ class MotherNetsTrainer(EnsembleTrainer):
         # bitwise identical to the serial one (matching BLAS thread counts).
         mothernet_models: Dict[int, Model] = {}
         mothernet_results: Dict[int, TrainingResult] = {}
-        mothernet_workers = self._member_workers(self.config, len(clusters))
+
+        # Checkpoint/resume: MotherNets already journaled by an interrupted
+        # run are restored bitwise instead of retrained (their ledger records
+        # come from the journal, so the final cost accounting stays complete).
+        pending_clusters: List[Cluster] = []
+        for cluster in clusters:
+            net = (
+                self.checkpoint.mothernet(cluster.cluster_id)
+                if self.checkpoint is not None
+                else None
+            )
+            if net is None:
+                pending_clusters.append(cluster)
+                continue
+            self.checkpoint.mark_restored("mothernet", net.name)
+            mothernet_models[cluster.cluster_id] = net.model
+            mothernet_results[cluster.cluster_id] = net.result
+            ledger.add(
+                network=cluster.mothernet.name,
+                phase="mothernet",
+                epochs=net.result.epochs_run if net.result is not None else 0,
+                wall_clock_seconds=net.seconds,
+                parameters=net.parameters,
+                samples_per_epoch=net.samples_per_epoch,
+                compute_phases=net.compute_phases,
+            )
+
+        def journal_mothernet(cluster, model, result, seconds, parameters, samples, phases):
+            if self.checkpoint is None:
+                return
+            from repro.core.checkpoint import CheckpointedNetwork
+
+            self.checkpoint.record_mothernet(
+                cluster.cluster_id,
+                CheckpointedNetwork(
+                    name=cluster.mothernet.name,
+                    model=model,
+                    result=result,
+                    seconds=seconds,
+                    parameters=parameters,
+                    samples_per_epoch=samples,
+                    compute_phases=dict(phases),
+                    cluster_id=cluster.cluster_id,
+                ),
+            )
+
+        mothernet_workers = self._member_workers(self.config, len(pending_clusters))
         if mothernet_workers > 1:
             phase_start = time.perf_counter()
             from repro.nn.dtypes import resolve_dtype
@@ -288,13 +400,38 @@ class MotherNetsTrainer(EnsembleTrainer):
                     init_seed=rngs.seed("mothernet", cluster.cluster_id),
                     collect_phase_timings=self.collect_phase_timings,
                 )
-                for cluster in clusters
+                for cluster in pending_clusters
             ]
+            # Stream every finished MotherNet into the journal as it lands,
+            # so a parent crash mid-phase loses only the in-flight fits.
+            unpacked: Dict[int, Model] = {}
+
+            def on_mothernet(task_index: int, outcome) -> None:
+                model = unpack_model_state(outcome.state)
+                unpacked[task_index] = model
+                journal_mothernet(
+                    pending_clusters[task_index],
+                    model,
+                    outcome.result,
+                    outcome.seconds,
+                    outcome.parameters,
+                    outcome.samples_per_epoch,
+                    outcome.compute_phases,
+                )
+
             outcomes, _ = self._run_parallel(
-                tasks, dataset.x_train, dataset.y_train, mothernet_workers
+                tasks,
+                dataset.x_train,
+                dataset.y_train,
+                mothernet_workers,
+                config=self.config,
+                on_outcome=on_mothernet,
             )
-            for cluster, outcome in zip(clusters, outcomes):
-                mothernet_models[cluster.cluster_id] = unpack_model_state(outcome.state)
+            for task_index, (cluster, outcome) in enumerate(zip(pending_clusters, outcomes)):
+                model = unpacked.get(task_index)
+                if model is None:  # pragma: no cover - callback always ran
+                    model = unpack_model_state(outcome.state)
+                mothernet_models[cluster.cluster_id] = model
                 mothernet_results[cluster.cluster_id] = outcome.result
                 ledger.add(
                     network=cluster.mothernet.name,
@@ -308,7 +445,7 @@ class MotherNetsTrainer(EnsembleTrainer):
                 record_training_cost(self.approach, "mothernet", outcome.seconds)
             ledger.record_phase_makespan("mothernet", time.perf_counter() - phase_start)
         else:
-            for cluster in clusters:
+            for cluster in pending_clusters:
                 model = Model.from_spec(
                     cluster.mothernet, seed=rngs.seed("mothernet", cluster.cluster_id)
                 )
@@ -321,6 +458,15 @@ class MotherNetsTrainer(EnsembleTrainer):
                 )
                 mothernet_models[cluster.cluster_id] = model
                 mothernet_results[cluster.cluster_id] = result
+                journal_mothernet(
+                    cluster,
+                    model,
+                    result,
+                    seconds,
+                    model.parameter_count(),
+                    dataset.train_size,
+                    compute_phases,
+                )
                 ledger.add(
                     network=cluster.mothernet.name,
                     phase="mothernet",
@@ -368,6 +514,25 @@ class MotherNetsTrainer(EnsembleTrainer):
             task_hatch_seconds: Dict[int, float] = {}
             for index, spec in enumerate(specs):
                 cluster = cluster_of[spec.name]
+                restored = self._restored_member(index)
+                if restored is not None:
+                    # Journaled by an interrupted run: reuse bitwise.  A
+                    # restored *aliased* member IS its cluster's fine-tuned
+                    # MotherNet — install its weights before any later member
+                    # of the cluster hatches (exactly what the in-place
+                    # fine-tune would have left behind).
+                    entries[index] = {
+                        "model": restored.model,
+                        "result": restored.result,
+                        "seconds": restored.seconds,
+                        "compute_phases": restored.compute_phases,
+                        "samples": restored.samples_per_epoch,
+                        "parameters": restored.parameters,
+                        "restored": True,
+                    }
+                    if restored.aliased_mothernet:
+                        mothernet_models[cluster.cluster_id] = restored.model
+                    continue
                 parent = mothernet_models[cluster.cluster_id]
                 hatch_start = time.perf_counter()
                 hatched = hatch(
@@ -389,6 +554,18 @@ class MotherNetsTrainer(EnsembleTrainer):
                         "samples": bag.size,
                         "parameters": hatched.parameter_count(),
                     }
+                    self._journal_member(
+                        index,
+                        name=spec.name,
+                        model=hatched,
+                        result=result,
+                        seconds=seconds + hatch_seconds,
+                        parameters=hatched.parameter_count(),
+                        samples=bag.size,
+                        compute_phases=compute_phases,
+                        cluster_id=cluster.cluster_id,
+                        aliased_mothernet=True,
+                    )
                 else:
                     tasks.append(
                         MemberTask(
@@ -405,13 +582,42 @@ class MotherNetsTrainer(EnsembleTrainer):
                     task_indices.append(index)
                     task_hatch_seconds[index] = hatch_seconds
             outcomes = []
+            unpacked_members: Dict[int, Model] = {}
+
+            def on_member(task_index: int, outcome) -> None:
+                # Streaming journal hook: persist each member the moment its
+                # worker delivers it, so a parent crash mid-phase loses only
+                # the in-flight fits.
+                index = task_indices[task_index]
+                model = unpack_model_state(outcome.state)
+                unpacked_members[task_index] = model
+                self._journal_member(
+                    index,
+                    name=specs[index].name,
+                    model=model,
+                    result=outcome.result,
+                    seconds=outcome.seconds + task_hatch_seconds[index],
+                    parameters=outcome.parameters,
+                    samples=outcome.samples_per_epoch,
+                    compute_phases=outcome.compute_phases,
+                    cluster_id=cluster_of[specs[index].name].cluster_id,
+                )
+
             if tasks:
                 outcomes, _ = self._run_parallel(
-                    tasks, dataset.x_train, dataset.y_train, min(workers, len(tasks))
+                    tasks,
+                    dataset.x_train,
+                    dataset.y_train,
+                    min(workers, len(tasks)),
+                    config=self.member_config,
+                    on_outcome=on_member,
                 )
-            for index, outcome in zip(task_indices, outcomes):
+            for task_index, (index, outcome) in enumerate(zip(task_indices, outcomes)):
+                model = unpacked_members.get(task_index)
+                if model is None:  # pragma: no cover - callback always ran
+                    model = unpack_model_state(outcome.state)
                 entries[index] = {
-                    "model": unpack_model_state(outcome.state),
+                    "model": model,
                     "result": outcome.result,
                     "seconds": outcome.seconds + task_hatch_seconds[index],
                     "compute_phases": outcome.compute_phases,
@@ -430,7 +636,8 @@ class MotherNetsTrainer(EnsembleTrainer):
                     samples_per_epoch=entry["samples"],
                     compute_phases=entry["compute_phases"],
                 )
-                record_training_cost(self.approach, "member", entry["seconds"])
+                if not entry.get("restored"):
+                    record_training_cost(self.approach, "member", entry["seconds"])
                 members.append(
                     EnsembleMember(
                         name=spec.name,
@@ -445,17 +652,58 @@ class MotherNetsTrainer(EnsembleTrainer):
         else:
             for index, spec in enumerate(specs):
                 cluster = cluster_of[spec.name]
+                restored = self._restored_member(index)
+                if restored is not None:
+                    if restored.aliased_mothernet:
+                        # See the parallel branch: the restored model is the
+                        # cluster's fine-tuned MotherNet; later members hatch
+                        # from it.
+                        mothernet_models[cluster.cluster_id] = restored.model
+                    member_results[spec.name] = restored.result
+                    ledger.add(
+                        network=spec.name,
+                        phase="member",
+                        epochs=restored.result.epochs_run if restored.result else 0,
+                        wall_clock_seconds=restored.seconds,
+                        parameters=restored.parameters,
+                        samples_per_epoch=restored.samples_per_epoch,
+                        compute_phases=restored.compute_phases,
+                    )
+                    members.append(
+                        EnsembleMember(
+                            name=spec.name,
+                            model=restored.model,
+                            training_result=restored.result,
+                            source="hatched",
+                            cluster_id=cluster.cluster_id,
+                            training_seconds=restored.seconds,
+                        )
+                    )
+                    continue
                 parent = mothernet_models[cluster.cluster_id]
                 hatch_start = time.perf_counter()
                 model = hatch(
                     parent, spec, seed=rngs.seed("hatch", index), noise_std=self.noise_std
                 )
                 hatch_seconds = time.perf_counter() - hatch_start
+                aliased = model is parent
                 bag = bootstrap_sample(
                     dataset.x_train, dataset.y_train, seed=rngs.seed("bag", index)
                 )
                 result, seconds, compute_phases = self._fit(
                     model, bag.x, bag.y, self.member_config, seed=rngs.seed("member-shuffle", index)
+                )
+                self._journal_member(
+                    index,
+                    name=spec.name,
+                    model=model,
+                    result=result,
+                    seconds=seconds + hatch_seconds,
+                    parameters=model.parameter_count(),
+                    samples=bag.size,
+                    compute_phases=compute_phases,
+                    cluster_id=cluster.cluster_id,
+                    aliased_mothernet=aliased,
                 )
                 member_results[spec.name] = result
                 ledger.add(

@@ -1,0 +1,32 @@
+"""Fault injection for chaos testing the training and serving paths.
+
+This package makes the library's resilience claims *testable*: instead of
+hand-rolled monkeypatching, the chaos tests (and the CI ``chaos-smoke`` job)
+describe faults declaratively through the ``REPRO_FAULTS`` environment
+variable, and the worker entrypoints carry permanent, dependency-free
+injection points that fire them.  With ``REPRO_FAULTS`` unset the injection
+points are a dictionary lookup against an empty plan — effectively free.
+
+See :mod:`repro.faults.injection` for the grammar and the injection-point
+contract.
+"""
+
+from repro.faults.injection import (
+    FaultError,
+    FaultSpec,
+    InjectedFault,
+    active_plan,
+    fire,
+    parse_faults,
+    reset_plan,
+)
+
+__all__ = [
+    "FaultError",
+    "FaultSpec",
+    "InjectedFault",
+    "active_plan",
+    "fire",
+    "parse_faults",
+    "reset_plan",
+]

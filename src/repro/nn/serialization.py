@@ -56,7 +56,15 @@ def unpack_model_state(state: Dict[str, Any]) -> Model:
 
 
 def save_model(model: Model, path: Union[str, Path]) -> Path:
-    """Save ``model`` (spec + weights + state) to ``path`` as an ``.npz`` file."""
+    """Save ``model`` (spec + weights + state) to ``path`` as an ``.npz`` file.
+
+    The write is crash-safe: the archive is built in a temp file next to the
+    target and renamed over it (``repro.utils.atomic``), so a kill at any
+    instant leaves either the old checkpoint or the new one, never a torn
+    ``.npz``.
+    """
+    from repro.utils.atomic import atomic_writer
+
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
@@ -65,8 +73,8 @@ def save_model(model: Model, path: Union[str, Path]) -> Path:
         for key, value in layer_weights.items():
             arrays[f"{layer_name}|{key}"] = value
     arrays[_SPEC_KEY] = np.frombuffer(spec_to_json(model.spec).encode("utf-8"), dtype=np.uint8)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(path, **arrays)
+    with atomic_writer(path, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
     return path
 
 

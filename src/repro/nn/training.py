@@ -83,6 +83,14 @@ class TrainingConfig:
     # independent members concurrently (repro.parallel).  1 = the serial
     # in-process path; the single-network Trainer below never forks.
     workers: int = 1
+    # Fault tolerance of the parallel path (ignored when workers == 1): a
+    # member task that exceeds ``task_timeout`` seconds in its worker is
+    # treated as hung (the worker is SIGKILLed and evicted), and a failed
+    # task — worker crash, hang, or in-worker exception — is retried up to
+    # ``max_task_retries`` times on a respawned pool slot.  Retried tasks
+    # are bitwise identical to fault-free runs (training is fully seeded).
+    task_timeout: float = 900.0
+    max_task_retries: int = 2
 
     def __post_init__(self):
         if self.max_epochs < 1:
@@ -97,6 +105,10 @@ class TrainingConfig:
             raise ValueError("convergence_tolerance must be non-negative")
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
+        if self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive")
+        if self.max_task_retries < 0:
+            raise ValueError("max_task_retries must be non-negative")
 
     def scaled(self, epoch_fraction: float) -> "TrainingConfig":
         """A copy with the epoch budget scaled by ``epoch_fraction`` (used for
@@ -118,6 +130,8 @@ class TrainingConfig:
             schedule=self.schedule,
             loss=self.loss,
             workers=self.workers,
+            task_timeout=self.task_timeout,
+            max_task_retries=self.max_task_retries,
         )
 
 

@@ -29,10 +29,12 @@ from __future__ import annotations
 
 import json
 import logging
+import logging.handlers
 import os
 import sys
 import threading
-from typing import Any, Dict, Optional, TextIO
+from pathlib import Path
+from typing import Any, Dict, Optional, TextIO, Union
 
 __all__ = [
     "EVENTS_LOGGER_NAME",
@@ -49,6 +51,8 @@ _FORMAT = "%(asctime)s %(levelname)s %(name)s: %(message)s"
 _lock = threading.Lock()
 _configured_fmt: Optional[str] = None
 _handler: Optional[logging.Handler] = None  # the handler *we* installed
+_file_handler: Optional[logging.Handler] = None  # rotating file sink, if any
+_file_handler_path: Optional[str] = None
 
 
 def _event_fields(record: logging.LogRecord) -> Dict[str, Any]:
@@ -109,6 +113,9 @@ def configure_logging(
     fmt: Optional[str] = None,
     stream: Optional[TextIO] = None,
     force: bool = False,
+    log_file: Optional[Union[str, Path]] = None,
+    log_file_max_bytes: int = 10 * 1024 * 1024,
+    log_file_backups: int = 3,
 ) -> None:
     """Install (once) this module's handler on the ``repro`` root logger.
 
@@ -120,17 +127,44 @@ def configure_logging(
     under ``force`` (matching the historical "don't double-log" behaviour).
     ``stream`` defaults to stderr, keeping stdout free for machine-readable
     command output.
+
+    ``log_file`` additionally attaches a size-rotated file sink (the ``serve``
+    and ``train`` fronts' ``--log-file``): always JSON lines — a file sink
+    exists for machines, whatever the terminal format — rotated at
+    ``log_file_max_bytes`` with ``log_file_backups`` old files kept
+    (``<name>.1`` ... ``<name>.N``).  The file sink is installed even when an
+    application already configured its own stderr handlers, and a later call
+    naming a different path replaces it.
     """
-    global _configured_fmt, _handler
+    global _configured_fmt, _handler, _file_handler, _file_handler_path
     resolved_fmt = _resolve_fmt(fmt)
     with _lock:
         root = logging.getLogger("repro")
+        if log_file is not None:
+            path = str(Path(log_file))
+            if _file_handler is None or _file_handler_path != path:
+                if _file_handler is not None:
+                    root.removeHandler(_file_handler)
+                    _file_handler.close()
+                Path(path).parent.mkdir(parents=True, exist_ok=True)
+                file_handler = logging.handlers.RotatingFileHandler(
+                    path,
+                    maxBytes=int(log_file_max_bytes),
+                    backupCount=int(log_file_backups),
+                    encoding="utf-8",
+                )
+                file_handler.setFormatter(JsonLineFormatter())
+                root.addHandler(file_handler)
+                _file_handler = file_handler
+                _file_handler_path = path
         if _configured_fmt is not None and not force:
+            if log_file is not None and root.level == logging.NOTSET:
+                root.setLevel(_resolve_level(level))
             return
         if _handler is not None:
             root.removeHandler(_handler)
             _handler = None
-        if force or not root.handlers:
+        if force or not (set(root.handlers) - {_file_handler}):
             formatter: logging.Formatter = (
                 JsonLineFormatter() if resolved_fmt == "json" else TextEventFormatter()
             )

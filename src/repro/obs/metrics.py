@@ -225,6 +225,10 @@ class Gauge(Metric):
 
     def _init_value(self) -> None:
         self._value = 0.0
+        # Distinguishes "set to 0" from "never written": registry snapshots
+        # skip untouched gauges so a worker that merely *registered* a gauge
+        # cannot clobber the parent's value with the default 0 on merge.
+        self._touched = False
 
     def set(self, value: float) -> None:
         if not self._registry.enabled:
@@ -232,6 +236,7 @@ class Gauge(Metric):
         self._require_unlabelled()
         with self._lock:
             self._value = float(value)
+            self._touched = True
 
     def inc(self, amount: float = 1.0) -> None:
         if not self._registry.enabled:
@@ -239,9 +244,26 @@ class Gauge(Metric):
         self._require_unlabelled()
         with self._lock:
             self._value += amount
+            self._touched = True
 
     def dec(self, amount: float = 1.0) -> None:
         self.inc(-amount)
+
+    def touched_samples(self) -> List[Tuple[Tuple[str, ...], float]]:
+        """Like :meth:`samples`, but only gauges that were actually written.
+
+        A labelled child created by ``labels(...)`` but never set is skipped
+        too.  This is what :meth:`MetricsRegistry.snapshot` ships between
+        processes — untouched gauges carry no information, only the power to
+        overwrite a real value with 0.
+        """
+        if self.labelnames:
+            with self._lock:
+                children = list(self._children.items())
+            return [
+                (values, child._read()) for values, child in children if child._touched
+            ]
+        return [((), self._read())] if self._touched else []
 
     @property
     def value(self) -> float:
@@ -305,6 +327,26 @@ class Histogram(Metric):
     def time(self) -> _Timer:
         """``with histogram.time(): ...`` observes the block's duration."""
         return _Timer(self)
+
+    def merge(self, counts: Sequence[int], total: float) -> None:
+        """Fold another histogram's ``(bucket counts, sum)`` into this one.
+
+        Used when worker processes ship registry snapshots back to the
+        parent; both sides share the same bucket layout because they run the
+        same instrumented modules.
+        """
+        if not self._registry.enabled:
+            return
+        self._require_unlabelled()
+        if len(counts) != len(self._counts):
+            raise ValueError(
+                f"histogram {self.name}: cannot merge {len(counts)} bucket "
+                f"counts into {len(self._counts)} buckets"
+            )
+        with self._lock:
+            for index, count in enumerate(counts):
+                self._counts[index] += int(count)
+            self._sum += float(total)
 
     @property
     def count(self) -> int:
@@ -404,6 +446,74 @@ class MetricsRegistry:
     def __contains__(self, name: str) -> bool:
         with self._lock:
             return name in self._metrics
+
+    # ----------------------------------------------------- snapshot / merge
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """A picklable plain-data view of every registered metric.
+
+        The snapshot is what training workers ship back to the parent inside
+        ``MemberOutcome`` so per-member metrics survive worker exit; it can
+        cross ``multiprocessing`` queues or be serialised as JSON (histogram
+        samples are ``(bucket counts, sum)`` pairs).
+        """
+        out: Dict[str, Dict[str, object]] = {}
+        for metric in self.collect():
+            samples = (
+                metric.touched_samples()
+                if isinstance(metric, Gauge)
+                else metric.samples()
+            )
+            entry: Dict[str, object] = {
+                "type": metric.type_name,
+                "help": metric.help,
+                "labelnames": list(metric.labelnames),
+                "samples": [[list(values), value] for values, value in samples],
+            }
+            if isinstance(metric, Histogram):
+                entry["buckets"] = list(metric.buckets)
+            out[metric.name] = entry
+        return out
+
+    def merge_snapshot(self, snapshot: Dict[str, Dict[str, object]]) -> None:
+        """Fold a :meth:`snapshot` from another process into this registry.
+
+        Counters and histograms *accumulate* (they are deltas of work done
+        elsewhere); gauges are *set* (last writer wins — e.g. the final
+        epoch loss of the member a worker just trained).  Process-level
+        gauges (``repro_process_*``) describe the process that took the
+        snapshot, not this one, and are skipped.  Metrics unknown to this
+        process are registered on the fly, so series instrumented only in
+        worker-side modules still reach the parent's ``/metrics``.
+        """
+        if not self.enabled:
+            return
+        for name, entry in snapshot.items():
+            kind = entry["type"]
+            labelnames = tuple(entry["labelnames"])  # type: ignore[arg-type]
+            if kind == "gauge" and name.startswith("repro_process_"):
+                continue
+            if kind == "counter":
+                metric: Metric = self.counter(name, str(entry["help"]), labelnames)
+            elif kind == "gauge":
+                metric = self.gauge(name, str(entry["help"]), labelnames)
+            elif kind == "histogram":
+                metric = self.histogram(
+                    name,
+                    str(entry["help"]),
+                    labelnames,
+                    buckets=entry["buckets"],  # type: ignore[arg-type]
+                )
+            else:  # pragma: no cover - snapshot from a newer version
+                continue
+            for labelvalues, value in entry["samples"]:  # type: ignore[union-attr]
+                child = metric.labels(*labelvalues) if labelnames else metric
+                if kind == "counter":
+                    child.inc(float(value))  # type: ignore[attr-defined]
+                elif kind == "gauge":
+                    child.set(float(value))  # type: ignore[attr-defined]
+                else:
+                    counts, total = value
+                    child.merge(counts, total)  # type: ignore[attr-defined]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         with self._lock:

@@ -1,7 +1,7 @@
-"""Process-based parallel training of ensemble members.
+"""Fault-tolerant process-based parallel training of ensemble members.
 
 :class:`ParallelExecutor` is the engine behind ``TrainingConfig(workers=N)``:
-a persistent, ``spawn``-safe ``multiprocessing`` pool whose workers attach the
+a persistent, ``spawn``-safe pool of worker processes that attach the
 training set through shared memory exactly once (see
 :mod:`repro.parallel.shared_data`), train independent ensemble members, and
 ship back ``(weights, TrainingResult, cost)`` records.
@@ -12,33 +12,67 @@ Key properties
 * **Deterministic** — tasks carry the same derived seeds the serial loop
   would use, workers run the same ``Trainer``, and outcomes come back in task
   order.  With matching BLAS thread counts the trained members are *bitwise*
-  identical to the serial path, run to run and serial to parallel.
+  identical to the serial path, run to run, serial to parallel, and — because
+  a task record fully determines its member — fault-free to retried-after-a-
+  crash.
 * **No oversubscription** — worker start-up happens inside
   :func:`~repro.utils.parallel.blas_thread_limit`, so every worker's BLAS
   pool is capped (default: one thread per worker) before numpy is imported.
+* **Fault-tolerant** — a worker crash (SIGKILL, OOM kill, segfault), hang
+  (wedged syscall, infinite loop), or in-process exception no longer kills
+  the run.  The scheduler detects the failure, evicts the worker, respawns
+  the pool slot under bounded exponential backoff (the same supervisor
+  semantics as the serving pool), and retries the failed
+  :class:`~repro.parallel.worker.MemberTask` up to ``max_task_retries``
+  times.  Detection combines three signals:
+
+  - **process death** — ``Process.is_alive()`` turning false;
+  - **per-task deadline** — a task running longer than ``task_timeout``
+    seconds marks its worker wedged; the executor SIGKILLs it (a hung
+    worker cannot be asked nicely) and retries the task elsewhere;
+  - **heartbeat loss** — each worker's daemon heartbeat thread pings every
+    ``heartbeat_interval`` seconds; a silent-but-alive process (SIGSTOP,
+    scheduler starvation) past ``heartbeat_timeout`` is treated as wedged.
+
+  Retries exhausted surface as a :class:`RuntimeError` naming the member.
+* **Crash-isolated IPC** — every worker owns a private request queue and a
+  private result queue (multiplexed in the parent via
+  ``multiprocessing.connection.wait``), so a SIGKILL landing while a worker
+  holds one of its queue locks poisons only its own queues; the respawn
+  installs fresh ones.
 * **Makespan accounting** — :meth:`train` returns the critical-path wall
   clock of the whole batch next to the per-member in-worker seconds, so cost
   ledgers can report both "total compute" and "time you actually waited".
+* **Streaming results** — :meth:`train` accepts an ``on_outcome`` callback
+  invoked the moment each task finishes (in completion order), which is how
+  checkpointing journals members to disk *during* the run rather than after
+  it.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import queue as thread_queue
 import time
-from typing import Dict, List, Sequence, Tuple
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _mp_wait
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.events import log_event
 from repro.obs.metrics import get_registry
 from repro.parallel.shared_data import SharedDataset
-from repro.parallel.worker import MemberOutcome, MemberTask, _init_worker, _train_member
+from repro.parallel.worker import MemberOutcome, MemberTask, _worker_main
 from repro.utils.logging import get_logger
 from repro.utils.parallel import blas_thread_limit, cpu_count
 
 logger = get_logger("parallel.executor")
 
 # Parallel-phase telemetry (repro.obs): how many member tasks ran on pools,
-# the compute they burned, and the critical path of the latest batch.
+# the compute they burned, the critical path of the latest batch, and the
+# fault-tolerance lifecycle (retries, evictions, respawns, heartbeat misses).
 _metrics = get_registry()
 _TASKS_TOTAL = _metrics.counter(
     "repro_parallel_tasks_total", "Member-training tasks completed on worker pools."
@@ -54,8 +88,33 @@ _LAST_MAKESPAN = _metrics.gauge(
 _POOL_WORKERS = _metrics.gauge(
     "repro_parallel_pool_workers", "Worker processes of the most recent training pool."
 )
+_TASK_RETRIES = _metrics.counter(
+    "repro_training_task_retries_total",
+    "Member-training tasks re-enqueued after a worker fault.",
+)
+_WORKER_EVICTIONS = _metrics.counter(
+    "repro_training_worker_evictions_total",
+    "Training workers evicted from the pool.",
+    ("reason",),
+)
+_WORKER_RESTARTS = _metrics.counter(
+    "repro_training_worker_restarts_total", "Training workers respawned after eviction."
+)
+_HEARTBEAT_MISSES = _metrics.counter(
+    "repro_training_heartbeat_misses_total",
+    "Alive-but-silent training workers detected via heartbeat loss.",
+)
 
 __all__ = ["MemberTask", "MemberOutcome", "ParallelExecutor", "train_members"]
+
+
+@dataclass
+class _Dispatch:
+    """Parent-side record of one task currently running on a worker."""
+
+    task_index: int
+    attempt: int
+    deadline: float  # monotonic time after which the worker counts as hung
 
 
 class ParallelExecutor:
@@ -75,9 +134,20 @@ class ParallelExecutor:
         when the serial run's BLAS pool has this same size (e.g. under
         ``OMP_NUM_THREADS=1``).
     task_timeout:
-        Per-task safety net in seconds; a worker that exceeds it raises
-        ``multiprocessing.TimeoutError`` in the parent instead of hanging the
-        run forever.
+        Per-task deadline in seconds.  A worker that exceeds it is treated
+        as wedged: SIGKILLed, evicted, respawned, and its task retried.
+    max_task_retries:
+        How many times a failed task (crash, hang, in-worker exception) is
+        re-enqueued before the run fails with an error naming the member.
+    heartbeat_interval / heartbeat_timeout:
+        Workers ping every ``heartbeat_interval`` seconds; an alive process
+        silent past ``heartbeat_timeout`` is treated as wedged.  The timeout
+        must comfortably cover worker start-up (spawn + numpy import).
+    restart_backoff / restart_backoff_max:
+        Initial and maximum delay before respawning an evicted pool slot,
+        doubling per consecutive eviction (a worker that returns a result
+        resets its backoff) — the same bounded-backoff supervisor semantics
+        as the serving pool.
     """
 
     def __init__(
@@ -86,16 +156,45 @@ class ParallelExecutor:
         workers: int,
         blas_threads_per_worker: int = 1,
         task_timeout: float = 900.0,
+        max_task_retries: int = 2,
+        heartbeat_interval: float = 0.5,
+        heartbeat_timeout: float = 60.0,
+        restart_backoff: float = 0.25,
+        restart_backoff_max: float = 30.0,
+        poll_interval: float = 0.1,
     ):
         if workers < 1:
             raise ValueError("workers must be at least 1")
         if blas_threads_per_worker < 1:
             raise ValueError("blas_threads_per_worker must be at least 1")
+        if task_timeout <= 0:
+            raise ValueError("task_timeout must be positive")
+        if max_task_retries < 0:
+            raise ValueError("max_task_retries must be non-negative")
+        if heartbeat_interval <= 0 or heartbeat_timeout <= heartbeat_interval:
+            raise ValueError("need 0 < heartbeat_interval < heartbeat_timeout")
+        if restart_backoff <= 0 or restart_backoff_max < restart_backoff:
+            raise ValueError("need 0 < restart_backoff <= restart_backoff_max")
         self.workers = int(workers)
         self.blas_threads_per_worker = int(blas_threads_per_worker)
         self.task_timeout = float(task_timeout)
+        self.max_task_retries = int(max_task_retries)
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.restart_backoff = float(restart_backoff)
+        self.restart_backoff_max = float(restart_backoff_max)
+        self.poll_interval = float(poll_interval)
         self._shared = SharedDataset(data)
-        self._pool: mp.pool.Pool | None = None
+        self._ctx = mp.get_context("spawn")
+        self._processes: List[Optional[mp.process.BaseProcess]] = [None] * self.workers
+        self._request_queues: List = [None] * self.workers
+        self._result_queues: List = [None] * self.workers
+        self._last_beat: Dict[int, float] = {}
+        # worker -> monotonic time its respawn is due; worker -> consecutive
+        # evictions since it last produced a result (drives the backoff).
+        self._down: Dict[int, float] = {}
+        self._evictions: Dict[int, int] = {i: 0 for i in range(self.workers)}
+        self._started = False
         if self.workers * self.blas_threads_per_worker > cpu_count():
             logger.info(
                 "workers (%d) x blas threads (%d) exceeds the %d usable cores; "
@@ -106,73 +205,332 @@ class ParallelExecutor:
             )
 
     # ---------------------------------------------------------------- pool
-    def _ensure_pool(self) -> mp.pool.Pool:
-        if self._pool is None:
-            ctx = mp.get_context("spawn")
-            # The env cap must surround process creation: spawn children
-            # inherit the environment at exec time and size their BLAS pools
-            # from it when they import numpy.
-            with blas_thread_limit(self.blas_threads_per_worker):
-                self._pool = ctx.Pool(
-                    processes=self.workers,
-                    initializer=_init_worker,
-                    initargs=(self._shared.meta, self.blas_threads_per_worker),
-                )
-        return self._pool
+    def _spawn_worker(self, worker_id: int) -> None:
+        """(Re)start ``worker_id`` on fresh private queues.
+
+        Fresh queues matter on the respawn path: a SIGKILL can land while
+        the predecessor holds one of its queue locks, leaving the lock
+        acquired forever; undelivered payloads on the old queues belong to
+        task attempts that were already rescheduled.
+        """
+        self._request_queues[worker_id] = self._ctx.Queue()
+        self._result_queues[worker_id] = self._ctx.Queue()
+        # The env cap must surround process creation: spawn children inherit
+        # the environment at exec time and size their BLAS pools from it when
+        # they import numpy.
+        with blas_thread_limit(self.blas_threads_per_worker):
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(
+                    worker_id,
+                    self._shared.meta,
+                    self.blas_threads_per_worker,
+                    self.heartbeat_interval,
+                    self._request_queues[worker_id],
+                    self._result_queues[worker_id],
+                ),
+                daemon=True,
+                name=f"repro-train-{worker_id}",
+            )
+            process.start()
+        self._processes[worker_id] = process
+        self._last_beat[worker_id] = time.monotonic()
+
+    def _ensure_workers(self) -> None:
+        if not self._started:
+            for worker_id in range(self.workers):
+                self._spawn_worker(worker_id)
+            self._started = True
+
+    def _poll_results(self, timeout: float) -> List[tuple]:
+        """Drain whatever messages the per-worker result queues hold.
+
+        Multiplexes over every queue's reader pipe with
+        ``multiprocessing.connection.wait``; returns a (possibly empty) list
+        of ``(kind, worker_id, payload)`` messages.  Queues swapped out by a
+        concurrent respawn surface as closed readers and are skipped.
+        """
+        snapshot = {
+            queue._reader: queue for queue in self._result_queues if queue is not None
+        }
+        try:
+            readable = _mp_wait(list(snapshot), timeout=timeout)
+        except OSError:  # pragma: no cover - reader closed mid-wait (respawn)
+            return []
+        messages: List[tuple] = []
+        for reader in readable:
+            queue = snapshot[reader]
+            while True:
+                try:
+                    messages.append(queue.get_nowait())
+                except thread_queue.Empty:
+                    break
+                except (OSError, ValueError, EOFError):  # pragma: no cover
+                    break  # queue closed/poisoned; successor takes over
+        return messages
+
+    # ------------------------------------------------------------ lifecycle
+    def _evict_worker(self, worker_id: int, reason: str, member: Optional[str]) -> None:
+        """Take a dead or wedged worker out of rotation and schedule respawn."""
+        process = self._processes[worker_id]
+        if process is not None and process.is_alive():
+            # A wedged worker cannot be asked nicely; SIGKILL mirrors what an
+            # operator (or the OOM killer) would do.
+            process.kill()
+            process.join(timeout=10)
+        attempts = self._evictions[worker_id]
+        self._evictions[worker_id] = attempts + 1
+        backoff = min(self.restart_backoff * (2 ** attempts), self.restart_backoff_max)
+        self._down[worker_id] = time.monotonic() + backoff
+        if _metrics.enabled:
+            _WORKER_EVICTIONS.labels(reason).inc()
+            if reason == "heartbeat":
+                _HEARTBEAT_MISSES.inc()
+        exitcode = None if process is None else process.exitcode
+        logger.error(
+            "training worker %d evicted (%s, exit code %s)%s; respawning in %.2fs",
+            worker_id,
+            reason,
+            exitcode,
+            f" while training {member!r}" if member else "",
+            backoff,
+        )
+        log_event(
+            "train.worker_evicted",
+            worker=worker_id,
+            reason=reason,
+            exitcode=exitcode,
+            member=member,
+            restart_in_seconds=round(backoff, 3),
+        )
+
+    def _respawn_due_workers(self, now: float) -> None:
+        for worker_id, due in list(self._down.items()):
+            if now < due:
+                continue
+            del self._down[worker_id]
+            self._spawn_worker(worker_id)
+            _WORKER_RESTARTS.inc()
+            logger.info(
+                "respawned training worker %d (eviction %d)",
+                worker_id,
+                self._evictions[worker_id],
+            )
+            log_event(
+                "train.worker_respawned",
+                worker=worker_id,
+                eviction=self._evictions[worker_id],
+            )
 
     # ---------------------------------------------------------------- run
-    def train(self, tasks: Sequence[MemberTask]) -> Tuple[List[MemberOutcome], float]:
+    def train(
+        self,
+        tasks: Sequence[MemberTask],
+        on_outcome: Optional[Callable[[int, MemberOutcome], None]] = None,
+    ) -> Tuple[List[MemberOutcome], float]:
         """Train every task; returns ``(outcomes_in_task_order, makespan)``.
 
         ``makespan`` is the parent-side wall clock from first submission to
         last result — the critical path of the batch, as opposed to the sum
-        of the per-member ``MemberOutcome.seconds``.
+        of the per-member ``MemberOutcome.seconds``.  ``on_outcome(task_index,
+        outcome)`` fires in completion order as results stream in (the
+        checkpoint journal hook); an exception it raises aborts the run.
         """
         tasks = list(tasks)
         if not tasks:
             return [], 0.0
-        pool = self._ensure_pool()
-        start = time.perf_counter()
-        pending = [pool.apply_async(_train_member, (task,)) for task in tasks]
         try:
-            outcomes = [handle.get(timeout=self.task_timeout) for handle in pending]
+            self._ensure_workers()
+            start = time.perf_counter()
+            outcomes: List[Optional[MemberOutcome]] = [None] * len(tasks)
+            attempts = [0] * len(tasks)
+            pending = deque(range(len(tasks)))
+            busy: Dict[int, _Dispatch] = {}
+            done = 0
+            retries = 0
+
+            def fail_or_retry(task_index: int, reason: str) -> None:
+                nonlocal retries
+                attempts[task_index] += 1
+                if attempts[task_index] > self.max_task_retries:
+                    log_event(
+                        "train.retries_exhausted",
+                        member=tasks[task_index].name,
+                        attempts=attempts[task_index],
+                        reason=reason,
+                    )
+                    raise RuntimeError(
+                        f"training of member {tasks[task_index].name!r} failed "
+                        f"{attempts[task_index]} times (max_task_retries="
+                        f"{self.max_task_retries}); last failure: {reason}"
+                    )
+                retries += 1
+                _TASK_RETRIES.inc()
+                pending.append(task_index)
+                logger.warning(
+                    "retrying member %r (attempt %d/%d): %s",
+                    tasks[task_index].name,
+                    attempts[task_index] + 1,
+                    self.max_task_retries + 1,
+                    reason,
+                )
+                log_event(
+                    "train.task_retried",
+                    member=tasks[task_index].name,
+                    attempt=attempts[task_index],
+                    reason=reason,
+                )
+
+            while done < len(tasks):
+                # 1. Dispatch pending tasks to idle, healthy workers.
+                for worker_id in range(self.workers):
+                    if not pending:
+                        break
+                    if worker_id in busy or worker_id in self._down:
+                        continue
+                    process = self._processes[worker_id]
+                    if process is None or not process.is_alive():
+                        continue
+                    task_index = pending.popleft()
+                    if outcomes[task_index] is not None:
+                        continue  # a late straggler already answered it
+                    self._request_queues[worker_id].put(
+                        (task_index, attempts[task_index], tasks[task_index])
+                    )
+                    busy[worker_id] = _Dispatch(
+                        task_index,
+                        attempts[task_index],
+                        time.monotonic() + self.task_timeout,
+                    )
+
+                # 2. Collect messages (results, errors, heartbeats).
+                for kind, worker_id, payload in self._poll_results(self.poll_interval):
+                    self._last_beat[worker_id] = time.monotonic()
+                    if kind == "heartbeat":
+                        continue
+                    if kind == "result":
+                        task_index, attempt, outcome = payload
+                        busy.pop(worker_id, None)
+                        self._evictions[worker_id] = 0
+                        if outcomes[task_index] is None:
+                            outcomes[task_index] = outcome
+                            done += 1
+                            if outcome.metrics:
+                                _metrics.merge_snapshot(outcome.metrics)
+                            if on_outcome is not None:
+                                on_outcome(task_index, outcome)
+                    elif kind == "error":
+                        task_index, attempt, message = payload
+                        busy.pop(worker_id, None)
+                        if outcomes[task_index] is None:
+                            fail_or_retry(task_index, message)
+                    elif kind == "fatal":  # worker could not start (attach failed)
+                        self._evict_worker(worker_id, "startup", None)
+
+                now = time.monotonic()
+
+                # 3. Health checks: deaths, deadlines, heartbeat loss.
+                for worker_id in range(self.workers):
+                    if worker_id in self._down:
+                        continue
+                    process = self._processes[worker_id]
+                    if process is None:
+                        continue
+                    dispatch = busy.get(worker_id)
+                    if not process.is_alive():
+                        reason = "died"
+                    elif dispatch is not None and now >= dispatch.deadline:
+                        reason = "deadline"
+                    elif now - self._last_beat.get(worker_id, now) > self.heartbeat_timeout:
+                        reason = "heartbeat"
+                    else:
+                        continue
+                    member = None if dispatch is None else tasks[dispatch.task_index].name
+                    self._evict_worker(worker_id, reason, member)
+                    busy.pop(worker_id, None)
+                    if dispatch is not None and outcomes[dispatch.task_index] is None:
+                        fail_or_retry(
+                            dispatch.task_index,
+                            f"worker {worker_id} {reason}"
+                            + (
+                                f" after {self.task_timeout:.0f}s deadline"
+                                if reason == "deadline"
+                                else ""
+                            ),
+                        )
+
+                # 4. Bring evicted pool slots back under backoff.
+                self._respawn_due_workers(now)
+
+            makespan = time.perf_counter() - start
         except BaseException:
-            # A hung or failed worker must not hang the caller a second time:
-            # close()/join() would wait for the stuck task, so kill the pool
-            # outright before the exception propagates.
+            # A failed run must not hang the caller a second time: waiting
+            # for stuck tasks could block forever, so kill the pool outright
+            # before the exception propagates.
             self._terminate()
             raise
-        makespan = time.perf_counter() - start
         if _metrics.enabled:
             _TASKS_TOTAL.inc(len(outcomes))
             _TASK_SECONDS.inc(sum(outcome.seconds for outcome in outcomes))
             _LAST_MAKESPAN.set(makespan)
             _POOL_WORKERS.set(self.workers)
         logger.info(
-            "trained %d members on %d workers: makespan %.2fs, member-seconds %.2fs",
+            "trained %d members on %d workers: makespan %.2fs, member-seconds %.2fs"
+            "%s",
             len(outcomes),
             self.workers,
             makespan,
             sum(outcome.seconds for outcome in outcomes),
+            f", {retries} task retries" if retries else "",
         )
-        return outcomes, makespan
+        return outcomes, makespan  # type: ignore[return-value]
 
     # ------------------------------------------------------------- cleanup
+    def _close_queues(self) -> None:
+        for queues in (self._request_queues, self._result_queues):
+            for index, queue in enumerate(queues):
+                if queue is None:
+                    continue
+                try:
+                    queue.close()
+                    queue.join_thread()
+                except Exception:  # pragma: no cover - feeder already gone
+                    pass
+                queues[index] = None
+
     def _terminate(self) -> None:
         """Forcibly stop the workers (used on the error path, where waiting
         for in-flight tasks could block forever) and free the segments."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        for process in self._processes:
+            if process is not None and process.is_alive():
+                process.kill()
+        for index, process in enumerate(self._processes):
+            if process is not None:
+                process.join(timeout=10)
+                self._processes[index] = None
+        self._close_queues()
+        self._started = False
         self._shared.close()
 
     def close(self) -> None:
         """Shut the pool down, then destroy the shared segments (idempotent)."""
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
+        for worker_id, process in enumerate(self._processes):
+            if process is None or not process.is_alive():
+                continue
+            try:
+                self._request_queues[worker_id].put(None)
+            except Exception:  # pragma: no cover
+                pass
+        for index, process in enumerate(self._processes):
+            if process is None:
+                continue
+            process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.kill()
+                process.join(timeout=5)
+            self._processes[index] = None
+        self._close_queues()
+        self._started = False
         self._shared.close()
 
     def __enter__(self) -> "ParallelExecutor":
@@ -194,6 +552,9 @@ def train_members(
     y: np.ndarray,
     workers: int,
     blas_threads_per_worker: int = 1,
+    task_timeout: float = 900.0,
+    max_task_retries: int = 2,
+    on_outcome: Optional[Callable[[int, MemberOutcome], None]] = None,
 ) -> Tuple[List[MemberOutcome], float]:
     """One-shot convenience wrapper: publish, train, tear down.
 
@@ -205,5 +566,7 @@ def train_members(
         {"x": np.asarray(x), "y": np.asarray(y)},
         workers=workers,
         blas_threads_per_worker=blas_threads_per_worker,
+        task_timeout=task_timeout,
+        max_task_retries=max_task_retries,
     ) as executor:
-        return executor.train(tasks)
+        return executor.train(tasks, on_outcome=on_outcome)

@@ -135,6 +135,7 @@ def run_server(
     max_wait_ms: float = 2.0,
     restart_workers: bool = True,
     log_format: str = "json",
+    log_file: Optional[Union[str, Path]] = None,
     ready_event: Optional[threading.Event] = None,
 ) -> int:
     """Serve ``artifact`` until SIGINT/SIGTERM; returns the process exit code.
@@ -142,9 +143,10 @@ def run_server(
     Prints one machine-readable JSON line (``{"event": "serving", ...}``)
     once the pool is warm and the socket is bound — with ``--port 0`` this is
     how callers learn the ephemeral port.  Lifecycle transitions (start,
-    worker death/respawn, stop) are emitted as structured events on stderr.
+    worker death/respawn, stop) are emitted as structured events on stderr;
+    ``log_file`` mirrors them into a size-rotated JSON file.
     """
-    configure_logging(fmt=log_format, force=True)
+    configure_logging(fmt=log_format, force=True, log_file=log_file)
     enable_events()
     pool = PoolPredictor(
         artifact,

@@ -54,6 +54,7 @@ from multiprocessing.connection import wait as _mp_wait
 import numpy as np
 
 from repro.core.ensemble import COMBINATION_METHODS
+from repro.faults import fire
 from repro.obs.events import log_event
 from repro.obs.metrics import get_registry
 from repro.utils.logging import get_logger
@@ -99,6 +100,10 @@ _WORKER_DEATHS = _metrics.counter(
 _WORKER_RESTARTS = _metrics.counter(
     "repro_serve_worker_restarts_total", "Pool worker processes respawned."
 )
+_WORKER_HANGS = _metrics.counter(
+    "repro_serve_worker_hangs_total",
+    "Pool workers killed for exceeding the dispatch deadline (wedged).",
+)
 
 
 def _serving_worker(
@@ -125,6 +130,9 @@ def _serving_worker(
         group = request_queue.get()
         if group is None:
             break
+        # Chaos-test injection point ("serve"): crash or wedge this worker
+        # with a request group in flight — free when REPRO_FAULTS is unset.
+        fire("serve", worker=worker_id)
         replies = []
         for request_id, x, method_override in group:
             try:
@@ -169,6 +177,12 @@ class PoolPredictor:
     worker_wait:
         How long a dispatch waits for *some* worker to become available
         before failing its requests, when respawn is enabled.
+    dispatch_timeout:
+        Per-dispatch deadline in seconds.  A worker holding a request in
+        flight longer than this is treated as *wedged* (hung in a syscall,
+        looping, SIGSTOPped): the supervisor SIGKILLs it, fails its in-flight
+        requests promptly, and respawns it like any other dead worker.
+        ``0`` disables hang detection (the pre-deadline behaviour).
     """
 
     def __init__(
@@ -187,6 +201,7 @@ class PoolPredictor:
         restart_backoff_max: float = 30.0,
         supervise_interval: float = 0.25,
         worker_wait: float = 60.0,
+        dispatch_timeout: float = 120.0,
     ):
         from repro.api.artifacts import read_manifest
 
@@ -205,6 +220,8 @@ class PoolPredictor:
             raise ValueError("need 0 < restart_backoff <= restart_backoff_max")
         if supervise_interval <= 0:
             raise ValueError("supervise_interval must be positive")
+        if dispatch_timeout < 0:
+            raise ValueError("dispatch_timeout must be non-negative (0 disables)")
 
         manifest = read_manifest(path)
         self.path = Path(path)
@@ -220,6 +237,7 @@ class PoolPredictor:
         self.restart_backoff_max = float(restart_backoff_max)
         self.supervise_interval = float(supervise_interval)
         self.worker_wait = float(worker_wait)
+        self.dispatch_timeout = float(dispatch_timeout)
         self.input_shape = tuple(int(d) for d in manifest["input_shape"])
         self.num_classes = int(manifest["num_classes"])
         self.num_members = len(manifest["members"])
@@ -240,8 +258,10 @@ class PoolPredictor:
         self._futures: Dict[int, Future] = {}
         # request_id -> worker_id for dispatched-but-unanswered requests, so
         # a worker death fails exactly its in-flight futures (promptly,
-        # instead of letting clients run into the full request timeout).
+        # instead of letting clients run into the full request timeout);
+        # request_id -> dispatch time feeds the hung-worker deadline.
         self._inflight: Dict[int, int] = {}
+        self._inflight_since: Dict[int, float] = {}
         # Worker lifecycle state.  _ready holds the ids whose predictor is
         # loaded (guarded by _lock, written by the collector/supervisor);
         # _down maps a dead worker to the monotonic time its respawn is due
@@ -385,9 +405,11 @@ class PoolPredictor:
             if worker_id is None:
                 continue
             payload = [(request.request_id, request.x, request.method) for request in group]
+            dispatched = time.monotonic()
             with self._lock:
                 for request in group:
                     self._inflight[request.request_id] = worker_id
+                    self._inflight_since[request.request_id] = dispatched
             if _metrics.enabled:
                 _DISPATCHES.inc()
                 _DISPATCH_ROWS.observe(rows)
@@ -454,6 +476,7 @@ class PoolPredictor:
 
     def _check_workers(self) -> None:
         now = time.monotonic()
+        self._kill_wedged_workers(now)
         for worker_id, process in enumerate(self._processes):
             if process.is_alive():
                 continue
@@ -470,6 +493,42 @@ class PoolPredictor:
                     continue
                 self._respawn_worker(worker_id)
         _WORKERS_ALIVE.set(self.alive_workers())
+
+    def _kill_wedged_workers(self, now: float) -> None:
+        """SIGKILL workers holding a dispatch past ``dispatch_timeout``.
+
+        A wedged worker (hung in a syscall, looping, SIGSTOPped) still has a
+        live process, so the death path alone never notices it and its
+        clients would burn the whole request timeout.  Killing it converts
+        the hang into an ordinary death, which the loop right after this
+        call handles: in-flight requests fail promptly and the worker is
+        respawned under the usual backoff.
+        """
+        if self.dispatch_timeout <= 0:
+            return
+        with self._lock:
+            wedged = {
+                owner
+                for request_id, owner in self._inflight.items()
+                if now - self._inflight_since.get(request_id, now) > self.dispatch_timeout
+            }
+        for worker_id in wedged:
+            process = self._processes[worker_id]
+            if worker_id in self._down or not process.is_alive():
+                continue
+            _WORKER_HANGS.inc()
+            logger.error(
+                "serving worker %d exceeded the %.0fs dispatch deadline; killing it",
+                worker_id,
+                self.dispatch_timeout,
+            )
+            log_event(
+                "serve.worker_hung",
+                worker=worker_id,
+                dispatch_timeout_seconds=self.dispatch_timeout,
+            )
+            process.kill()
+            process.join(timeout=10)
 
     def _on_worker_death(self, worker_id: int, process: mp.Process) -> None:
         """Evict a dead worker: fail its in-flight requests, schedule respawn."""
@@ -532,6 +591,7 @@ class PoolPredictor:
         with self._lock:
             future = self._futures.pop(request_id, None)
             self._inflight.pop(request_id, None)
+            self._inflight_since.pop(request_id, None)
         if future is None:  # pragma: no cover - duplicate/late reply
             return
         if exception is not None:
@@ -683,6 +743,7 @@ class PoolPredictor:
             leftovers = list(self._futures.values())
             self._futures.clear()
             self._inflight.clear()
+            self._inflight_since.clear()
         for future in leftovers:
             if not future.done():
                 future.set_exception(RuntimeError("PoolPredictor closed"))

@@ -3,7 +3,7 @@
 Everything here runs inside ``spawn``-started worker processes, so it is all
 module-level (picklable by reference) and communicates exclusively through
 the picklable :class:`MemberTask` / :class:`MemberOutcome` records plus the
-shared-memory dataset attached at pool start-up.
+shared-memory dataset attached at worker start-up.
 
 A worker trains exactly the way the serial path does — same
 :class:`~repro.nn.training.Trainer`, same seed derivations, same bootstrap
@@ -11,11 +11,34 @@ sampling against the (shared) training set — so a member trained by a worker
 is bitwise identical to the member the serial loop would have produced,
 provided the BLAS thread count matches (floating-point summation order inside
 GEMM depends on it; the executor caps workers to one BLAS thread each by
-default).
+default).  Because every input is derived from the task record alone, a task
+*retried* on a different worker after a crash is also bitwise identical to a
+fault-free first attempt.
+
+Resilience contract with the executor:
+
+* the worker runs a persistent loop over its private request queue (one
+  task at a time, ``None`` ends the loop) and ships every message through
+  its private result queue — queue locks are never shared across workers,
+  so a SIGKILL mid-operation poisons only this worker's queues, which the
+  executor replaces at respawn;
+* a daemon heartbeat thread emits ``("heartbeat", worker_id, None)`` every
+  ``heartbeat_interval`` seconds so the executor can tell a *stopped*
+  process (SIGSTOP, scheduler starvation) from a merely slow one; a worker
+  wedged inside the training call keeps heartbeating, which is exactly why
+  the executor additionally enforces per-task deadlines;
+* the final :mod:`repro.obs` registry snapshot of each member fit travels
+  back inside :class:`MemberOutcome`, so per-member training metrics survive
+  worker exit (the registry is reset after each snapshot: snapshots are
+  deltas, and the parent merges them without double counting);
+* :func:`repro.faults.fire` injection points (``train`` point) sit directly
+  around the member fit for chaos tests — free when ``REPRO_FAULTS`` is
+  unset.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
@@ -62,25 +85,33 @@ class MemberOutcome:
     samples_per_epoch: int
     parameters: int
     compute_phases: Dict[str, float] = field(default_factory=dict)
+    # Delta snapshot of the worker's repro.obs registry covering this fit;
+    # merged into the parent registry so per-member metrics outlive the
+    # worker process.  None when metrics are disabled in the worker.
+    metrics: Optional[Dict[str, Dict[str, object]]] = None
+    attempt: int = 0  # which attempt produced this outcome (0 = first try)
 
 
 def _init_worker(meta: Dict[str, SharedArrayMeta], blas_threads: int) -> None:
-    """Pool initializer: cap BLAS threads and attach the shared dataset."""
+    """Cap BLAS threads and attach the shared dataset (idempotent)."""
     apply_blas_thread_cap(blas_threads)
     global _ATTACHED
-    _ATTACHED = AttachedDataset(meta)
+    if _ATTACHED is None:
+        _ATTACHED = AttachedDataset(meta)
 
 
-def _train_member(task: MemberTask) -> MemberOutcome:
+def _train_member(task: MemberTask, attempt: int = 0) -> MemberOutcome:
     """Train one member against the shared dataset and return its outcome."""
     # Imports live here (not at module top) so the parent can enumerate tasks
     # without paying for the full nn stack, and so spawn start-up stays lean
     # until a task actually arrives.
     from repro.arch.serialization import spec_from_json
     from repro.data.sampling import bootstrap_sample
+    from repro.faults import fire
     from repro.nn.model import Model
     from repro.nn.serialization import pack_model_state
     from repro.nn.training import Trainer
+    from repro.obs.metrics import get_registry
     from repro.utils.timing import capture_phase_timings
 
     if _ATTACHED is None:
@@ -99,6 +130,10 @@ def _train_member(task: MemberTask) -> MemberOutcome:
     else:
         x_fit, y_fit, samples = x, y, int(x.shape[0])
 
+    # Chaos-test injection point: fires "mid-member" — after the task is
+    # accepted and the model is built, before any result can be produced.
+    fire("train", member=task.name, attempt=attempt)
+
     start = time.perf_counter()
     if task.collect_phase_timings:
         with capture_phase_timings() as phases:
@@ -108,6 +143,15 @@ def _train_member(task: MemberTask) -> MemberOutcome:
         result = Trainer(task.config).fit(model, x_fit, y_fit, seed=task.train_seed)
     seconds = time.perf_counter() - start
 
+    # Ship the registry delta for this fit and reset, so the next task on
+    # this worker starts from zero and the parent never double-merges.
+    registry = get_registry()
+    if registry.enabled:
+        metrics = registry.snapshot()
+        registry.reset()
+    else:
+        metrics = None
+
     return MemberOutcome(
         name=task.name,
         state=pack_model_state(model),
@@ -116,4 +160,57 @@ def _train_member(task: MemberTask) -> MemberOutcome:
         samples_per_epoch=samples,
         parameters=model.parameter_count(),
         compute_phases=dict(phases),
+        metrics=metrics,
+        attempt=attempt,
     )
+
+
+def _heartbeat_loop(worker_id: int, result_queue, interval: float, stop: threading.Event) -> None:
+    """Daemon thread: tell the parent this process is still scheduled."""
+    while not stop.wait(interval):
+        try:
+            result_queue.put(("heartbeat", worker_id, None))
+        except Exception:  # pragma: no cover - queue torn down at exit
+            return
+
+
+def _worker_main(
+    worker_id: int,
+    meta: Dict[str, SharedArrayMeta],
+    blas_threads: int,
+    heartbeat_interval: float,
+    request_queue,
+    result_queue,
+) -> None:
+    """Training-worker main loop (one process; see module docstring)."""
+    try:
+        _init_worker(meta, blas_threads)
+    except BaseException as exc:  # pragma: no cover - startup failure path
+        try:
+            result_queue.put(("fatal", worker_id, f"{type(exc).__name__}: {exc}"))
+        finally:
+            return
+    stop = threading.Event()
+    beat = threading.Thread(
+        target=_heartbeat_loop,
+        args=(worker_id, result_queue, heartbeat_interval, stop),
+        name=f"repro-train-heartbeat-{worker_id}",
+        daemon=True,
+    )
+    beat.start()
+    try:
+        while True:
+            item = request_queue.get()
+            if item is None:
+                break
+            task_index, attempt, task = item
+            try:
+                outcome = _train_member(task, attempt=attempt)
+            except Exception as exc:
+                result_queue.put(
+                    ("error", worker_id, (task_index, attempt, f"{type(exc).__name__}: {exc}"))
+                )
+            else:
+                result_queue.put(("result", worker_id, (task_index, attempt, outcome)))
+    finally:
+        stop.set()

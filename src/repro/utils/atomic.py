@@ -1,0 +1,77 @@
+"""Crash-safe file writes: write to a temp file, fsync, then rename.
+
+Every artifact writer in the library goes through these helpers so that a
+``kill -9`` (or power loss) at any instant leaves either the old file, the
+new file, or no file — never a half-written one.  ``os.replace`` is atomic
+on POSIX within one filesystem, and the temp file lives next to its target
+so the rename never crosses a mount boundary.
+
+The directory entry itself is fsynced after the rename (best effort — some
+filesystems refuse ``open()`` on directories), so the new name survives a
+crash immediately after the call returns.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Iterator, Union
+
+__all__ = ["atomic_writer", "atomic_write_bytes", "atomic_write_text", "fsync_dir"]
+
+
+def fsync_dir(path: Union[str, Path]) -> None:
+    """Flush directory metadata (new/renamed entries) to disk, best effort."""
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs refuses dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextmanager
+def atomic_writer(path: Union[str, Path], mode: str = "wb") -> Iterator[IO]:
+    """Context manager: yield a temp-file handle; publish it atomically.
+
+    The data is written to ``<path>.tmp.<pid>`` in the target directory,
+    flushed and fsynced on clean exit, then moved over ``path`` with
+    ``os.replace``.  On an exception the temp file is removed and the target
+    is left untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f"{path.name}.tmp.{os.getpid()}"
+    handle = open(tmp, mode)
+    try:
+        yield handle
+        handle.flush()
+        os.fsync(handle.fileno())
+        handle.close()
+        os.replace(tmp, path)
+    except BaseException:
+        handle.close()
+        try:
+            os.unlink(tmp)
+        except OSError:  # pragma: no cover - already gone
+            pass
+        raise
+    fsync_dir(path.parent)
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> Path:
+    """Atomically replace ``path`` with ``data``."""
+    path = Path(path)
+    with atomic_writer(path, "wb") as handle:
+        handle.write(data)
+    return path
+
+
+def atomic_write_text(path: Union[str, Path], text: str, encoding: str = "utf-8") -> Path:
+    """Atomically replace ``path`` with ``text``."""
+    return atomic_write_bytes(path, text.encode(encoding))

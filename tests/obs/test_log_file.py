@@ -1,0 +1,84 @@
+"""The ``--log-file`` sink: JSON lines, size rotation, path switching."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+import repro.obs.events as events
+from repro.obs.events import EVENTS_LOGGER_NAME, configure_logging, enable_events, log_event
+
+
+@pytest.fixture()
+def clean_logging():
+    """Restore the unconfigured logging state after each test."""
+    yield
+    root = logging.getLogger("repro")
+    if events._file_handler is not None:
+        root.removeHandler(events._file_handler)
+        events._file_handler.close()
+        events._file_handler = None
+        events._file_handler_path = None
+    events._configured_fmt = None
+    logging.getLogger(EVENTS_LOGGER_NAME).setLevel(logging.NOTSET)
+    configure_logging(force=True)
+
+
+def _read_events(path):
+    return [json.loads(line) for line in path.read_text(encoding="utf-8").splitlines()]
+
+
+def test_log_file_receives_json_lines(tmp_path, clean_logging):
+    log_path = tmp_path / "logs" / "train.log"  # parent dir is created
+    configure_logging(fmt="text", force=True, log_file=log_path)
+    enable_events()
+    log_event("train.member_journaled", member="m1", index=0)
+    payloads = _read_events(log_path)
+    assert payloads[-1]["event"] == "train.member_journaled"
+    assert payloads[-1]["member"] == "m1"
+    # The file sink is JSON regardless of the terminal format.
+    assert all(isinstance(p, dict) for p in payloads)
+
+
+def test_log_file_rotates_at_size_cap(tmp_path, clean_logging):
+    log_path = tmp_path / "serve.log"
+    configure_logging(
+        fmt="json", force=True, log_file=log_path,
+        log_file_max_bytes=2048, log_file_backups=2,
+    )
+    enable_events()
+    for index in range(200):
+        log_event("serve.request", index=index, padding="x" * 64)
+    assert log_path.stat().st_size <= 4096  # current file stays near the cap
+    backups = sorted(tmp_path.glob("serve.log.*"))
+    assert [b.name for b in backups] == ["serve.log.1", "serve.log.2"]
+    # Newest entries live in the live file, older ones in the backups.
+    assert _read_events(log_path)[-1]["index"] == 199
+    assert _read_events(backups[0])[0]["index"] < 199
+
+
+def test_reconfiguring_with_new_path_moves_the_sink(tmp_path, clean_logging):
+    first, second = tmp_path / "a.log", tmp_path / "b.log"
+    configure_logging(fmt="json", force=True, log_file=first)
+    enable_events()
+    log_event("one")
+    configure_logging(fmt="json", force=True, log_file=second)
+    log_event("two")
+    assert [p["event"] for p in _read_events(first)] == ["one"]
+    assert [p["event"] for p in _read_events(second)] == ["two"]
+    # Only one file handler is ever installed.
+    root = logging.getLogger("repro")
+    assert sum(isinstance(h, logging.handlers.RotatingFileHandler) for h in root.handlers) == 1
+
+
+def test_log_file_installs_even_when_already_configured(tmp_path, clean_logging):
+    """The idempotence guard must not swallow a later --log-file request
+    (train configures logging lazily before the file path is known)."""
+    configure_logging(fmt="text", force=True)  # the usual early call
+    log_path = tmp_path / "late.log"
+    configure_logging(log_file=log_path)  # no force: stream setup untouched
+    enable_events()
+    log_event("late.event")
+    assert [p["event"] for p in _read_events(log_path)] == ["late.event"]

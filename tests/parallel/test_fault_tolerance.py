@@ -1,0 +1,323 @@
+"""Chaos tests: the training engine under injected crashes, hangs and errors.
+
+The contract under test (ISSUE 6): a worker SIGKILLed or wedged mid-member is
+evicted, respawned, and its task retried — and because every seed is derived
+statelessly, the finished ensemble is *bitwise* identical to a run where
+nothing failed.  A parent killed with ``kill -9`` resumes from the checkpoint
+journal without retraining finished members.  Faults come from the
+``REPRO_FAULTS`` registry (``repro.faults``), the same mechanism the CI chaos
+job uses.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import load_ensemble_run, run_experiment
+from repro.obs.metrics import get_registry
+
+# Member names produced by the conftest mlp family (count=4, seed=1).
+MEMBERS = ["mlp-base", "mlp-var-001", "mlp-var-002", "mlp-var-003"]
+# In the *mothernets* conftest experiment the first two members alias their
+# cluster's MotherNet and train inline in the parent; the last two are
+# worker tasks (the only place train faults can fire).
+WORKER_TRAINED_MEMBER = "mlp-var-002"
+
+
+def _counter(name: str, *labels: str) -> float:
+    metric = get_registry().get(name)
+    if metric is None:
+        return 0.0
+    if labels:
+        metric = metric.labels(*labels)
+    return metric.value
+
+
+def _scratch_config(experiment_dict, **training_overrides):
+    config = experiment_dict(approach="full-data")
+    config.pop("trainer")
+    config.pop("super_learner")
+    config["training"] = dict(config["training"], **training_overrides)
+    return config
+
+
+def _assert_same_members(reference, candidate):
+    assert [m.name for m in reference.ensemble.members] == [
+        m.name for m in candidate.ensemble.members
+    ]
+    for ref, cand in zip(reference.ensemble.members, candidate.ensemble.members):
+        ref_weights = ref.model.get_weights()
+        cand_weights = cand.model.get_weights()
+        assert ref_weights.keys() == cand_weights.keys()
+        for layer in ref_weights:
+            for key in ref_weights[layer]:
+                np.testing.assert_array_equal(
+                    cand_weights[layer][key],
+                    ref_weights[layer][key],
+                    err_msg=f"{ref.name}/{layer}/{key}",
+                )
+
+
+@pytest.fixture(scope="module")
+def scratch_serial(experiment_dict):
+    """Fault-free serial reference for the full-data (scratch) approach."""
+    return run_experiment(_scratch_config(experiment_dict)).run
+
+
+def test_sigkill_mid_member_retries_bitwise(experiment_dict, scratch_serial, monkeypatch):
+    """A worker SIGKILLed mid-fit is evicted; the retried member is bitwise
+    identical to the fault-free run (``attempt=0`` scopes the fault to the
+    first attempt, so the retry survives)."""
+    monkeypatch.setenv("REPRO_FAULTS", "train_crash:member=mlp-var-001:attempt=0")
+    retries_before = _counter("repro_training_task_retries_total")
+    evictions_before = _counter("repro_training_worker_evictions_total", "died")
+
+    chaos = run_experiment(_scratch_config(experiment_dict, workers=2)).run
+
+    _assert_same_members(scratch_serial, chaos)
+    assert _counter("repro_training_task_retries_total") >= retries_before + 1
+    assert _counter("repro_training_worker_evictions_total", "died") >= evictions_before + 1
+
+
+def test_hang_past_deadline_evicts_and_retries_bitwise(
+    experiment_dict, scratch_serial, monkeypatch
+):
+    """A worker wedged past ``task_timeout`` is SIGKILLed by the deadline
+    check (its heartbeat thread keeps beating, so only the per-task deadline
+    can catch it) and the member retrains bitwise."""
+    monkeypatch.setenv(
+        "REPRO_FAULTS", "train_hang:member=mlp-var-002:attempt=0:seconds=60"
+    )
+    retries_before = _counter("repro_training_task_retries_total")
+    deadline_before = _counter("repro_training_worker_evictions_total", "deadline")
+
+    chaos = run_experiment(
+        _scratch_config(experiment_dict, workers=2, task_timeout=3.0)
+    ).run
+
+    _assert_same_members(scratch_serial, chaos)
+    assert _counter("repro_training_task_retries_total") >= retries_before + 1
+    assert (
+        _counter("repro_training_worker_evictions_total", "deadline")
+        >= deadline_before + 1
+    )
+
+
+def test_mothernets_chaos_crash_matches_serial(
+    experiment_dict, serial_result, monkeypatch
+):
+    """The full MotherNets pipeline (cluster -> train -> hatch -> fine-tune)
+    survives a crashed member worker bitwise, super-learner fit included."""
+    monkeypatch.setenv(
+        "REPRO_FAULTS", f"train_crash:member={WORKER_TRAINED_MEMBER}:attempt=0"
+    )
+    retries_before = _counter("repro_training_task_retries_total")
+
+    config = copy.deepcopy(experiment_dict())
+    config["training"] = dict(config["training"], workers=2)
+    chaos = run_experiment(config)
+
+    _assert_same_members(serial_result.run, chaos.run)
+    np.testing.assert_array_equal(
+        chaos.ensemble.super_learner_weights,
+        serial_result.ensemble.super_learner_weights,
+    )
+    assert _counter("repro_training_task_retries_total") >= retries_before + 1
+
+
+def test_retries_exhausted_raises_naming_member(experiment_dict, monkeypatch):
+    """A member that fails on every attempt surfaces a clear error naming it
+    (no hang, no silent truncation of the ensemble)."""
+    monkeypatch.setenv("REPRO_FAULTS", "train_error:member=mlp-var-003")
+    config = _scratch_config(experiment_dict, workers=2, max_task_retries=1)
+    with pytest.raises(RuntimeError, match="mlp-var-003") as excinfo:
+        run_experiment(config)
+    assert "2 times" in str(excinfo.value)  # 1 attempt + 1 retry
+
+
+def test_worker_metrics_merge_into_parent(experiment_dict):
+    """Satellite (a): per-member metrics recorded inside worker processes
+    (e.g. epoch counters) ship back in ``MemberOutcome`` and accumulate in
+    the parent registry."""
+    epochs_before = _counter("repro_training_epochs_total")
+    run = run_experiment(_scratch_config(experiment_dict, workers=2)).run
+    trained_epochs = sum(r.epochs for r in run.ledger.records)
+    assert trained_epochs > 0
+    assert _counter("repro_training_epochs_total") >= epochs_before + trained_epochs
+
+
+# --------------------------------------------------------------------------
+# kill -9 the parent, then `repro train --resume`
+# --------------------------------------------------------------------------
+
+
+def _child_pids(pid: int) -> list:
+    """Direct children of ``pid`` (procfs scan; spawn workers only)."""
+    children = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit():
+            continue
+        try:
+            stat = Path("/proc", entry, "stat").read_text()
+            ppid = int(stat.rsplit(")", 1)[1].split()[1])
+        except (OSError, ValueError, IndexError):
+            continue
+        if ppid == pid:
+            children.append(int(entry))
+    return children
+
+
+def _reap_shm_residue() -> None:
+    # The SIGKILLed parent never ran SharedDataset cleanup; unlink whatever
+    # its orphans left so later tests' residue assertions stay meaningful.
+    for leftover in Path("/dev/shm").glob("repro-shm*"):
+        try:
+            leftover.unlink()
+        except OSError:
+            pass
+
+
+@pytest.mark.skipif(not sys.platform.startswith("linux"), reason="procfs + /dev/shm")
+def test_parent_kill9_then_resume_skips_journaled_members(
+    experiment_dict, scratch_serial, tmp_path
+):
+    """kill -9 the training CLI mid-run; ``--resume`` restores the journaled
+    members bitwise and only trains the remainder (acceptance criterion)."""
+    config = _scratch_config(experiment_dict, workers=2, task_timeout=600.0)
+    spec_path = tmp_path / "exp.json"
+    spec_path.write_text(json.dumps(config), encoding="utf-8")
+    out = tmp_path / "artifact"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+    # The last member hangs far beyond the point where we kill the parent, so
+    # the run is guaranteed to still be alive once earlier members journaled.
+    env["REPRO_FAULTS"] = "train_hang:member=mlp-var-003:seconds=600"
+
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "train", "--config", str(spec_path),
+         "--output", str(out), "--no-eval"],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    member_markers = out / "checkpoint" / "members"
+    try:
+        deadline = time.monotonic() + 120
+        while len(list(member_markers.glob("*.json"))) < 2:
+            if proc.poll() is not None:
+                pytest.fail(
+                    "training exited before it could be killed:\n"
+                    + (proc.stderr.read() or "")
+                )
+            if time.monotonic() > deadline:
+                pytest.fail("no members journaled within 120s")
+            time.sleep(0.05)
+        workers = _child_pids(proc.pid)
+        proc.kill()  # SIGKILL: no cleanup of any kind runs
+        proc.wait(timeout=30)
+    finally:
+        for pid in _child_pids(proc.pid) + ([] if proc.poll() is not None else [proc.pid]):
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except OSError:
+                pass
+        for pid in locals().get("workers", []):
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except OSError:
+                pass
+        proc.stderr.close()
+        _reap_shm_residue()
+
+    journaled = len(list(member_markers.glob("*.json")))
+    assert journaled >= 2
+    assert not (out / "manifest.json").exists()
+
+    metrics_path = tmp_path / "metrics.prom"
+    resume = subprocess.run(
+        [sys.executable, "-m", "repro", "train", "--config", str(spec_path),
+         "--output", str(out), "--resume", "--no-eval",
+         "--metrics-file", str(metrics_path)],
+        env=dict(env, REPRO_FAULTS=""),
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert resume.returncode == 0, resume.stderr
+
+    # The resumed process restored every journaled member instead of
+    # retraining it...
+    metrics_text = metrics_path.read_text(encoding="utf-8")
+    restored = 0.0
+    for line in metrics_text.splitlines():
+        if line.startswith("repro_training_resume_restored_networks"):
+            restored = float(line.split()[-1])
+    assert restored >= journaled
+
+    # ...and the finished artifact is bitwise the fault-free ensemble, with
+    # the journal discarded now that the manifest is the commit point.
+    _assert_same_members(scratch_serial, load_ensemble_run(out))
+    assert not (out / "checkpoint").exists()
+
+
+def test_resume_refused_without_flag(experiment_dict, tmp_path):
+    """An existing journal is never silently overwritten: the CLI-facing
+    entrypoint demands an explicit --resume."""
+    config = _scratch_config(experiment_dict)
+    spec = run_experiment(config, checkpoint_dir=tmp_path)  # leaves a journal
+    assert (tmp_path / "checkpoint" / "checkpoint.json").is_file()
+    with pytest.raises(FileExistsError, match="--resume"):
+        run_experiment(config, checkpoint_dir=tmp_path)
+    del spec
+
+
+# --------------------------------------------------------------------------
+# serving pool: hung-worker eviction
+# --------------------------------------------------------------------------
+
+
+def test_serving_pool_evicts_hung_worker(saved_artifact, serial_result, monkeypatch):
+    """A serving worker wedged past ``dispatch_timeout`` is SIGKILLed, its
+    in-flight request fails promptly (not after the full request timeout),
+    and the respawned worker serves correct answers again."""
+    from repro.parallel.serving import PoolPredictor
+
+    monkeypatch.setenv("REPRO_FAULTS", "serve_hang:times=1:seconds=60")
+    hangs_before = _counter("repro_serve_worker_hangs_total")
+    x = serial_result.dataset.x_test[:8]
+    expected = serial_result.ensemble.predict(x)
+
+    with PoolPredictor(
+        saved_artifact,
+        workers=1,
+        dispatch_timeout=1.0,
+        restart_backoff=1.0,
+        request_timeout=120.0,
+    ) as pool:
+        start = time.monotonic()
+        with pytest.raises(RuntimeError, match="worker 0 died"):
+            pool.predict(x)
+        # Failed via the dispatch deadline, far below the request timeout.
+        assert time.monotonic() - start < 30
+        # The respawned worker must not inherit the fault.
+        monkeypatch.delenv("REPRO_FAULTS")
+        assert _counter("repro_serve_worker_hangs_total") >= hangs_before + 1
+
+        deadline = time.monotonic() + 60
+        while pool.healthz()["status"] != "ok":
+            if time.monotonic() > deadline:
+                pytest.fail(f"pool never recovered: {pool.healthz()}")
+            time.sleep(0.1)
+        np.testing.assert_array_equal(pool.predict(x), expected)
+        assert pool.healthz()["restarts"] >= 1

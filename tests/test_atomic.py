@@ -1,0 +1,84 @@
+"""Crash-safe file writes (``repro.utils.atomic``)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.utils.atomic import atomic_write_bytes, atomic_write_text, atomic_writer
+
+
+def _no_temp_residue(directory):
+    return [p.name for p in directory.iterdir() if ".tmp." in p.name] == []
+
+
+def test_atomic_write_text_creates_and_replaces(tmp_path):
+    target = tmp_path / "state.json"
+    assert atomic_write_text(target, "one") == target
+    assert target.read_text(encoding="utf-8") == "one"
+    atomic_write_text(target, "two")
+    assert target.read_text(encoding="utf-8") == "two"
+    assert _no_temp_residue(tmp_path)
+
+
+def test_atomic_write_bytes(tmp_path):
+    target = tmp_path / "blob.bin"
+    atomic_write_bytes(target, b"\x00\x01")
+    assert target.read_bytes() == b"\x00\x01"
+    assert _no_temp_residue(tmp_path)
+
+
+def test_failed_write_leaves_old_content_and_no_temp_files(tmp_path):
+    target = tmp_path / "precious.txt"
+    atomic_write_text(target, "original")
+
+    class Boom(RuntimeError):
+        pass
+
+    with pytest.raises(Boom):
+        with atomic_writer(target, "w") as handle:
+            handle.write("half-finished garbage")
+            raise Boom()
+    # The interrupted write is invisible: old content intact, temp cleaned.
+    assert target.read_text(encoding="utf-8") == "original"
+    assert _no_temp_residue(tmp_path)
+
+
+def test_writer_temp_file_lives_next_to_target(tmp_path):
+    """The temp file must share the target's directory — os.replace is only
+    atomic within one filesystem."""
+    target = tmp_path / "out.txt"
+    with atomic_writer(target, "w") as handle:
+        temp_path = handle.name
+        handle.write("data")
+        assert os.path.dirname(temp_path) == str(tmp_path)
+        assert f".tmp.{os.getpid()}" in os.path.basename(temp_path)
+    assert not os.path.exists(temp_path)
+    assert target.read_text(encoding="utf-8") == "data"
+
+
+def test_save_model_is_atomic(tmp_path, monkeypatch):
+    """Model checkpoints go through the atomic writer: a replace that fails
+    mid-write leaves the previous checkpoint intact."""
+    from repro.arch.zoo import mlp_family
+    from repro.nn.model import Model
+    from repro.nn.serialization import load_model, save_model
+
+    spec = mlp_family(count=1, input_features=6, num_classes=3, base_width=8, seed=1)[0]
+    model = Model.from_spec(spec, seed=3)
+    path = save_model(model, tmp_path / "model.npz")
+    first = path.read_bytes()
+
+    import numpy as np
+
+    def explode(*args, **kwargs):
+        raise RuntimeError("disk on fire")
+
+    monkeypatch.setattr(np, "savez_compressed", explode)
+    with pytest.raises(RuntimeError, match="disk on fire"):
+        save_model(Model.from_spec(spec, seed=4), tmp_path / "model.npz")
+    assert path.read_bytes() == first
+    assert _no_temp_residue(tmp_path)
+    reloaded = load_model(path)
+    assert reloaded.spec == model.spec
