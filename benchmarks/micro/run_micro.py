@@ -427,6 +427,121 @@ def bench_pool_predict(repeats: int) -> Dict:
     return entry
 
 
+def bench_pool_predict_large(repeats: int) -> Dict:
+    """Large-batch serving data plane: shm transport (fast) versus the pickle
+    reference, one worker, one client — isolating what the transport itself
+    costs.  For each batch size the harness records p50/p99 end-to-end
+    latency and the bytes that actually crossed the parent<->worker process
+    boundary (measured by the ``repro_serve_transport_bytes_total`` counters:
+    tensor payloads on the pickle path, queue descriptors on the shm path).
+    The headline ``speedup`` is pickle-p50 over shm-p50 at batch 4096;
+    ``bytes_ratio_4096`` is the corresponding bytes reduction, which is
+    deterministic (no timing involved) and guarded by the tier-1 suite.
+    """
+    batch_sizes = [256, 1024, 4096]
+    params = {
+        "members": 3,
+        "features": 32,
+        "classes": 8,
+        "batch_sizes": batch_sizes,
+        "workers": 1,
+        "arena_slots": 4,
+        "cpu_count": cpu_count(),
+    }
+    from repro.api import run_experiment, save_ensemble_run
+    from repro.obs.metrics import get_registry
+    from repro.parallel import PoolPredictor
+
+    result = run_experiment(
+        {
+            "name": "bench-pool-large",
+            "dataset": {
+                "name": "tabular",
+                "train_samples": 256,
+                "test_samples": max(batch_sizes),
+                "num_classes": params["classes"],
+                "num_features": params["features"],
+                "seed": 5,
+            },
+            "members": {
+                "family": "mlp",
+                "count": params["members"],
+                "input_features": params["features"],
+                "num_classes": params["classes"],
+                "base_width": 64,
+                "seed": 1,
+            },
+            "approach": "full-data",
+            "training": {"max_epochs": 1, "batch_size": 64, "learning_rate": 0.1},
+            "seed": 0,
+        }
+    )
+    artifact_root = Path(tempfile.mkdtemp(prefix="repro-bench-pool-large-"))
+    artifact = artifact_root / "artifact"
+    save_ensemble_run(result.run, artifact)
+    x_full = result.dataset.x_test
+
+    registry = get_registry()
+
+    def transport_bytes(transport: str) -> float:
+        metric = registry.get("repro_serve_transport_bytes_total")
+        if metric is None:
+            return 0.0
+        return (
+            metric.labels(transport, "request").value
+            + metric.labels(transport, "response").value
+        )
+
+    iterations = max(repeats, 10)  # p99 needs more than a handful of samples
+    transports: Dict[str, Dict] = {}
+    try:
+        for transport in ("pickle", "shm"):
+            per_batch: Dict[str, Dict] = {}
+            pool = PoolPredictor(
+                artifact,
+                workers=1,
+                transport=transport,
+                max_batch=max(batch_sizes),
+                arena_slots=params["arena_slots"],
+                max_wait_ms=0.0,
+            )
+            try:
+                for batch in batch_sizes:
+                    x = x_full[:batch]
+                    pool.predict_proba(x)  # warm-up (arena pages, worker caches)
+                    samples: List[float] = []
+                    bytes_before = transport_bytes(transport)
+                    for _ in range(iterations):
+                        start = time.perf_counter()
+                        pool.predict_proba(x)
+                        samples.append(time.perf_counter() - start)
+                    moved = transport_bytes(transport) - bytes_before
+                    per_batch[str(batch)] = {
+                        "p50_seconds": float(np.percentile(samples, 50)),
+                        "p99_seconds": float(np.percentile(samples, 99)),
+                        "bytes_per_request": moved / iterations,
+                    }
+            finally:
+                pool.close()
+            transports[transport] = per_batch
+    finally:
+        shutil.rmtree(artifact_root, ignore_errors=True)
+
+    large = str(max(batch_sizes))
+    entry = {
+        "params": params,
+        "iterations": iterations,
+        "transports": transports,
+        "reference_seconds": transports["pickle"][large]["p50_seconds"],
+        "fast_seconds": transports["shm"][large]["p50_seconds"],
+        "bytes_ratio_4096": (
+            transports["pickle"][large]["bytes_per_request"]
+            / transports["shm"][large]["bytes_per_request"]
+        ),
+    }
+    return entry
+
+
 BENCHMARKS: Dict[str, Callable[[int], Dict]] = {
     "conv_forward": bench_conv_forward,
     "conv_backward": bench_conv_backward,
@@ -436,6 +551,7 @@ BENCHMARKS: Dict[str, Callable[[int], Dict]] = {
     "metrics_overhead": bench_metrics_overhead,
     "ensemble_train_parallel": bench_ensemble_train_parallel,
     "pool_predict": bench_pool_predict,
+    "pool_predict_large": bench_pool_predict_large,
 }
 
 
@@ -479,6 +595,12 @@ def main() -> None:
     )
     parser.add_argument("--repeats", type=int, default=5, help="timed runs per benchmark")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT, help="JSON output path")
+    parser.add_argument(
+        "--merge",
+        action="store_true",
+        help="keep entries already in --output for benchmarks not run this time "
+        "(re-measure one benchmark without clobbering the rest of the file)",
+    )
     args = parser.parse_args()
 
     if args.benchmarks == "all":
@@ -490,6 +612,10 @@ def main() -> None:
             parser.error(f"unknown benchmarks: {unknown}; known: {sorted(BENCHMARKS)}")
 
     payload = run(names, max(1, args.repeats))
+    if args.merge and args.output.exists():
+        previous = json.loads(args.output.read_text()).get("benchmarks", {})
+        for name, entry in previous.items():
+            payload["benchmarks"].setdefault(name, entry)
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.output}")

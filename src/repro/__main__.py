@@ -114,6 +114,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable the pool supervisor's automatic worker respawn",
     )
     serve.add_argument(
+        "--transport",
+        choices=("shm", "pickle"),
+        default="shm",
+        help="request/response data plane: shared-memory arenas (default) or "
+        "the pickle-through-queues reference path",
+    )
+    serve.add_argument(
         "--log-format",
         choices=("json", "text"),
         default="json",
@@ -213,6 +220,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         restart_workers=not args.no_restart,
+        transport=args.transport,
         log_format=args.log_format,
         log_file=args.log_file,
     )

@@ -10,7 +10,11 @@ Grammar
 Each spec is ``<point>_<action>`` followed by ``:key=value`` qualifiers:
 
 * ``point`` names the injection site: ``train`` (the training worker's
-  member entrypoint) or ``serve`` (the serving worker's request loop).
+  member entrypoint), ``serve`` (the serving worker's request loop), or
+  ``serve_shm_write`` (the serving worker on the shm transport, *after*
+  inference but *before* the result is written to its arena slot — the
+  nastiest moment for a crash, since the dispatcher has regions reserved
+  for a descriptor that will never arrive).
 * ``action`` is what happens when the spec fires:
 
   - ``crash`` — the process SIGKILLs itself (indistinguishable from an OOM

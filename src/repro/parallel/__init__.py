@@ -17,11 +17,16 @@ Two halves share the same ``spawn``-safe multiprocessing substrate:
   respawned under bounded backoff; each worker owns private crash-isolated
   queues).  Exposed over HTTP by ``python -m repro serve``
   (:func:`repro.parallel.server.run_server`), including Prometheus
-  ``GET /metrics`` and a degrading ``GET /healthz``.
+  ``GET /metrics`` and a degrading ``GET /healthz``.  The request/response
+  data plane is pluggable: ``transport="shm"`` (default) moves tensors
+  through per-worker shared-memory arenas (:class:`ShmArena`) so the queues
+  carry only fixed-size descriptors; ``transport="pickle"`` is the reference
+  tensors-through-the-queues path.
 """
 
 from repro.parallel.executor import ParallelExecutor, train_members
 from repro.parallel.shared_data import AttachedDataset, SharedArrayMeta, SharedDataset
+from repro.parallel.shm_transport import ArenaMeta, ShmArena
 from repro.parallel.worker import MemberOutcome, MemberTask
 from repro.parallel.serving import PoolPredictor
 
@@ -31,6 +36,8 @@ __all__ = [
     "SharedDataset",
     "AttachedDataset",
     "SharedArrayMeta",
+    "ArenaMeta",
+    "ShmArena",
     "MemberTask",
     "MemberOutcome",
     "PoolPredictor",

@@ -134,6 +134,7 @@ def run_server(
     max_batch: int = 1024,
     max_wait_ms: float = 2.0,
     restart_workers: bool = True,
+    transport: str = "shm",
     log_format: str = "json",
     log_file: Optional[Union[str, Path]] = None,
     ready_event: Optional[threading.Event] = None,
@@ -156,6 +157,7 @@ def run_server(
         max_batch=max_batch,
         max_wait_ms=max_wait_ms,
         restart_workers=restart_workers,
+        transport=transport,
     )
     try:
         server = ThreadingHTTPServer((host, int(port)), _make_handler(pool))
@@ -185,6 +187,7 @@ def run_server(
                 "port": bound_port,
                 "workers": workers,
                 "method": method,
+                "transport": transport,
                 "artifact": str(artifact),
             }
         ),
@@ -196,6 +199,7 @@ def run_server(
         workers=workers,
         artifact=str(artifact),
         restart_workers=restart_workers,
+        transport=transport,
     )
     if ready_event is not None:
         ready_event.set()

@@ -34,19 +34,33 @@ replaces both with fresh ones at respawn; with a lock shared across workers
 (the naive single result queue) one crash could deadlock the whole pool.
 The collector multiplexes the per-worker result queues through
 ``multiprocessing.connection.wait``.
+
+Transports: with ``transport="shm"`` (the default) each worker additionally
+owns a shared-memory arena (:class:`~repro.parallel.shm_transport.ShmArena`)
+and the queues carry only fixed-size descriptors — request rows are written
+once into the worker's arena and probabilities come back as zero-copy views
+of worker-written result regions.  ``transport="pickle"`` keeps the original
+tensors-through-the-queue path as the bitwise reference; the shm dispatcher
+also falls back to it per dispatch whenever a request does not fit the arena.
+A dead worker's arena is retired wholesale (name unlinked immediately, the
+mapping closed once the last client-held result view is garbage collected)
+and the respawned worker gets a fresh generation, so a SIGKILL mid-slot-write
+can never wedge the dispatcher or leak ``/dev/shm`` segments.
 """
 
 from __future__ import annotations
 
 import atexit
 import itertools
+import pickle
 import queue as thread_queue
 import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
+from math import prod
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import multiprocessing as mp
 from multiprocessing.connection import wait as _mp_wait
@@ -54,10 +68,13 @@ from multiprocessing.connection import wait as _mp_wait
 import numpy as np
 
 from repro.core.ensemble import COMBINATION_METHODS
-from repro.faults import fire
 from repro.obs.events import log_event
 from repro.obs.metrics import get_registry
+from repro.parallel.shm_transport import RESULT_ITEMSIZE, ShmArena, _align
+from repro.parallel.worker import _serving_worker_main
 from repro.utils.logging import get_logger
+
+TRANSPORTS = ("shm", "pickle")
 
 logger = get_logger("parallel.serving")
 
@@ -104,43 +121,34 @@ _WORKER_HANGS = _metrics.counter(
     "repro_serve_worker_hangs_total",
     "Pool workers killed for exceeding the dispatch deadline (wedged).",
 )
+_TRANSPORT_BYTES = _metrics.counter(
+    "repro_serve_transport_bytes_total",
+    "Bytes crossing the parent<->worker process boundary, by transport and "
+    "direction (shm counts only the queue descriptors; pickle counts the "
+    "tensor payloads).",
+    ("transport", "direction"),
+)
+_TRANSPORT_FALLBACKS = _metrics.counter(
+    "repro_serve_transport_fallbacks_total",
+    "Dispatches the shm transport handed to the pickle path instead.",
+    ("reason",),
+)
+_TRANSPORT_PHASE = _metrics.histogram(
+    "repro_serve_transport_phase_seconds",
+    "Per-dispatch transport phases: copying rows into the arena (shm) or "
+    "building the tensor payload (pickle).",
+    ("transport", "phase"),
+)
+
+#: Estimated per-request pickle framing on the reference transport; the
+#: tensor bytes dominate, so the counter is a (tight) lower bound of the
+#: true pickled size — conservative for any shm-vs-pickle ratio claim.
+_PICKLE_OVERHEAD = 64
 
 
-def _serving_worker(
-    worker_id: int,
-    artifact: str,
-    method: str,
-    batch_size: int,
-    warm: bool,
-    request_queue,
-    result_queue,
-) -> None:
-    """Worker main loop: load the artifact once, answer request groups."""
-    try:
-        from repro.api.predictor import EnsemblePredictor
-
-        predictor = EnsemblePredictor.load(
-            artifact, method=method, batch_size=batch_size, warm=warm
-        )
-        result_queue.put(("ready", worker_id, None))
-    except BaseException as exc:  # pragma: no cover - startup failure path
-        result_queue.put(("fatal", worker_id, f"{type(exc).__name__}: {exc}"))
-        return
-    while True:
-        group = request_queue.get()
-        if group is None:
-            break
-        # Chaos-test injection point ("serve"): crash or wedge this worker
-        # with a request group in flight — free when REPRO_FAULTS is unset.
-        fire("serve", worker=worker_id)
-        replies = []
-        for request_id, x, method_override in group:
-            try:
-                proba = predictor.predict_proba(x, method=method_override)
-                replies.append((request_id, proba, None))
-            except Exception as exc:
-                replies.append((request_id, None, f"{type(exc).__name__}: {exc}"))
-        result_queue.put(("result", worker_id, replies))
+def _descriptor_nbytes(message: object) -> int:
+    """Actual pickled size of a (small) queue descriptor."""
+    return len(pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL))
 
 
 @dataclass
@@ -183,6 +191,20 @@ class PoolPredictor:
         looping, SIGSTOPped): the supervisor SIGKILLs it, fails its in-flight
         requests promptly, and respawns it like any other dead worker.
         ``0`` disables hang detection (the pre-deadline behaviour).
+
+    Transport parameters
+    --------------------
+    transport:
+        ``"shm"`` (default) moves request rows and result probabilities
+        through per-worker shared-memory arenas; the queues carry only small
+        fixed-size descriptors.  ``"pickle"`` is the reference path with the
+        tensors pickled through the queues; both produce bitwise-identical
+        predictions.
+    arena_slots:
+        Arena capacity in units of ``max_batch``-row dispatches.  A single
+        request larger than ``max_batch`` rows occupies several slots' worth
+        of contiguous bytes; anything that exceeds the whole arena falls back
+        to the pickle path for that dispatch.
     """
 
     def __init__(
@@ -202,6 +224,8 @@ class PoolPredictor:
         supervise_interval: float = 0.25,
         worker_wait: float = 60.0,
         dispatch_timeout: float = 120.0,
+        transport: str = "shm",
+        arena_slots: int = 4,
     ):
         from repro.api.artifacts import read_manifest
 
@@ -222,6 +246,13 @@ class PoolPredictor:
             raise ValueError("supervise_interval must be positive")
         if dispatch_timeout < 0:
             raise ValueError("dispatch_timeout must be non-negative (0 disables)")
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; valid choices: "
+                + ", ".join(repr(t) for t in TRANSPORTS)
+            )
+        if arena_slots < 1:
+            raise ValueError("arena_slots must be positive")
 
         manifest = read_manifest(path)
         self.path = Path(path)
@@ -232,6 +263,8 @@ class PoolPredictor:
         self.max_batch = int(max_batch)
         self.max_wait_ms = float(max_wait_ms)
         self.request_timeout = float(request_timeout)
+        self.transport = transport
+        self.arena_slots = int(arena_slots)
         self.restart_workers = bool(restart_workers)
         self.restart_backoff = float(restart_backoff)
         self.restart_backoff_max = float(restart_backoff_max)
@@ -249,10 +282,13 @@ class PoolPredictor:
                 "method='average'/'vote'"
             )
 
+        self._feature_size = prod(self.input_shape)
         self._ctx = mp.get_context("spawn")
         self._request_queues = []
         self._result_queues = []
         self._processes: List[mp.Process] = []
+        self._arenas: List[Optional[ShmArena]] = [None] * self.workers
+        self._arena_generation = [0] * self.workers
         self._closed = False
         self._lock = threading.Lock()
         self._futures: Dict[int, Future] = {}
@@ -276,6 +312,8 @@ class PoolPredictor:
         for worker_id in range(self.workers):
             self._request_queues.append(self._ctx.Queue())
             self._result_queues.append(self._ctx.Queue())
+            if self.transport == "shm":
+                self._arenas[worker_id] = self._new_arena(worker_id)
             self._processes.append(self._spawn_worker(worker_id))
         _WORKERS_CONFIGURED.set(self.workers)
 
@@ -295,6 +333,7 @@ class PoolPredictor:
                         )
         except BaseException:
             self._shutdown_processes()
+            self._retire_arenas()
             raise
         _WORKERS_ALIVE.set(len(self._ready))
 
@@ -328,18 +367,36 @@ class PoolPredictor:
         """Mirror of ``EnsemblePredictor.load`` for the pooled server."""
         return cls(path, **kwargs)
 
+    def _new_arena(self, worker_id: int) -> ShmArena:
+        return ShmArena(
+            worker_id,
+            max_batch=self.max_batch,
+            feature_size=self._feature_size,
+            num_classes=self.num_classes,
+            slots=self.arena_slots,
+            generation=self._arena_generation[worker_id],
+        )
+
+    def _retire_arenas(self) -> None:
+        for worker_id, arena in enumerate(self._arenas):
+            if arena is not None:
+                arena.retire()
+            self._arenas[worker_id] = None
+
     def _spawn_worker(self, worker_id: int) -> mp.Process:
         """Start the worker process for ``worker_id`` on that worker's
-        *current* private queues (respawns install fresh ones first — see
-        :meth:`_respawn_worker`)."""
+        *current* private queues and arena (respawns install fresh ones
+        first — see :meth:`_respawn_worker`)."""
+        arena = self._arenas[worker_id]
         process = self._ctx.Process(
-            target=_serving_worker,
+            target=_serving_worker_main,
             args=(
                 worker_id,
                 str(self.path),
                 self.method,
                 self.batch_size,
                 self.warm,
+                arena.meta if arena is not None else None,
                 self._request_queues[worker_id],
                 self._result_queues[worker_id],
             ),
@@ -404,7 +461,7 @@ class PoolPredictor:
             worker_id = self._pick_worker(rr, group)
             if worker_id is None:
                 continue
-            payload = [(request.request_id, request.x, request.method) for request in group]
+            item = self._build_dispatch(worker_id, group)
             dispatched = time.monotonic()
             with self._lock:
                 for request in group:
@@ -413,7 +470,86 @@ class PoolPredictor:
             if _metrics.enabled:
                 _DISPATCHES.inc()
                 _DISPATCH_ROWS.observe(rows)
-            self._request_queues[worker_id].put(payload)
+            self._request_queues[worker_id].put(item)
+            # Drop the request references before blocking on the next get():
+            # each _Request pins its input tensor and (through its future)
+            # the eventual result view — holding them across the idle wait
+            # would keep arena result regions reserved long after the client
+            # dropped its copy.  `request` matters as much as `group`: a loop
+            # variable survives its loop.
+            del item, group, request
+
+    # ------------------------------------------------------------ transports
+    def _build_dispatch(self, worker_id: int, group: List[_Request]) -> tuple:
+        """Encode a micro-batch for ``worker_id``'s queue.
+
+        On the shm transport the rows are written into the worker's arena and
+        the queue item is a fixed-size descriptor; when the arena cannot hold
+        the dispatch (ring momentarily full, or a request bigger than the
+        whole arena) the dispatch degrades to the pickle encoding — the
+        worker accepts either, so no request is ever refused for size.
+        """
+        if self.transport == "shm":
+            item = self._build_shm_dispatch(worker_id, group)
+            if item is not None:
+                return item
+        with _TRANSPORT_PHASE.labels("pickle", "request_serialize").time():
+            payload = [
+                (request.request_id, request.x, request.method) for request in group
+            ]
+        if _metrics.enabled:
+            _TRANSPORT_BYTES.labels("pickle", "request").inc(
+                sum(request.x.nbytes for request in group)
+                + _PICKLE_OVERHEAD * len(group)
+            )
+        return ("pickle", payload)
+
+    def _build_shm_dispatch(
+        self, worker_id: int, group: List[_Request]
+    ) -> Optional[tuple]:
+        """Reserve arena regions and copy the rows in; ``None`` on any
+        capacity miss (the caller falls back to pickle)."""
+        arena = self._arenas[worker_id]
+        if arena is None:  # pragma: no cover - shm transport always has one
+            return None
+        request_region = arena.alloc_request(
+            sum(_align(request.x.nbytes) for request in group)
+        )
+        if request_region is None:
+            _TRANSPORT_FALLBACKS.labels("request_ring_full").inc()
+            return None
+        entries: List[tuple] = []
+        result_offsets: List[int] = []
+        cursor = request_region
+        for request in group:
+            result_capacity = _align(request.rows * self.num_classes * RESULT_ITEMSIZE)
+            result_offset = arena.alloc_result(result_capacity)
+            if result_offset is None:
+                for offset in result_offsets:
+                    arena.free_result(offset)
+                arena.free_request(request_region)
+                _TRANSPORT_FALLBACKS.labels("result_ring_full").inc()
+                return None
+            result_offsets.append(result_offset)
+            entries.append(
+                (
+                    request.request_id,
+                    cursor,
+                    tuple(request.x.shape),
+                    str(request.x.dtype),
+                    request.method,
+                    result_offset,
+                    result_capacity,
+                )
+            )
+            cursor += _align(request.x.nbytes)
+        with _TRANSPORT_PHASE.labels("shm", "request_copy").time():
+            for request, entry in zip(group, entries):
+                arena.write_request(entry[1], request.x)
+        item = ("shm", (arena.generation, request_region, entries))
+        if _metrics.enabled:
+            _TRANSPORT_BYTES.labels("shm", "request").inc(_descriptor_nbytes(item))
+        return item
 
     def _is_serving(self, worker_id: int) -> bool:
         with self._lock:
@@ -442,11 +578,24 @@ class PoolPredictor:
         while not self._stop_collector.is_set():
             for kind, worker_id, payload in self._poll_results(timeout=0.2):
                 if kind == "result":
-                    for request_id, proba, error in payload:
-                        if error is not None:
-                            self._resolve(request_id, exception=RuntimeError(error))
-                        else:
-                            self._resolve(request_id, result=proba)
+                    if payload[0] == "shm":
+                        self._collect_shm_result(worker_id, payload)
+                    else:
+                        replies = payload[1]
+                        if _metrics.enabled:
+                            _TRANSPORT_BYTES.labels("pickle", "response").inc(
+                                sum(
+                                    proba.nbytes
+                                    for _, proba, _ in replies
+                                    if proba is not None
+                                )
+                                + _PICKLE_OVERHEAD * len(replies)
+                            )
+                        for request_id, proba, error in replies:
+                            if error is not None:
+                                self._resolve(request_id, exception=RuntimeError(error))
+                            else:
+                                self._resolve(request_id, result=proba)
                 elif kind == "ready":
                     # A respawned worker finished loading its predictor.
                     with self._lock:
@@ -465,6 +614,53 @@ class PoolPredictor:
                     log_event(
                         "serve.worker_load_failed", worker=worker_id, error=str(payload)
                     )
+
+    def _collect_shm_result(self, worker_id: int, payload: tuple) -> None:
+        """Resolve one shm-transport reply: hand out zero-copy result views,
+        release the dispatch's request region.
+
+        Replies from a *retired* arena generation (a worker that answered
+        after its death was already handled and its arena swapped) are
+        resolved for any still-waiting future but never touch the successor
+        arena's book-keeping — stale offsets must not free live regions.
+        """
+        _, generation, request_region, replies = payload
+        arena = self._arenas[worker_id]
+        live = arena is not None and arena.generation == generation
+        if live:
+            arena.free_request(request_region)
+        if _metrics.enabled:
+            _TRANSPORT_BYTES.labels("shm", "response").inc(
+                _descriptor_nbytes(payload)
+            )
+        for request_id, result_offset, shape, dtype, inline, error in replies:
+            if error is not None:
+                if live:
+                    arena.free_result(result_offset)
+                self._resolve(request_id, exception=RuntimeError(error))
+            elif inline is not None:  # reservation overflow: came via queue
+                if live:
+                    arena.free_result(result_offset)
+                self._resolve(request_id, result=inline)
+            elif live:
+                try:
+                    with _TRANSPORT_PHASE.labels("shm", "response_view").time():
+                        view = arena.take_result_view(result_offset, shape, dtype)
+                except Exception as exc:
+                    # The arena was retired between the liveness check and the
+                    # view (a concurrent respawn); the collector must outlive
+                    # any such race, and this future's client gets the same
+                    # worker-died story the death handler tells.
+                    self._resolve(
+                        request_id,
+                        exception=RuntimeError(
+                            f"serving worker {worker_id} arena retired mid-reply: {exc}"
+                        ),
+                    )
+                else:
+                    self._resolve(request_id, result=view)
+            # else: stale generation — the death handler already failed the
+            # future; the retired arena is reclaimed wholesale.
 
     # ------------------------------------------------------------ supervisor
     def _supervise_loop(self) -> None:
@@ -573,6 +769,17 @@ class PoolPredictor:
         old_queues = (self._request_queues[worker_id], self._result_queues[worker_id])
         self._request_queues[worker_id] = self._ctx.Queue()
         self._result_queues[worker_id] = self._ctx.Queue()
+        # The arena is replaced wholesale for the same reason as the queues:
+        # a SIGKILL mid-slot-write leaves regions reserved for descriptors
+        # that will never arrive.  The old generation's name is unlinked now
+        # (no /dev/shm leak); its mapping survives only as long as clients
+        # hold result views into it.
+        if self.transport == "shm":
+            old_arena = self._arenas[worker_id]
+            self._arena_generation[worker_id] += 1
+            self._arenas[worker_id] = self._new_arena(worker_id)
+            if old_arena is not None:
+                old_arena.retire()
         self._processes[worker_id] = self._spawn_worker(worker_id)
         for old_queue in old_queues:
             try:
@@ -687,6 +894,9 @@ class PoolPredictor:
 
     def info(self) -> Dict[str, Any]:
         """JSON-friendly description of the pool (CLI ``serve`` /info)."""
+        arenas = [
+            arena.stats() if arena is not None else None for arena in self._arenas
+        ]
         return {
             "artifact": str(self.path),
             "approach": self.approach,
@@ -702,6 +912,14 @@ class PoolPredictor:
             "max_batch": self.max_batch,
             "max_wait_ms": self.max_wait_ms,
             "super_learner": self._has_super_learner,
+            "transport": self.transport,
+            "arena_slots": self.arena_slots if self.transport == "shm" else None,
+            "arena_bytes_per_worker": (
+                self._arenas[0].total_bytes
+                if self.transport == "shm" and self._arenas[0] is not None
+                else None
+            ),
+            "arenas": arenas,
         }
 
     def _shutdown_processes(self) -> None:
@@ -747,6 +965,7 @@ class PoolPredictor:
         for future in leftovers:
             if not future.done():
                 future.set_exception(RuntimeError("PoolPredictor closed"))
+        self._retire_arenas()
         try:
             atexit.unregister(self.close)
         except Exception:  # pragma: no cover

@@ -1,9 +1,13 @@
-"""Worker-process side of the parallel training engine.
+"""Worker-process side of the parallel engine (training *and* serving).
 
 Everything here runs inside ``spawn``-started worker processes, so it is all
 module-level (picklable by reference) and communicates exclusively through
 the picklable :class:`MemberTask` / :class:`MemberOutcome` records plus the
-shared-memory dataset attached at worker start-up.
+shared-memory dataset attached at worker start-up.  The serving-pool worker
+loop (:func:`_serving_worker_main`) lives here too: it answers request
+descriptors from :class:`~repro.parallel.serving.PoolPredictor`, reading
+request rows from — and writing probabilities into — its per-worker
+shared-memory arena when the pool runs the ``shm`` transport.
 
 A worker trains exactly the way the serial path does — same
 :class:`~repro.nn.training.Trainer`, same seed derivations, same bootstrap
@@ -163,6 +167,128 @@ def _train_member(task: MemberTask, attempt: int = 0) -> MemberOutcome:
         metrics=metrics,
         attempt=attempt,
     )
+
+
+def _serving_worker_main(
+    worker_id: int,
+    artifact: str,
+    method: str,
+    batch_size: int,
+    warm: bool,
+    arena_meta,
+    request_queue,
+    result_queue,
+) -> None:
+    """Serving-pool worker: load the artifact once, answer request groups.
+
+    Two request encodings arrive on the queue (besides the ``None``
+    shutdown sentinel), tagged by their first element:
+
+    * ``("pickle", [(request_id, rows, method), ...])`` — the reference
+      transport: tensors travel through the queue itself.
+    * ``("shm", (generation, request_region, entries))`` — the zero-copy
+      transport: each entry is ``(request_id, offset, shape, dtype, method,
+      result_offset, result_capacity)`` and the rows live in this worker's
+      shared-memory arena (``arena_meta``).  The worker predicts directly on
+      a view of the arena bytes and writes the probabilities into the
+      reserved result region; only the descriptor goes back on the queue.
+
+    Replies mirror the encodings: ``("result", worker_id, ("pickle",
+    replies))`` or ``("result", worker_id, ("shm", generation,
+    request_region, replies))`` where each shm reply is ``(request_id,
+    result_offset, shape, dtype, inline_result, error)`` — ``inline_result``
+    carries the probabilities through the queue in the rare case the
+    reservation cannot hold them (never for float32/float64 outputs).
+    """
+    import numpy as np
+
+    arena = None
+    try:
+        from repro.api.predictor import EnsemblePredictor
+        from repro.parallel.shared_data import attach_segment
+
+        predictor = EnsemblePredictor.load(
+            artifact, method=method, batch_size=batch_size, warm=warm
+        )
+        if arena_meta is not None:
+            arena = attach_segment(arena_meta.name)
+        result_queue.put(("ready", worker_id, None))
+    except BaseException as exc:  # pragma: no cover - startup failure path
+        result_queue.put(("fatal", worker_id, f"{type(exc).__name__}: {exc}"))
+        return
+    from repro.faults import fire
+
+    try:
+        while True:
+            item = request_queue.get()
+            if item is None:
+                break
+            # Chaos-test injection point ("serve"): crash or wedge this worker
+            # with a request group in flight — free when REPRO_FAULTS is unset.
+            fire("serve", worker=worker_id)
+            kind, payload = item
+            if kind == "pickle":
+                replies = []
+                for request_id, x, method_override in payload:
+                    try:
+                        proba = predictor.predict_proba(x, method=method_override)
+                        replies.append((request_id, proba, None))
+                    except Exception as exc:
+                        replies.append(
+                            (request_id, None, f"{type(exc).__name__}: {exc}")
+                        )
+                result_queue.put(("result", worker_id, ("pickle", replies)))
+                continue
+            generation, request_region, entries = payload
+            replies = []
+            for request_id, offset, shape, dtype, method_override, res_off, res_cap in entries:
+                try:
+                    rows = np.ndarray(
+                        tuple(shape),
+                        dtype=np.dtype(dtype),
+                        buffer=arena.buf,
+                        offset=offset,
+                    )
+                    proba = predictor.predict_proba(rows, method=method_override)
+                    del rows
+                    # Chaos-test injection point ("serve_shm_write"): die or
+                    # wedge mid-slot-write — the dispatcher must survive a
+                    # result region that never gets its descriptor.
+                    fire("serve_shm_write", worker=worker_id)
+                    if proba.nbytes <= res_cap:
+                        out = np.ndarray(
+                            proba.shape,
+                            dtype=proba.dtype,
+                            buffer=arena.buf,
+                            offset=res_off,
+                        )
+                        np.copyto(out, proba, casting="no")
+                        del out
+                        replies.append(
+                            (
+                                request_id,
+                                res_off,
+                                tuple(proba.shape),
+                                str(proba.dtype),
+                                None,
+                                None,
+                            )
+                        )
+                    else:  # reservation too narrow: fall back through the queue
+                        replies.append((request_id, res_off, None, None, proba, None))
+                except Exception as exc:
+                    replies.append(
+                        (request_id, res_off, None, None, None, f"{type(exc).__name__}: {exc}")
+                    )
+            result_queue.put(
+                ("result", worker_id, ("shm", generation, request_region, replies))
+            )
+    finally:
+        if arena is not None:
+            try:
+                arena.close()
+            except Exception:  # pragma: no cover - views torn down with us
+                pass
 
 
 def _heartbeat_loop(worker_id: int, result_queue, interval: float, stop: threading.Event) -> None:

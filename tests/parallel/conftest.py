@@ -7,9 +7,34 @@ artifact (serving pool / CLI), or both.
 
 from __future__ import annotations
 
+import os
+import sys
+
 import pytest
 
 from repro.api import run_experiment, save_ensemble_run
+
+
+def _shm_entries() -> set:
+    if not sys.platform.startswith("linux"):
+        return set()
+    return {name for name in os.listdir("/dev/shm") if name.startswith("repro-shm")}
+
+
+@pytest.fixture
+def shm_sweep():
+    """Assert the test leaves no *new* ``repro-shm`` residue in ``/dev/shm``.
+
+    Snapshot-based rather than demanding an empty directory, because
+    long-lived module fixtures (e.g. a shared serving pool on the shm
+    transport) legitimately hold arena segments for their whole lifetime;
+    only segments the test itself created and failed to clean up count as
+    leaks.
+    """
+    before = _shm_entries()
+    yield
+    leaked = _shm_entries() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
 
 
 def parallel_experiment_dict(**overrides):

@@ -321,3 +321,93 @@ def test_serving_pool_evicts_hung_worker(saved_artifact, serial_result, monkeypa
             time.sleep(0.1)
         np.testing.assert_array_equal(pool.predict(x), expected)
         assert pool.healthz()["restarts"] >= 1
+
+
+# --------------------------------------------------------------------------
+# serving pool, shm transport: crash/hang mid-slot-write
+# --------------------------------------------------------------------------
+
+
+def _wait_until_ok(pool, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while pool.healthz()["status"] != "ok":
+        if time.monotonic() > deadline:
+            pytest.fail(f"pool never recovered: {pool.healthz()}")
+        time.sleep(0.1)
+
+
+def test_shm_worker_crash_mid_slot_write_recovers(
+    saved_artifact, serial_result, monkeypatch, shm_sweep
+):
+    """SIGKILL the worker *between* inference and the result slot write — the
+    nastiest shm moment: the dispatcher holds regions reserved for a
+    descriptor that will never arrive.  The pool must fail the request
+    promptly, retire the dead arena (new generation, no /dev/shm leak) and
+    serve bitwise-correct answers from the respawn."""
+    from repro.parallel.serving import PoolPredictor
+
+    monkeypatch.setenv("REPRO_FAULTS", "serve_shm_write_crash:times=1")
+    x = serial_result.dataset.x_test[:8]
+    expected = serial_result.ensemble.predict_proba(x)
+
+    with PoolPredictor(
+        saved_artifact,
+        workers=1,
+        transport="shm",
+        restart_backoff=0.5,
+        supervise_interval=0.05,
+        request_timeout=120.0,
+    ) as pool:
+        assert pool.info()["arenas"][0]["generation"] == 0
+        start = time.monotonic()
+        with pytest.raises(RuntimeError, match="worker 0"):
+            pool.predict_proba(x)
+        assert time.monotonic() - start < 30  # failed at death, not timeout
+        monkeypatch.delenv("REPRO_FAULTS")
+
+        _wait_until_ok(pool)
+        info = pool.info()
+        assert info["transport"] == "shm"
+        # The respawn swapped in a fresh arena generation with nothing
+        # reserved — the regions stranded by the crash died with gen 0.
+        arena = info["arenas"][0]
+        assert arena["generation"] >= 1
+        assert arena["inflight_dispatches"] == 0
+        assert arena["request_used_bytes"] == 0
+        np.testing.assert_array_equal(pool.predict_proba(x), expected)
+        assert pool.healthz()["restarts"] >= 1
+    # shm_sweep asserts the retired generation left no /dev/shm residue.
+
+
+def test_shm_worker_hang_mid_slot_write_is_evicted(
+    saved_artifact, serial_result, monkeypatch, shm_sweep
+):
+    """A worker wedged mid-slot-write past ``dispatch_timeout`` is SIGKILLed
+    by the supervisor and replaced — same deadline contract as the pickle
+    path, now covering the arena write."""
+    from repro.parallel.serving import PoolPredictor
+
+    monkeypatch.setenv("REPRO_FAULTS", "serve_shm_write_hang:times=1:seconds=60")
+    hangs_before = _counter("repro_serve_worker_hangs_total")
+    x = serial_result.dataset.x_test[:8]
+    expected = serial_result.ensemble.predict_proba(x)
+
+    with PoolPredictor(
+        saved_artifact,
+        workers=1,
+        transport="shm",
+        dispatch_timeout=1.0,
+        restart_backoff=0.5,
+        supervise_interval=0.05,
+        request_timeout=120.0,
+    ) as pool:
+        start = time.monotonic()
+        with pytest.raises(RuntimeError, match="worker 0 died"):
+            pool.predict_proba(x)
+        assert time.monotonic() - start < 30
+        monkeypatch.delenv("REPRO_FAULTS")
+        assert _counter("repro_serve_worker_hangs_total") >= hangs_before + 1
+
+        _wait_until_ok(pool)
+        assert pool.info()["arenas"][0]["generation"] >= 1
+        np.testing.assert_array_equal(pool.predict_proba(x), expected)
