@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro`` (installed as ``repro``).
 
-Four sub-commands drive the full train -> save -> serve workflow from JSON
+Sub-commands drive the full train -> save -> serve workflow from JSON
 configs and ``.npy`` tensors, with no Python required:
 
 * ``repro train --config exp.json --output artifact/`` — execute a declarative
@@ -8,9 +8,15 @@ configs and ``.npy`` tensors, with no Python required:
 * ``repro predict --artifact artifact/ --input x.npy`` — one-shot predictions
   from a saved artifact;
 * ``repro serve --artifact artifact/ --workers 4`` — long-running HTTP server
-  backed by a self-healing multi-process worker pool (``POST /predict``,
-  ``GET /info``, ``GET /healthz``, Prometheus ``GET /metrics``; structured
-  JSON event logs on stderr; stops cleanly on SIGINT/SIGTERM);
+  (``POST /predict``, ``GET /info``, ``GET /healthz``, Prometheus
+  ``GET /metrics``; structured JSON event logs on stderr; stops cleanly on
+  SIGINT/SIGTERM).  ``--mode pool`` (default) answers from a local
+  self-healing multi-process worker pool; ``--mode queue`` publishes jobs on
+  a partitioned broker answered by an autoscaled fleet of consumers;
+* ``repro fleet-worker --broker host:port --artifact artifact/`` — one fleet
+  consumer: attaches to a queue-mode front's broker and answers jobs through
+  its own worker pool (the front spawns these itself; run them by hand to
+  add capacity from other terminals or hosts);
 * ``repro inspect --artifact artifact/`` — summarise an artifact, including
   training phase makespans and per-member training-history summaries.
 """
@@ -132,6 +138,147 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write JSON event logs to this file (size-rotated)",
     )
+    serve.add_argument(
+        "--mode",
+        choices=("pool", "queue"),
+        default="pool",
+        help="serving backend: a local worker pool (default) or a queue-backed "
+        "horizontal consumer fleet",
+    )
+    fleet = serve.add_argument_group("queue mode (--mode queue)")
+    fleet.add_argument(
+        "--partitions", type=int, default=4, help="broker partitions (queue mode)"
+    )
+    fleet.add_argument(
+        "--min-consumers", type=int, default=1, help="minimum fleet consumers"
+    )
+    fleet.add_argument(
+        "--max-consumers", type=int, default=4, help="autoscaler's consumer cap"
+    )
+    fleet.add_argument(
+        "--consumer-workers",
+        type=int,
+        default=None,
+        help="pool workers per consumer (default: --workers)",
+    )
+    fleet.add_argument(
+        "--visibility-timeout",
+        type=float,
+        default=30.0,
+        help="seconds a leased job may stay unacked before redelivery",
+    )
+    fleet.add_argument(
+        "--fleet-port",
+        type=int,
+        default=0,
+        help="TCP port for the broker (0 picks an ephemeral port; printed in "
+        "the serving banner for external fleet workers)",
+    )
+    fleet.add_argument(
+        "--fleet-authkey",
+        default="repro-fleet",
+        help="shared secret fleet workers must present to the broker",
+    )
+    fleet.add_argument(
+        "--no-autoscale",
+        action="store_true",
+        help="pin the consumer count at --min-consumers",
+    )
+    fleet.add_argument(
+        "--autoscale-cooldown",
+        type=float,
+        default=10.0,
+        help="seconds the autoscaler holds still after any scale action",
+    )
+    fleet.add_argument(
+        "--autoscale-interval",
+        type=float,
+        default=1.0,
+        help="seconds between autoscaler evaluations",
+    )
+    fleet.add_argument(
+        "--up-queue-depth",
+        type=float,
+        default=4.0,
+        help="scale up when per-consumer backlog exceeds this",
+    )
+    fleet.add_argument(
+        "--down-queue-depth",
+        type=float,
+        default=1.0,
+        help="scale down only when per-consumer backlog is at or below this",
+    )
+    fleet.add_argument(
+        "--up-p99-seconds",
+        type=float,
+        default=2.0,
+        help="scale up when the windowed job-latency p99 exceeds this",
+    )
+    fleet.add_argument(
+        "--down-p99-seconds",
+        type=float,
+        default=0.5,
+        help="scale down only when the windowed p99 is below this",
+    )
+    fleet.add_argument(
+        "--no-local-consumers",
+        action="store_true",
+        help="do not spawn local fleet workers; serve only externally "
+        "attached ones (disables the autoscaler)",
+    )
+
+    worker = sub.add_parser(
+        "fleet-worker",
+        help="run one fleet consumer against a queue-mode serve front's broker",
+    )
+    worker.add_argument(
+        "--broker",
+        required=True,
+        help="broker address as host:port (see the queue-mode serving banner)",
+    )
+    worker.add_argument(
+        "--authkey", default="repro-fleet", help="broker shared secret"
+    )
+    worker.add_argument("--artifact", required=True, type=Path, help="artifact directory")
+    worker.add_argument(
+        "--consumer-id",
+        default=None,
+        help="stable consumer name (default: fleet-<pid>)",
+    )
+    worker.add_argument("--workers", type=int, default=1, help="pool worker processes")
+    worker.add_argument(
+        "--method",
+        default="average",
+        help="default combination method: average | vote | super_learner",
+    )
+    worker.add_argument("--batch-size", type=int, default=256)
+    worker.add_argument(
+        "--max-batch", type=int, default=1024, help="micro-batch row cap per dispatch"
+    )
+    worker.add_argument(
+        "--transport",
+        choices=("shm", "pickle"),
+        default="shm",
+        help="pool data plane (see `repro serve --transport`)",
+    )
+    worker.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=1.0,
+        help="minimum seconds between metrics snapshots shipped to the front",
+    )
+    worker.add_argument(
+        "--log-format",
+        choices=("json", "text"),
+        default="json",
+        help="stderr log format: structured JSON event lines (default) or text",
+    )
+    worker.add_argument(
+        "--log-file",
+        type=Path,
+        default=None,
+        help="also write JSON event logs to this file (size-rotated)",
+    )
 
     inspect = sub.add_parser("inspect", help="summarise a saved artifact")
     inspect.add_argument("--artifact", required=True, type=Path, help="artifact directory")
@@ -223,7 +370,84 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         transport=args.transport,
         log_format=args.log_format,
         log_file=args.log_file,
+        mode=args.mode,
+        partitions=args.partitions,
+        min_consumers=args.min_consumers,
+        max_consumers=args.max_consumers,
+        consumer_workers=args.consumer_workers,
+        visibility_timeout=args.visibility_timeout,
+        fleet_port=args.fleet_port,
+        fleet_authkey=args.fleet_authkey,
+        autoscale=not args.no_autoscale,
+        autoscale_cooldown=args.autoscale_cooldown,
+        autoscale_interval=args.autoscale_interval,
+        up_queue_depth=args.up_queue_depth,
+        down_queue_depth=args.down_queue_depth,
+        up_p99_seconds=args.up_p99_seconds,
+        down_p99_seconds=args.down_p99_seconds,
+        spawn_consumers=not args.no_local_consumers,
     )
+
+
+def _cmd_fleet_worker(args: argparse.Namespace) -> int:
+    import os
+    import signal
+    import threading
+
+    from repro.fleet.broker import connect_broker
+    from repro.fleet.consumer import FleetConsumer
+    from repro.obs.events import configure_logging, enable_events
+
+    configure_logging(fmt=args.log_format, force=True, log_file=args.log_file)
+    enable_events()
+    host, _, port = args.broker.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(
+            f"--broker must look like host:port, got {args.broker!r}"
+        )
+    consumer_id = args.consumer_id or f"fleet-{os.getpid()}"
+    broker = connect_broker((host, int(port)), authkey=args.authkey)
+    consumer = FleetConsumer(
+        broker,
+        args.artifact,
+        consumer_id=consumer_id,
+        workers=args.workers,
+        method=args.method,
+        batch_size=args.batch_size,
+        max_batch=args.max_batch,
+        transport=args.transport,
+        metrics_interval=args.metrics_interval,
+    ).start()
+
+    stop = threading.Event()
+
+    def _shutdown(*_args):
+        stop.set()
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(sig, _shutdown)
+
+    print(
+        json.dumps(
+            {
+                "event": "fleet-worker",
+                "consumer": consumer_id,
+                "broker": f"{host}:{port}",
+                "pid": os.getpid(),
+                "workers": args.workers,
+                "artifact": str(args.artifact),
+            }
+        ),
+        flush=True,
+    )
+    # Serve until signalled — or until the lease loop loses the broker
+    # (front gone), at which point there is nothing left to drain.
+    while not stop.wait(0.5):
+        if not consumer.alive():
+            break
+    consumer.close()
+    print(json.dumps({"event": "stopped", "consumer": consumer_id}), flush=True)
+    return 0
 
 
 def _member_history_summary(meta: dict) -> dict:
@@ -280,6 +504,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "predict": _cmd_predict,
     "serve": _cmd_serve,
+    "fleet-worker": _cmd_fleet_worker,
     "inspect": _cmd_inspect,
 }
 

@@ -10,11 +10,15 @@ Grammar
 Each spec is ``<point>_<action>`` followed by ``:key=value`` qualifiers:
 
 * ``point`` names the injection site: ``train`` (the training worker's
-  member entrypoint), ``serve`` (the serving worker's request loop), or
+  member entrypoint), ``serve`` (the serving worker's request loop),
   ``serve_shm_write`` (the serving worker on the shm transport, *after*
   inference but *before* the result is written to its arena slot — the
   nastiest moment for a crash, since the dispatcher has regions reserved
-  for a descriptor that will never arrive).
+  for a descriptor that will never arrive), ``fleet_consume`` (a fleet
+  consumer after leasing a job, before inference — a crash strands the
+  leased job until the broker's visibility timeout redelivers it), or
+  ``fleet_ack`` (after inference, before the ack — a crash loses a
+  *computed* result; at-least-once redelivery recomputes it elsewhere).
 * ``action`` is what happens when the spec fires:
 
   - ``crash`` — the process SIGKILLs itself (indistinguishable from an OOM
@@ -37,9 +41,10 @@ Each spec is ``<point>_<action>`` followed by ``:key=value`` qualifiers:
   Every other qualifier must equal (string comparison) the same-named
   context field the injection point supplies — e.g. ``member=<name>`` and
   ``attempt=<n>`` at the training point, ``worker=<id>`` at the serving
-  point.  ``attempt=0`` is how chaos tests arrange "fail once, then let the
-  retry succeed": the retried task carries ``attempt=1`` and no longer
-  matches.
+  point, ``consumer=<id>``/``job=<id>``/``attempt=<n>`` at the fleet
+  points.  ``attempt=0`` is how chaos tests arrange "fail once, then let
+  the retry succeed": the retried task carries ``attempt=1`` (a redelivered
+  fleet job its delivery count) and no longer matches.
 
 Injection points call :func:`fire` with their point name and context; the
 plan is parsed lazily from the environment and cached per process, keyed by

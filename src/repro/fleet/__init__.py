@@ -1,0 +1,47 @@
+"""Queue-backed horizontal serving tier (``repro serve --mode queue``).
+
+The fleet splits serving into three roles connected by a partitioned,
+at-least-once job broker:
+
+* **front** (:class:`~repro.fleet.front.FleetFront`) — validates requests,
+  publishes prediction jobs, resolves result futures, manages local
+  consumer subprocesses, and autoscales them;
+* **broker** (:class:`~repro.fleet.broker.InProcBroker`) — bounded
+  partitions, round-robin assignment, visibility-timeout redelivery when a
+  consumer dies mid-job; served cross-process via
+  :func:`~repro.fleet.broker.serve_broker` / :func:`~repro.fleet.broker.connect_broker`;
+* **consumers** (:class:`~repro.fleet.consumer.FleetConsumer`, the
+  ``repro fleet-worker`` CLI) — each one runs the existing
+  :class:`~repro.parallel.serving.PoolPredictor` unchanged, so fleet
+  results stay bitwise identical to single-process serving.
+
+Scaling policy lives in :class:`~repro.fleet.autoscaler.Autoscaler`:
+queue-depth + windowed-p99 signals, hysteresis, and cooldown.
+"""
+
+from repro.fleet.autoscaler import Autoscaler, AutoscaleSignals
+from repro.fleet.broker import (
+    Broker,
+    BrokerFull,
+    CompletedJob,
+    InProcBroker,
+    Job,
+    connect_broker,
+    serve_broker,
+)
+from repro.fleet.consumer import FleetConsumer
+from repro.fleet.front import FleetFront
+
+__all__ = [
+    "Autoscaler",
+    "AutoscaleSignals",
+    "Broker",
+    "BrokerFull",
+    "CompletedJob",
+    "FleetConsumer",
+    "FleetFront",
+    "InProcBroker",
+    "Job",
+    "connect_broker",
+    "serve_broker",
+]

@@ -1,0 +1,661 @@
+"""Partitioned job broker for the horizontal serving tier (stdlib only).
+
+The queue-mode serving front (:class:`~repro.fleet.front.FleetFront`) does
+not hand prediction requests to a local worker pool directly; it publishes
+them onto a **broker** and lets consumer workers — in this process, in other
+processes on this host, or on other hosts — lease, execute, and acknowledge
+them.  The broker abstraction is deliberately Kafka-shaped (partitions,
+round-robin publishing, consumer assignment, at-least-once delivery) so an
+external broker can be slotted in later; :class:`InProcBroker` is the
+dependency-free stdlib implementation that ships first, built on bounded
+deques and one condition variable, and served to out-of-process consumers
+through ``multiprocessing.managers`` (see :func:`serve_broker` /
+:func:`connect_broker`).
+
+Delivery semantics — **at-least-once**:
+
+* ``publish`` appends a job to a partition chosen round-robin (bounded:
+  :class:`BrokerFull` when every partition is at capacity — backpressure the
+  HTTP front turns into a 503 rather than buffering unboundedly).
+* ``lease`` hands a consumer the oldest job from one of its *assigned*
+  partitions and starts a **visibility timeout**; a job not acked before the
+  timeout is assumed lost with its consumer and is requeued at the front of
+  its partition (``repro_fleet_redeliveries_total``).  A SIGKILL'd consumer
+  therefore delays its in-flight jobs by at most one visibility window — it
+  never loses them.
+* ``ack`` completes a job with its result.  Because a slow-but-alive
+  consumer's lease can expire and the job be redelivered, the same job can
+  be executed twice; the first ack wins and later acks (and the requeued
+  duplicate) are dropped.  Execution is idempotent here — predictions are
+  pure — so duplicates cost only compute.
+* ``nack`` requeues a failed job immediately; after ``max_deliveries``
+  total deliveries the job completes with an error instead of looping
+  forever.
+
+Partition **assignment** is round-robin over attached consumers and
+rebalances on every attach/detach.  Consumers that stop calling in (no
+lease/ack within ``consumer_deadline`` seconds, their in-flight leases
+expired) are reaped and their partitions reassigned, so a dead consumer's
+*queued* jobs are picked up by survivors too, not just its in-flight ones.
+A reaped consumer that was merely slow re-attaches implicitly on its next
+lease call.
+
+The background sweeper thread drives both clocks (lease expiry, consumer
+expiry); everything else happens inside the calling thread under one broker
+lock — call rates are request-scale, not row-scale, so a single lock is
+plenty.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.obs.events import log_event
+from repro.obs.metrics import get_registry
+from repro.utils.logging import get_logger
+
+logger = get_logger("fleet.broker")
+
+_metrics = get_registry()
+_QUEUE_DEPTH = _metrics.gauge(
+    "repro_fleet_queue_depth",
+    "Jobs waiting (not leased) in each broker partition.",
+    ("partition",),
+)
+_REDELIVERIES = _metrics.counter(
+    "repro_fleet_redeliveries_total",
+    "Jobs requeued after their consumer's visibility timeout expired.",
+)
+_CONSUMERS = _metrics.gauge(
+    "repro_fleet_consumers", "Consumers currently attached to the broker."
+)
+_JOBS = _metrics.counter(
+    "repro_fleet_jobs_total",
+    "Broker job lifecycle transitions.",
+    ("event",),
+)
+
+__all__ = [
+    "Broker",
+    "BrokerFull",
+    "CompletedJob",
+    "InProcBroker",
+    "Job",
+    "connect_broker",
+    "serve_broker",
+]
+
+
+class BrokerFull(RuntimeError):
+    """Every partition is at capacity; the caller should shed load."""
+
+
+@dataclass
+class Job:
+    """One unit of work as the consumer sees it (small and picklable).
+
+    ``deliveries`` counts how many times the job has been handed out
+    (1 on first delivery); ``enqueued`` is the broker process's monotonic
+    clock at publish time — meaningful only broker-side, where it feeds the
+    oldest-job-age stat and the end-to-end job latency histogram.
+    """
+
+    job_id: str
+    payload: Any
+    partition: int
+    enqueued: float
+    deliveries: int = 0
+
+
+@dataclass
+class CompletedJob:
+    """One finished job as the front drains it from the broker."""
+
+    job_id: str
+    result: Any
+    error: Optional[str]
+    deliveries: int
+    enqueued: float
+    # Delta snapshot of the consumer's repro.obs registry (throttled; often
+    # None) — the front merges it so /metrics aggregates the whole fleet.
+    metrics: Optional[Dict[str, Dict[str, object]]] = None
+
+
+@dataclass
+class _Lease:
+    job: Job
+    consumer_id: str
+    deadline: float
+
+
+class Broker:
+    """Abstract broker protocol the serving tier programs against.
+
+    Everything the front and the consumers call goes through these seven
+    methods, so an external broker (Kafka, SQS, Redis streams) only has to
+    implement this surface.  :class:`InProcBroker` is the reference.
+    """
+
+    def publish(self, payload: Any, job_id: Optional[str] = None) -> str:
+        raise NotImplementedError
+
+    def attach(self, consumer_id: str) -> List[int]:
+        raise NotImplementedError
+
+    def detach(self, consumer_id: str) -> None:
+        raise NotImplementedError
+
+    def lease(self, consumer_id: str, timeout: float = 1.0) -> Optional[Job]:
+        raise NotImplementedError
+
+    def ack(
+        self,
+        consumer_id: str,
+        job_id: str,
+        result: Any,
+        metrics: Optional[Dict[str, Dict[str, object]]] = None,
+    ) -> bool:
+        raise NotImplementedError
+
+    def nack(self, consumer_id: str, job_id: str, error: str) -> None:
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+
+class InProcBroker(Broker):
+    """Stdlib in-process broker: bounded deques + one condition variable.
+
+    Lives in the serving front's process; out-of-process consumers reach it
+    through a ``multiprocessing.managers`` proxy (every proxy call executes
+    *here*, in a manager server thread, so the metrics it touches land in
+    the front's registry — exactly what ``/metrics`` scrapes).
+    """
+
+    def __init__(
+        self,
+        partitions: int = 4,
+        partition_capacity: int = 1024,
+        visibility_timeout: float = 30.0,
+        max_deliveries: int = 5,
+        consumer_deadline: Optional[float] = None,
+        sweep_interval: float = 0.2,
+    ):
+        if partitions < 1:
+            raise ValueError("broker needs at least one partition")
+        if partition_capacity < 1:
+            raise ValueError("partition_capacity must be positive")
+        if visibility_timeout <= 0:
+            raise ValueError("visibility_timeout must be positive")
+        if max_deliveries < 1:
+            raise ValueError("max_deliveries must be at least 1")
+        self.partitions = int(partitions)
+        self.partition_capacity = int(partition_capacity)
+        self.visibility_timeout = float(visibility_timeout)
+        self.max_deliveries = int(max_deliveries)
+        # A consumer that has not called in for this long is presumed dead
+        # and its partitions are reassigned; default scales with (but never
+        # below) the visibility window so both clocks tell one story.
+        self.consumer_deadline = (
+            float(consumer_deadline)
+            if consumer_deadline is not None
+            else max(2.0, 2.0 * self.visibility_timeout)
+        )
+
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._queues: List[Deque[Job]] = [deque() for _ in range(self.partitions)]
+        self._publish_counter = 0
+        self._inflight: Dict[str, _Lease] = {}
+        # Jobs acked (or failed) whose CompletedJob the front has not drained
+        # yet, in completion order; _finished_ids dedupes late acks and makes
+        # lease() drop requeued duplicates of already-completed jobs.
+        self._completed: Deque[CompletedJob] = deque()
+        self._finished_ids: Dict[str, float] = {}
+        # consumer_id -> last time it called in; attach order drives the
+        # round-robin partition assignment (partition i -> consumer i % n).
+        self._consumers: Dict[str, float] = {}
+        self._consumer_order: List[str] = []
+        self._assignment: Dict[int, Optional[str]] = {
+            i: None for i in range(self.partitions)
+        }
+        self._rotation: Dict[str, int] = {}
+        self._redeliveries = 0
+        self._closed = False
+
+        self._sweeper = threading.Thread(
+            target=self._sweep_loop,
+            args=(float(sweep_interval),),
+            name="repro-fleet-broker-sweep",
+            daemon=True,
+        )
+        self._sweeper.start()
+
+    # -------------------------------------------------------------- producer
+    def publish(self, payload: Any, job_id: Optional[str] = None) -> str:
+        """Enqueue a job round-robin; raises :class:`BrokerFull` when no
+        partition has room.  ``job_id`` may be supplied by the caller (the
+        front does, so it can register a result future *before* any consumer
+        can possibly answer)."""
+        job_id = job_id if job_id is not None else secrets.token_hex(8)
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("broker is closed")
+            for step in range(self.partitions):
+                partition = (self._publish_counter + step) % self.partitions
+                if len(self._queues[partition]) < self.partition_capacity:
+                    break
+            else:
+                raise BrokerFull(
+                    f"all {self.partitions} partitions are at capacity "
+                    f"({self.partition_capacity} jobs each)"
+                )
+            self._publish_counter += 1
+            job = Job(
+                job_id=job_id,
+                payload=payload,
+                partition=partition,
+                enqueued=time.monotonic(),
+            )
+            self._queues[partition].append(job)
+            self._set_depth(partition)
+            _JOBS.labels("published").inc()
+            self._cond.notify_all()
+            return job_id
+
+    # -------------------------------------------------------------- consumers
+    def attach(self, consumer_id: str) -> List[int]:
+        """Register a consumer and return its assigned partitions."""
+        with self._cond:
+            now = time.monotonic()
+            if consumer_id not in self._consumers:
+                self._consumer_order.append(consumer_id)
+                log_event("fleet.consumer_attached", consumer=consumer_id)
+            self._consumers[consumer_id] = now
+            self._rebalance()
+            return self._assigned_partitions(consumer_id)
+
+    def detach(self, consumer_id: str) -> None:
+        with self._cond:
+            self._detach_locked(consumer_id, reason="detach")
+
+    def _detach_locked(self, consumer_id: str, reason: str) -> None:
+        if consumer_id not in self._consumers:
+            return
+        del self._consumers[consumer_id]
+        self._consumer_order.remove(consumer_id)
+        self._rotation.pop(consumer_id, None)
+        self._rebalance()
+        log_event("fleet.consumer_detached", consumer=consumer_id, reason=reason)
+        self._cond.notify_all()
+
+    def _rebalance(self) -> None:
+        """Round-robin partitions over attached consumers (lock held)."""
+        consumers = self._consumer_order
+        for partition in range(self.partitions):
+            self._assignment[partition] = (
+                consumers[partition % len(consumers)] if consumers else None
+            )
+        _CONSUMERS.set(len(consumers))
+
+    def _assigned_partitions(self, consumer_id: str) -> List[int]:
+        return [
+            partition
+            for partition, owner in self._assignment.items()
+            if owner == consumer_id
+        ]
+
+    def lease(self, consumer_id: str, timeout: float = 1.0) -> Optional[Job]:
+        """Oldest job from one of the consumer's partitions, or ``None``.
+
+        Blocks up to ``timeout`` for work.  An unknown consumer (never
+        attached, or reaped while slow) is attached implicitly, so a
+        consumer that went quiet long enough to lose its partitions heals by
+        simply calling ``lease`` again.
+        """
+        deadline = time.monotonic() + max(0.0, float(timeout))
+        with self._cond:
+            while not self._closed:
+                now = time.monotonic()
+                if consumer_id not in self._consumers:
+                    if consumer_id not in self._consumer_order:
+                        self._consumer_order.append(consumer_id)
+                        log_event("fleet.consumer_attached", consumer=consumer_id)
+                    self._consumers[consumer_id] = now
+                    self._rebalance()
+                self._consumers[consumer_id] = now
+                job = self._take_job(consumer_id, now)
+                if job is not None:
+                    return job
+                remaining = deadline - now
+                if remaining <= 0:
+                    return None
+                self._cond.wait(min(remaining, 0.25))
+            return None
+
+    def _take_job(self, consumer_id: str, now: float) -> Optional[Job]:
+        """Pop the next deliverable job from the consumer's partitions
+        (lock held); rotates the starting partition for fairness."""
+        assigned = self._assigned_partitions(consumer_id)
+        if not assigned:
+            return None
+        start = self._rotation.get(consumer_id, 0)
+        for step in range(len(assigned)):
+            partition = assigned[(start + step) % len(assigned)]
+            queue = self._queues[partition]
+            while queue:
+                job = queue.popleft()
+                if job.job_id in self._finished_ids:
+                    # A requeued duplicate of a job another delivery already
+                    # completed — drop it silently (first ack won).
+                    continue
+                self._set_depth(partition)
+                self._rotation[consumer_id] = (start + step + 1) % len(assigned)
+                job.deliveries += 1
+                self._inflight[job.job_id] = _Lease(
+                    job=job,
+                    consumer_id=consumer_id,
+                    deadline=now + self.visibility_timeout,
+                )
+                _JOBS.labels("leased").inc()
+                return job
+            self._set_depth(partition)
+        return None
+
+    def ack(
+        self,
+        consumer_id: str,
+        job_id: str,
+        result: Any,
+        metrics: Optional[Dict[str, Dict[str, object]]] = None,
+    ) -> bool:
+        """Complete a job with its result; ``False`` for a late duplicate."""
+        with self._cond:
+            now = time.monotonic()
+            if consumer_id in self._consumers:
+                self._consumers[consumer_id] = now
+            if job_id in self._finished_ids:
+                _JOBS.labels("duplicate_ack").inc()
+                return False
+            lease = self._inflight.pop(job_id, None)
+            if lease is not None:
+                job = lease.job
+            else:
+                # The lease expired and the duplicate is still queued: find
+                # and remove it so nobody executes it a second time.
+                job = self._remove_queued(job_id)
+                if job is None:
+                    _JOBS.labels("duplicate_ack").inc()
+                    return False
+            self._finish(job, result=result, error=None, metrics=metrics)
+            return True
+
+    def nack(self, consumer_id: str, job_id: str, error: str) -> None:
+        """Return a failed job for redelivery (or fail it for good once
+        ``max_deliveries`` is spent)."""
+        with self._cond:
+            if consumer_id in self._consumers:
+                self._consumers[consumer_id] = time.monotonic()
+            lease = self._inflight.pop(job_id, None)
+            if lease is None:
+                return
+            self._requeue(lease.job, error=error)
+
+    def _remove_queued(self, job_id: str) -> Optional[Job]:
+        for partition, queue in enumerate(self._queues):
+            for job in queue:
+                if job.job_id == job_id:
+                    queue.remove(job)
+                    self._set_depth(partition)
+                    return job
+        return None
+
+    def _requeue(self, job: Job, error: str) -> None:
+        """Redeliver (front of the partition, oldest first) or give up."""
+        if job.deliveries >= self.max_deliveries:
+            self._finish(
+                job,
+                result=None,
+                error=(
+                    f"job {job.job_id} failed after {job.deliveries} deliveries: "
+                    f"{error}"
+                ),
+                metrics=None,
+            )
+            return
+        self._queues[job.partition].appendleft(job)
+        self._set_depth(job.partition)
+        _JOBS.labels("requeued").inc()
+        self._cond.notify_all()
+
+    def _finish(
+        self,
+        job: Job,
+        result: Any,
+        error: Optional[str],
+        metrics: Optional[Dict[str, Dict[str, object]]],
+    ) -> None:
+        """Record a terminal outcome and wake the front (lock held)."""
+        self._finished_ids[job.job_id] = time.monotonic()
+        self._completed.append(
+            CompletedJob(
+                job_id=job.job_id,
+                result=result,
+                error=error,
+                deliveries=job.deliveries,
+                enqueued=job.enqueued,
+                metrics=metrics,
+            )
+        )
+        _JOBS.labels("completed" if error is None else "failed").inc()
+        self._cond.notify_all()
+
+    # ----------------------------------------------------------------- front
+    def poll_completed(self, timeout: float = 0.2) -> List[CompletedJob]:
+        """Drain finished jobs (the front's result loop calls this)."""
+        deadline = time.monotonic() + max(0.0, float(timeout))
+        with self._cond:
+            while not self._completed and not self._closed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(min(remaining, 0.25))
+            drained = list(self._completed)
+            self._completed.clear()
+            return drained
+
+    # --------------------------------------------------------------- sweeper
+    def _sweep_loop(self, interval: float) -> None:
+        while True:
+            time.sleep(interval)
+            with self._cond:
+                if self._closed:
+                    return
+                try:
+                    self._sweep_locked(time.monotonic())
+                except Exception:  # pragma: no cover - sweeper must survive
+                    logger.exception("broker sweep failed")
+
+    def _sweep_locked(self, now: float) -> None:
+        # 1. Expired leases: the consumer holding the job is presumed dead
+        #    (or wedged past the visibility window); redeliver.
+        expired = [
+            lease for lease in self._inflight.values() if now > lease.deadline
+        ]
+        for lease in expired:
+            del self._inflight[lease.job.job_id]
+            self._redeliveries += 1
+            _REDELIVERIES.inc()
+            logger.warning(
+                "job %s visibility timeout expired on consumer %s (delivery %d); "
+                "redelivering",
+                lease.job.job_id,
+                lease.consumer_id,
+                lease.job.deliveries,
+            )
+            log_event(
+                "fleet.job_redelivered",
+                job=lease.job.job_id,
+                consumer=lease.consumer_id,
+                deliveries=lease.job.deliveries,
+            )
+            self._requeue(lease.job, error="visibility timeout expired")
+        # 2. Silent consumers: reassign their partitions to survivors.
+        for consumer_id, last_seen in list(self._consumers.items()):
+            if now - last_seen > self.consumer_deadline:
+                logger.warning(
+                    "consumer %s silent for %.1fs; reassigning its partitions",
+                    consumer_id,
+                    now - last_seen,
+                )
+                self._detach_locked(consumer_id, reason="deadline")
+        # 3. Prune the finished-id dedupe set: anything older than one full
+        #    delivery cycle can no longer have a duplicate in flight.
+        horizon = now - (self.max_deliveries + 1) * self.visibility_timeout
+        for job_id, finished_at in list(self._finished_ids.items()):
+            if finished_at < horizon:
+                del self._finished_ids[job_id]
+
+    # ------------------------------------------------------------- introspection
+    def _set_depth(self, partition: int) -> None:
+        _QUEUE_DEPTH.labels(str(partition)).set(len(self._queues[partition]))
+
+    def depth(self) -> int:
+        """Jobs waiting (not leased, not finished) across all partitions."""
+        with self._lock:
+            return sum(len(queue) for queue in self._queues)
+
+    def consumer_count(self) -> int:
+        with self._lock:
+            return len(self._consumers)
+
+    def redeliveries(self) -> int:
+        with self._lock:
+            return self._redeliveries
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-friendly broker snapshot for ``/info`` and ``fleet-status``."""
+        with self._lock:
+            now = time.monotonic()
+            oldest: Optional[float] = None
+            for queue in self._queues:
+                if queue:
+                    age = now - queue[0].enqueued
+                    oldest = age if oldest is None else max(oldest, age)
+            return {
+                "partitions": self.partitions,
+                "partition_capacity": self.partition_capacity,
+                "visibility_timeout_seconds": self.visibility_timeout,
+                "max_deliveries": self.max_deliveries,
+                "depth": sum(len(queue) for queue in self._queues),
+                "depth_per_partition": [len(queue) for queue in self._queues],
+                "oldest_job_age_seconds": oldest,
+                "inflight": len(self._inflight),
+                "redeliveries": self._redeliveries,
+                "consumers": {
+                    consumer_id: self._assigned_partitions(consumer_id)
+                    for consumer_id in self._consumer_order
+                },
+            }
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Fail everything still queued/in flight and stop the sweeper."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            error = "broker closed"
+            for lease in list(self._inflight.values()):
+                self._finish(lease.job, result=None, error=error, metrics=None)
+            self._inflight.clear()
+            for partition, queue in enumerate(self._queues):
+                while queue:
+                    self._finish(queue.popleft(), result=None, error=error, metrics=None)
+                self._set_depth(partition)
+            self._cond.notify_all()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"InProcBroker(partitions={self.partitions}, "
+            f"visibility_timeout={self.visibility_timeout})"
+        )
+
+
+# --------------------------------------------------------------------- manager
+# The in-process broker crosses process boundaries through the stdlib
+# multiprocessing manager: the front serves its broker on a TCP socket and
+# `repro fleet-worker` processes connect with the shared authkey.  Every
+# proxy call runs inside the front's process, which is what keeps the broker
+# "in-process" (one condition variable, one metrics registry) while the
+# consumers scale out horizontally.
+
+
+def serve_broker(
+    broker: Broker, host: str = "127.0.0.1", port: int = 0, authkey: str = "repro-fleet"
+) -> Tuple[Tuple[str, int], Callable[[], None]]:
+    """Expose ``broker`` on ``host:port`` (0 picks an ephemeral port).
+
+    Returns ``((host, port), stop)`` — ``stop()`` shuts the listener down.
+    The server threads are daemons; ``authkey`` must match what consumers
+    pass to :func:`connect_broker` (loopback + shared key is the intended
+    deployment; put a real transport in front of it for untrusted networks).
+    """
+    from multiprocessing.managers import BaseManager
+
+    class _BrokerManager(BaseManager):
+        pass
+
+    _BrokerManager.register("get_broker", callable=lambda: broker)
+    manager = _BrokerManager(address=(host, int(port)), authkey=authkey.encode())
+    server = manager.get_server()
+
+    def _serve() -> None:
+        try:
+            server.serve_forever()
+        except SystemExit:
+            # serve_forever leaves via sys.exit(0) when the stop event is
+            # set; in our daemon thread that is a clean shutdown, not an
+            # error worth propagating.
+            pass
+
+    thread = threading.Thread(
+        target=_serve, name="repro-fleet-broker-server", daemon=True
+    )
+    thread.start()
+
+    def stop() -> None:
+        try:
+            server.stop_event.set()
+        except AttributeError:  # pragma: no cover - stdlib internals moved
+            pass
+        try:
+            server.listener.close()
+        except Exception:  # pragma: no cover
+            pass
+
+    return server.address, stop
+
+
+def connect_broker(
+    address: Tuple[str, int], authkey: str = "repro-fleet"
+) -> Broker:
+    """Connect to a broker served by :func:`serve_broker`; returns a proxy
+    implementing the :class:`Broker` surface."""
+    from multiprocessing.managers import BaseManager
+
+    class _BrokerManager(BaseManager):
+        pass
+
+    _BrokerManager.register("get_broker")
+    manager = _BrokerManager(
+        address=(address[0], int(address[1])), authkey=authkey.encode()
+    )
+    manager.connect()
+    return manager.get_broker()

@@ -1,0 +1,197 @@
+"""Fleet consumer: lease prediction jobs, run them on a ``PoolPredictor``.
+
+One :class:`FleetConsumer` is one horizontal unit of serving capacity.  It
+attaches to the broker (in-process object or a
+:func:`~repro.fleet.broker.connect_broker` proxy — the loop cannot tell the
+difference), leases jobs from its assigned partitions, answers them through
+the *existing* multi-process :class:`~repro.parallel.serving.PoolPredictor`
+(shm transport, micro-batching, and the self-healing supervisor all reused
+unchanged), and acks each result back.  Results are therefore **bitwise
+identical** to a single-process ``EnsemblePredictor`` on the same rows — the
+queue tier adds scheduling, never arithmetic.
+
+Fleet-wide observability: alongside each ack the consumer periodically ships
+a *delta* snapshot of its ``repro.obs`` registry (``metrics_interval``
+throttled, counters/histograms accumulate on merge), so the front's
+``/metrics`` aggregates request latency and pool-supervisor activity across
+every consumer in the fleet without scraping N processes.
+
+Chaos hooks: ``repro.faults`` injection points ``fleet_consume`` (after the
+lease, before inference — a crash here strands a leased job, exercising
+visibility-timeout redelivery) and ``fleet_ack`` (after inference, before
+the ack — a crash here loses a *computed* result, the worst case for
+exactly-once pretenders; at-least-once redelivery recomputes it).  Context
+fields ``consumer``, ``job`` and ``attempt`` (0-based delivery index) are
+matchable as ``REPRO_FAULTS`` qualifiers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.faults import fire
+from repro.fleet.broker import Broker, Job
+from repro.obs.events import log_event
+from repro.obs.metrics import get_registry
+from repro.parallel.serving import PoolPredictor
+from repro.utils.logging import get_logger
+
+logger = get_logger("fleet.consumer")
+
+_metrics = get_registry()
+_CONSUMED = _metrics.counter(
+    "repro_fleet_consumed_jobs_total",
+    "Jobs this consumer leased and answered.",
+    ("status",),
+)
+
+__all__ = ["FleetConsumer"]
+
+
+class FleetConsumer:
+    """Run one serving pool against broker partitions until stopped.
+
+    ``broker`` is anything implementing the :class:`~repro.fleet.broker.
+    Broker` surface — the in-process object in tests, a manager proxy in
+    ``repro fleet-worker``.  ``close()`` drains first: the loop stops
+    leasing, the in-flight job (if any) finishes and acks, then the consumer
+    detaches and the pool shuts down — the same mechanism a scale-down or a
+    future artifact hot-swap rides.
+    """
+
+    def __init__(
+        self,
+        broker: Broker,
+        artifact: Union[str, Path],
+        consumer_id: str,
+        workers: int = 1,
+        method: str = "average",
+        batch_size: int = 256,
+        max_batch: int = 1024,
+        max_wait_ms: float = 2.0,
+        transport: str = "shm",
+        lease_timeout: float = 0.5,
+        metrics_interval: float = 1.0,
+        restart_workers: bool = True,
+    ):
+        self.consumer_id = str(consumer_id)
+        self.broker = broker
+        self.lease_timeout = float(lease_timeout)
+        self.metrics_interval = float(metrics_interval)
+        self.pool = PoolPredictor(
+            artifact,
+            workers=workers,
+            method=method,
+            batch_size=batch_size,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            transport=transport,
+            restart_workers=restart_workers,
+        )
+        self._stop = threading.Event()
+        self._last_metrics_ship = 0.0
+        self._thread = threading.Thread(
+            target=self._run, name=f"repro-fleet-consumer-{consumer_id}", daemon=True
+        )
+
+    def start(self) -> "FleetConsumer":
+        self.broker.attach(self.consumer_id)
+        self._thread.start()
+        log_event("fleet.consumer_started", consumer=self.consumer_id)
+        return self
+
+    # ------------------------------------------------------------------ loop
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                job = self.broker.lease(self.consumer_id, timeout=self.lease_timeout)
+            except (EOFError, ConnectionError, OSError):
+                # The broker (front) went away; nothing left to serve.
+                logger.warning(
+                    "consumer %s lost its broker connection; stopping",
+                    self.consumer_id,
+                )
+                self._stop.set()
+                return
+            if job is None:
+                continue
+            self._handle(job)
+
+    def _handle(self, job: Job) -> None:
+        attempt = max(0, job.deliveries - 1)
+        fire("fleet_consume", consumer=self.consumer_id, job=job.job_id, attempt=attempt)
+        try:
+            payload = job.payload
+            proba = self.pool.predict_proba(payload["x"], method=payload.get("method"))
+            # A shm-transport result is a zero-copy view of a pool worker's
+            # arena; materialise it so the ack (which may pickle it over the
+            # manager connection) releases the arena region promptly.
+            proba = np.array(proba, copy=True)
+        except Exception as exc:
+            _CONSUMED.labels("error").inc()
+            try:
+                self.broker.nack(
+                    self.consumer_id, job.job_id, f"{type(exc).__name__}: {exc}"
+                )
+            except (EOFError, ConnectionError, OSError):  # pragma: no cover
+                self._stop.set()
+            return
+        fire("fleet_ack", consumer=self.consumer_id, job=job.job_id, attempt=attempt)
+        try:
+            self.broker.ack(
+                self.consumer_id, job.job_id, result=proba, metrics=self._ship_metrics()
+            )
+            _CONSUMED.labels("ok").inc()
+        except (EOFError, ConnectionError, OSError):  # pragma: no cover
+            self._stop.set()
+
+    def _ship_metrics(self) -> Optional[Dict[str, Dict[str, object]]]:
+        """Throttled delta snapshot of this process's registry.
+
+        Snapshot-then-reset makes each shipment a delta, so the front can
+        merge counters/histograms without double counting; shipping with the
+        ack (rather than on a side channel) means the front's view is always
+        at least as fresh as the results it serves.
+        """
+        registry = get_registry()
+        if not registry.enabled:
+            return None
+        now = time.monotonic()
+        if now - self._last_metrics_ship < self.metrics_interval:
+            return None
+        self._last_metrics_ship = now
+        snapshot = registry.snapshot()
+        registry.reset()
+        return snapshot
+
+    # ------------------------------------------------------------- lifecycle
+    def alive(self) -> bool:
+        """True while the lease loop is still serving (broker reachable)."""
+        return self._thread.is_alive() and not self._stop.is_set()
+
+    def close(self) -> None:
+        """Drain and shut down (idempotent): stop leasing, finish the job in
+        flight, detach from the broker, close the pool."""
+        if self._stop.is_set() and not self._thread.is_alive():
+            self.pool.close()
+            return
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=60)
+        try:
+            self.broker.detach(self.consumer_id)
+        except (EOFError, ConnectionError, OSError):  # pragma: no cover
+            pass
+        self.pool.close()
+        log_event("fleet.consumer_stopped", consumer=self.consumer_id)
+
+    def __enter__(self) -> "FleetConsumer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,570 @@
+"""Queue-backed serving front: publish prediction jobs, collect results.
+
+:class:`FleetFront` is what ``repro serve --mode queue`` builds instead of a
+local :class:`~repro.parallel.serving.PoolPredictor`.  It owns:
+
+* the **broker** (:class:`~repro.fleet.broker.InProcBroker`), served over a
+  ``multiprocessing.managers`` socket so `repro fleet-worker` processes on
+  this or other hosts can attach;
+* a **result loop** that drains completed jobs, resolves waiting futures,
+  observes the end-to-end job latency histogram, stores results for the
+  poll API (``/result/<id>``), and merges the consumers' shipped
+  ``repro.obs`` snapshots so ``/metrics`` aggregates the fleet;
+* a **local consumer manager** that keeps ``desired`` consumer subprocesses
+  (``repro fleet-worker`` against the loopback broker address) running —
+  reconciling every ``reconcile_interval``: dead consumers are respawned,
+  surplus ones are SIGTERMed and drain gracefully;
+* the **autoscaler** (:class:`~repro.fleet.autoscaler.Autoscaler`) steering
+  ``desired`` between ``min_consumers`` and ``max_consumers`` from queue
+  depth and windowed p99 job latency.
+
+Client calls (`submit` / `result` / `predict_proba`) are thread-safe; each
+blocks only on its own job's future.  Results are bitwise identical to a
+single-process ``EnsemblePredictor`` because the consumers run the proven
+``PoolPredictor`` path unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import signal
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.ensemble import COMBINATION_METHODS
+from repro.fleet.autoscaler import Autoscaler, AutoscaleSignals
+from repro.fleet.broker import InProcBroker, serve_broker
+from repro.obs.events import log_event
+from repro.obs.metrics import get_registry, quantile_from_counts
+from repro.utils.logging import get_logger
+
+logger = get_logger("fleet.front")
+
+_metrics = get_registry()
+_JOB_LATENCY = _metrics.histogram(
+    "repro_fleet_job_latency_seconds",
+    "End-to-end job latency: publish to completed result at the front.",
+)
+
+__all__ = ["FleetFront"]
+
+#: How long a fetched-by-poll result is retained before the sweep drops it.
+DEFAULT_RESULT_TTL = 120.0
+
+
+@dataclass
+class _JobEntry:
+    future: Future = field(default_factory=Future)
+    want_proba: bool = True
+    done: bool = False
+    result: Optional[np.ndarray] = None
+    error: Optional[str] = None
+    expires: Optional[float] = None
+
+
+@dataclass
+class _LocalConsumer:
+    consumer_id: str
+    process: subprocess.Popen
+    draining: bool = False
+    kill_at: Optional[float] = None
+
+
+class FleetFront:
+    """Producer front over a partitioned broker plus managed consumers.
+
+    With ``spawn_local=False`` no consumer subprocesses are started (and the
+    autoscaler stays off) — the caller attaches its own consumers, in
+    process or via the broker address; this is how the chaos tests drive
+    externally-SIGKILLed `fleet-worker` processes.
+    """
+
+    def __init__(
+        self,
+        artifact: Union[str, Path],
+        partitions: int = 4,
+        partition_capacity: int = 1024,
+        visibility_timeout: float = 30.0,
+        max_deliveries: int = 5,
+        method: str = "average",
+        min_consumers: int = 1,
+        max_consumers: int = 4,
+        consumer_workers: int = 1,
+        batch_size: int = 256,
+        max_batch: int = 1024,
+        transport: str = "shm",
+        spawn_local: bool = True,
+        autoscale: bool = True,
+        autoscale_cooldown: float = 10.0,
+        autoscale_interval: float = 1.0,
+        up_queue_depth: float = 4.0,
+        down_queue_depth: float = 1.0,
+        up_p99_seconds: float = 2.0,
+        down_p99_seconds: float = 0.5,
+        host: str = "127.0.0.1",
+        fleet_port: int = 0,
+        fleet_authkey: str = "repro-fleet",
+        request_timeout: float = 300.0,
+        result_ttl: float = DEFAULT_RESULT_TTL,
+        reconcile_interval: float = 0.5,
+        log_format: Optional[str] = None,
+        log_file: Optional[Union[str, Path]] = None,
+    ):
+        from repro.api.artifacts import read_manifest
+
+        if min_consumers < 1:
+            raise ValueError("min_consumers must be at least 1")
+        if max_consumers < min_consumers:
+            raise ValueError("need min_consumers <= max_consumers")
+        manifest = read_manifest(artifact)
+        if method not in COMBINATION_METHODS:
+            raise ValueError(
+                f"unknown combination method {method!r}; valid choices: "
+                + ", ".join(repr(m) for m in COMBINATION_METHODS)
+            )
+        self.path = Path(artifact)
+        self.method = method
+        self.input_shape = tuple(int(d) for d in manifest["input_shape"])
+        self.num_classes = int(manifest["num_classes"])
+        self.num_members = len(manifest["members"])
+        self.approach = manifest["approach"]
+        self._has_super_learner = manifest.get("super_learner_weights") is not None
+        self.min_consumers = int(min_consumers)
+        self.max_consumers = int(max_consumers)
+        self.consumer_workers = int(consumer_workers)
+        self.batch_size = int(batch_size)
+        self.max_batch = int(max_batch)
+        self.transport = transport
+        self.request_timeout = float(request_timeout)
+        self.result_ttl = float(result_ttl)
+        self.spawn_local = bool(spawn_local)
+        self._log_format = log_format
+        self._log_file = log_file
+        self._fleet_authkey = fleet_authkey
+
+        self.broker = InProcBroker(
+            partitions=partitions,
+            partition_capacity=partition_capacity,
+            visibility_timeout=visibility_timeout,
+            max_deliveries=max_deliveries,
+        )
+        self.broker_address, self._stop_broker_server = serve_broker(
+            self.broker, host=host, port=fleet_port, authkey=fleet_authkey
+        )
+
+        self._lock = threading.Lock()
+        self._entries: Dict[str, _JobEntry] = {}
+        self._closed = False
+        self._stop = threading.Event()
+        self._result_thread = threading.Thread(
+            target=self._result_loop, name="repro-fleet-results", daemon=True
+        )
+        self._result_thread.start()
+
+        # ---------------------------------------------- local consumer fleet
+        self._local: List[_LocalConsumer] = []
+        self._desired = self.min_consumers if self.spawn_local else 0
+        self._spawned = 0
+        self._reconcile_thread: Optional[threading.Thread] = None
+        if self.spawn_local:
+            self._reconcile_thread = threading.Thread(
+                target=self._reconcile_loop,
+                args=(float(reconcile_interval),),
+                name="repro-fleet-reconcile",
+                daemon=True,
+            )
+            self._reconcile_thread.start()
+
+        # -------------------------------------------------------- autoscaler
+        self._latency_window_counts = _JOB_LATENCY.bucket_counts()
+        self.autoscaler: Optional[Autoscaler] = None
+        if self.spawn_local and autoscale and self.max_consumers > self.min_consumers:
+            self.autoscaler = Autoscaler(
+                min_consumers=self.min_consumers,
+                max_consumers=self.max_consumers,
+                get_signals=self._signals,
+                scale_up=self.scale_up,
+                scale_down=self.scale_down,
+                up_queue_depth=up_queue_depth,
+                down_queue_depth=down_queue_depth,
+                up_p99_seconds=up_p99_seconds,
+                down_p99_seconds=down_p99_seconds,
+                cooldown_seconds=autoscale_cooldown,
+                interval=autoscale_interval,
+            ).start()
+        logger.info(
+            "fleet front for %s: broker %s:%d, %d partitions, consumers %d..%d",
+            artifact,
+            self.broker_address[0],
+            self.broker_address[1],
+            partitions,
+            self.min_consumers,
+            self.max_consumers,
+        )
+
+    # ----------------------------------------------------------------- client
+    def _resolve_method(self, method: Optional[str]) -> str:
+        resolved = self.method if method is None else method
+        if resolved not in COMBINATION_METHODS:
+            raise ValueError(
+                f"unknown combination method {resolved!r}; valid choices: "
+                + ", ".join(repr(m) for m in COMBINATION_METHODS)
+            )
+        if resolved == "super_learner" and not self._has_super_learner:
+            raise RuntimeError(
+                "this artifact has no fitted super-learner weights; pick "
+                "method='average'/'vote'"
+            )
+        return resolved
+
+    def submit(
+        self,
+        x: np.ndarray,
+        method: Optional[str] = None,
+        want_proba: bool = True,
+    ) -> str:
+        """Validate and publish one prediction job; returns its job id.
+
+        The result future is registered *before* the publish, so a consumer
+        can never answer a job the front does not yet know about.
+        """
+        if self._closed:
+            raise RuntimeError("FleetFront is closed")
+        from repro.api.predictor import validate_batch
+
+        x = validate_batch(x, self.input_shape)
+        resolved = self._resolve_method(method)
+        job_id = secrets.token_hex(8)
+        entry = _JobEntry(want_proba=want_proba)
+        with self._lock:
+            self._entries[job_id] = entry
+        try:
+            self.broker.publish({"x": x, "method": resolved}, job_id=job_id)
+        except BaseException:
+            with self._lock:
+                self._entries.pop(job_id, None)
+            raise
+        return job_id
+
+    def result(self, job_id: str, timeout: Optional[float] = None) -> np.ndarray:
+        """Block until ``job_id`` completes; returns the probabilities."""
+        with self._lock:
+            entry = self._entries.get(job_id)
+        if entry is None:
+            raise KeyError(f"unknown job id {job_id!r}")
+        try:
+            result = entry.future.result(timeout=timeout or self.request_timeout)
+        finally:
+            with self._lock:
+                self._entries.pop(job_id, None)
+        return result
+
+    def poll(self, job_id: str) -> Tuple[str, Optional[np.ndarray], Optional[str], bool]:
+        """Non-blocking result check: ``(status, proba, error, want_proba)``.
+
+        ``status`` is ``"done"`` (the entry is consumed), ``"pending"``, or
+        ``"unknown"`` (never submitted, already fetched, or expired).
+        """
+        with self._lock:
+            entry = self._entries.get(job_id)
+            if entry is None:
+                return "unknown", None, None, True
+            if not entry.done:
+                return "pending", None, None, entry.want_proba
+            del self._entries[job_id]
+            return "done", entry.result, entry.error, entry.want_proba
+
+    def predict_proba(
+        self,
+        x: np.ndarray,
+        method: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> np.ndarray:
+        """Synchronous publish-and-wait; bitwise equal to the pool path."""
+        return self.result(self.submit(x, method=method), timeout=timeout)
+
+    def predict(
+        self,
+        x: np.ndarray,
+        method: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> np.ndarray:
+        return self.predict_proba(x, method=method, timeout=timeout).argmax(axis=1)
+
+    # ------------------------------------------------------------ result loop
+    def _result_loop(self) -> None:
+        registry = get_registry()
+        while not self._stop.is_set():
+            completed = self.broker.poll_completed(timeout=0.2)
+            now = time.monotonic()
+            for job in completed:
+                if job.metrics is not None:
+                    registry.merge_snapshot(job.metrics)
+                _JOB_LATENCY.observe(max(0.0, now - job.enqueued))
+                with self._lock:
+                    entry = self._entries.get(job.job_id)
+                    if entry is None:
+                        continue
+                    entry.done = True
+                    entry.result = job.result
+                    entry.error = job.error
+                    entry.expires = now + self.result_ttl
+                if job.error is not None:
+                    entry.future.set_exception(RuntimeError(job.error))
+                else:
+                    entry.future.set_result(job.result)
+            self._sweep_entries(now)
+
+    def _sweep_entries(self, now: float) -> None:
+        with self._lock:
+            expired = [
+                job_id
+                for job_id, entry in self._entries.items()
+                if entry.done and entry.expires is not None and now > entry.expires
+            ]
+            for job_id in expired:
+                del self._entries[job_id]
+
+    # ------------------------------------------------------ local consumers
+    def _spawn_consumer(self) -> _LocalConsumer:
+        import repro
+
+        consumer_id = f"local-{self._spawned}"
+        self._spawned += 1
+        env = dict(os.environ)
+        src_dir = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        argv = [
+            sys.executable,
+            "-m",
+            "repro",
+            "fleet-worker",
+            "--broker",
+            f"{self.broker_address[0]}:{self.broker_address[1]}",
+            "--authkey",
+            self._fleet_authkey,
+            "--artifact",
+            str(self.path),
+            "--consumer-id",
+            consumer_id,
+            "--workers",
+            str(self.consumer_workers),
+            "--method",
+            self.method,
+            "--batch-size",
+            str(self.batch_size),
+            "--max-batch",
+            str(self.max_batch),
+            "--transport",
+            self.transport,
+        ]
+        if self._log_format is not None:
+            argv += ["--log-format", self._log_format]
+        if self._log_file is not None:
+            argv += ["--log-file", str(self._log_file)]
+        # stdout would interleave the consumer's banner with the front's own
+        # machine-readable banner; stderr (structured events) passes through.
+        process = subprocess.Popen(argv, stdout=subprocess.DEVNULL, env=env)
+        log_event("fleet.consumer_spawned", consumer=consumer_id, pid=process.pid)
+        logger.info("spawned local consumer %s (pid %d)", consumer_id, process.pid)
+        return _LocalConsumer(consumer_id=consumer_id, process=process)
+
+    def _reconcile_loop(self, interval: float) -> None:
+        while not self._stop.wait(interval):
+            try:
+                self._reconcile()
+            except Exception:  # pragma: no cover - manager must survive
+                logger.exception("consumer reconcile failed")
+
+    def _reconcile(self) -> None:
+        now = time.monotonic()
+        with self._lock:
+            desired = self._desired
+            # Prune exited processes; escalate draining stragglers.
+            survivors: List[_LocalConsumer] = []
+            for consumer in self._local:
+                code = consumer.process.poll()
+                if code is not None:
+                    log_event(
+                        "fleet.consumer_exited",
+                        consumer=consumer.consumer_id,
+                        returncode=code,
+                        draining=consumer.draining,
+                    )
+                    if not consumer.draining:
+                        logger.warning(
+                            "local consumer %s exited unexpectedly (code %s)",
+                            consumer.consumer_id,
+                            code,
+                        )
+                    continue
+                if (
+                    consumer.draining
+                    and consumer.kill_at is not None
+                    and now > consumer.kill_at
+                ):  # pragma: no cover - drain wedged
+                    consumer.process.kill()
+                survivors.append(consumer)
+            self._local = survivors
+            running = [c for c in self._local if not c.draining]
+            # Surplus: drain the newest first (oldest consumers keep serving).
+            for consumer in running[desired:]:
+                consumer.draining = True
+                consumer.kill_at = now + 30.0
+                try:
+                    consumer.process.send_signal(signal.SIGTERM)
+                except OSError:  # pragma: no cover - exited between poll and kill
+                    pass
+                log_event("fleet.consumer_draining", consumer=consumer.consumer_id)
+            shortfall = desired - len(running)
+        # Spawns happen outside the lock (subprocess start is slow).
+        for _ in range(max(0, shortfall)):
+            consumer = self._spawn_consumer()
+            with self._lock:
+                if self._closed:
+                    consumer.process.terminate()
+                    return
+                self._local.append(consumer)
+
+    def scale_up(self) -> None:
+        with self._lock:
+            self._desired = min(self.max_consumers, self._desired + 1)
+
+    def scale_down(self) -> None:
+        with self._lock:
+            self._desired = max(self.min_consumers, self._desired - 1)
+
+    def local_consumers(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "desired": self._desired,
+                "running": sum(1 for c in self._local if not c.draining),
+                "draining": sum(1 for c in self._local if c.draining),
+                "pids": [c.process.pid for c in self._local if not c.draining],
+            }
+
+    # -------------------------------------------------------------- signals
+    def _signals(self) -> AutoscaleSignals:
+        """Autoscaler inputs: backlog now, p99 over the last tick window."""
+        counts = _JOB_LATENCY.bucket_counts()
+        delta = [
+            current - previous
+            for current, previous in zip(counts, self._latency_window_counts)
+        ]
+        self._latency_window_counts = counts
+        p99 = quantile_from_counts(_JOB_LATENCY.buckets, delta, 0.99)
+        with self._lock:
+            desired = self._desired
+        return AutoscaleSignals(
+            queue_depth=self.broker.depth(), p99_seconds=p99, consumers=desired
+        )
+
+    # ---------------------------------------------------------- health / info
+    def wait_ready(self, timeout: float = 180.0) -> None:
+        """Block until ``min_consumers`` consumers are attached (pool-warm)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.broker.consumer_count() >= self.min_consumers:
+                return
+            time.sleep(0.1)
+        raise RuntimeError(
+            f"fleet consumers failed to attach within {timeout:.0f}s "
+            f"(attached {self.broker.consumer_count()}/{self.min_consumers})"
+        )
+
+    def healthz(self) -> Dict[str, Any]:
+        attached = self.broker.consumer_count()
+        local = self.local_consumers() if self.spawn_local else None
+        if attached >= self.min_consumers:
+            status = "ok"
+        elif attached > 0 or (local is not None and local["running"] > 0):
+            status = "degraded"
+        else:
+            status = "down"
+        health = {
+            "status": status,
+            "mode": "queue",
+            "consumers": attached,
+            "min_consumers": self.min_consumers,
+            "max_consumers": self.max_consumers,
+            "queue_depth": self.broker.depth(),
+            "redeliveries": self.broker.redeliveries(),
+        }
+        if local is not None:
+            health["local_consumers"] = local
+        return health
+
+    def info(self) -> Dict[str, Any]:
+        """JSON-friendly description for the ``/info`` endpoint."""
+        return {
+            "artifact": str(self.path),
+            "approach": self.approach,
+            "mode": "queue",
+            "num_members": self.num_members,
+            "num_classes": self.num_classes,
+            "input_shape": list(self.input_shape),
+            "method": self.method,
+            "super_learner": self._has_super_learner,
+            "transport": self.transport,
+            "broker_address": list(self.broker_address),
+            "queue": self.broker.stats(),
+            "consumers": self.broker.consumer_count(),
+            "local_consumers": self.local_consumers() if self.spawn_local else None,
+            "autoscaler": self.autoscaler.state() if self.autoscaler else None,
+            "job_latency_seconds": {
+                "p50": _JOB_LATENCY.quantile(0.5),
+                "p99": _JOB_LATENCY.quantile(0.99),
+            },
+        }
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Stop scaling, drain local consumers, fail anything unresolved."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self.autoscaler is not None:
+            self.autoscaler.stop()
+        self._stop.set()
+        if self._reconcile_thread is not None:
+            self._reconcile_thread.join(timeout=10)
+        with self._lock:
+            local = list(self._local)
+            self._local = []
+        for consumer in local:
+            if consumer.process.poll() is None:
+                consumer.process.send_signal(signal.SIGTERM)
+        deadline = time.monotonic() + 60.0
+        for consumer in local:
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                consumer.process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:  # pragma: no cover - wedged drain
+                consumer.process.kill()
+                consumer.process.wait(timeout=10)
+        self.broker.close()
+        self._result_thread.join(timeout=10)
+        self._stop_broker_server()
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+        for entry in entries:
+            if not entry.future.done():
+                entry.future.set_exception(RuntimeError("FleetFront closed"))
+        log_event("fleet.front_closed", artifact=str(self.path))
+
+    def __enter__(self) -> "FleetFront":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

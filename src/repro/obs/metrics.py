@@ -40,6 +40,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "get_registry",
+    "quantile_from_counts",
 ]
 
 #: Fixed latency buckets (seconds) shared by every latency histogram in the
@@ -64,6 +65,42 @@ DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
 
 _METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def quantile_from_counts(
+    bounds: Sequence[float], counts: Sequence[int], q: float
+) -> float:
+    """Bucket-interpolated quantile over histogram counts.
+
+    ``bounds`` are the finite bucket upper bounds and ``counts`` the
+    non-cumulative per-bucket counts (``len(bounds) + 1`` entries, the last
+    being the implicit ``+Inf`` bucket) — exactly the layout
+    :class:`Histogram` keeps.  Interpolates linearly inside the bucket the
+    rank falls into, like PromQL's ``histogram_quantile``: observations are
+    assumed non-negative (the first bucket interpolates from 0), and a rank
+    landing in the ``+Inf`` bucket is clamped to the highest finite bound.
+    Returns ``nan`` for an empty histogram.
+
+    Module-level (rather than only a :class:`Histogram` method) so callers
+    that window a histogram — e.g. the fleet autoscaler computing a p99 over
+    the counts observed *since its last tick* — can run the same math on a
+    counts delta.
+    """
+    if not 0.0 <= float(q) <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+    total = sum(counts)
+    if total == 0:
+        return float("nan")
+    rank = float(q) * total
+    cumulative = 0
+    lower = 0.0
+    for bound, count in zip(bounds, counts):
+        cumulative += count
+        if cumulative >= rank and count:
+            fraction = (rank - (cumulative - count)) / count
+            return lower + fraction * (bound - lower)
+        lower = bound
+    return float(bounds[-1])
 
 
 class _Timer:
@@ -327,6 +364,23 @@ class Histogram(Metric):
     def time(self) -> _Timer:
         """``with histogram.time(): ...`` observes the block's duration."""
         return _Timer(self)
+
+    def bucket_counts(self) -> List[int]:
+        """Consistent snapshot of the non-cumulative per-bucket counts
+        (``len(buckets) + 1`` entries; the last is the ``+Inf`` bucket)."""
+        self._require_unlabelled()
+        counts, _ = self._read()
+        return counts
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate over everything observed.
+
+        See :func:`quantile_from_counts` for the semantics; ``nan`` when the
+        histogram is empty.  For a *windowed* quantile (recent observations
+        only), snapshot :meth:`bucket_counts` periodically and feed the delta
+        to :func:`quantile_from_counts` instead.
+        """
+        return quantile_from_counts(self.buckets, self.bucket_counts(), q)
 
     def merge(self, counts: Sequence[int], total: float) -> None:
         """Fold another histogram's ``(bucket counts, sum)`` into this one.

@@ -1,25 +1,40 @@
 """Lightweight HTTP front for the multi-worker serving pool.
 
-``python -m repro serve`` builds a :class:`~repro.parallel.serving.PoolPredictor`
-and exposes it over a threaded stdlib HTTP server — no third-party web stack.
+``python -m repro serve`` exposes a prediction backend over a threaded
+stdlib HTTP server — no third-party web stack.  Two backends share the same
+endpoint surface:
+
+* ``--mode pool`` (default) — a local
+  :class:`~repro.parallel.serving.PoolPredictor`;
+* ``--mode queue`` — a :class:`~repro.fleet.front.FleetFront`: requests are
+  published as jobs on a partitioned broker and answered by
+  ``repro fleet-worker`` consumers (local subprocesses managed and
+  autoscaled by the front, plus any externally attached ones).
 
 Endpoints
 ---------
 
 * ``GET /healthz`` — health: ``{"status": "ok" | "degraded" | "down", ...}``.
-  ``degraded`` means the supervisor is running below capacity (e.g. a worker
-  died and its respawn is still warming up); ``down`` (HTTP 503) means no
-  worker can answer.
-* ``GET /info`` — the pool's :meth:`~repro.parallel.serving.PoolPredictor.info`
-  (including worker pids and restart counts).
+  ``degraded`` means running below capacity (a pool worker died and its
+  respawn is warming up; a fleet has fewer consumers attached than
+  ``min_consumers``); ``down`` (HTTP 503) means nothing can answer.  Queue
+  mode includes queue depth and redelivery counts.
+* ``GET /info`` — the backend's ``info()`` (worker pids and restart counts
+  in pool mode; broker/partition stats, consumer fleet, and autoscaler state
+  in queue mode) plus ``uptime_seconds``.
 * ``GET /metrics`` — Prometheus text exposition of the process-wide metrics
   registry: request counters and latency histograms, dispatch batch sizes,
-  worker lifecycle counters, process gauges.
+  worker lifecycle counters, process gauges.  In queue mode the consumers
+  ship registry deltas back with their acks, so this aggregates the fleet.
 * ``POST /predict`` — body ``{"inputs": [[...], ...], "method": "average",
   "proba": false}``; answers ``{"predictions": [...]}`` (labels) or
   ``{"probabilities": [[...], ...]}`` when ``proba`` is true.  Outputs are
   bitwise identical to a single-process ``EnsemblePredictor`` on the same
-  batch.
+  batch.  In queue mode, ``"async": true`` returns ``202 {"job_id": ...}``
+  immediately instead of blocking.
+* ``GET /result/<job_id>`` (queue mode) — poll an async job: ``200`` with
+  the result once done (the result is consumed), ``202`` while pending,
+  ``404`` for unknown/expired ids.
 
 Each HTTP connection is handled on its own thread
 (``ThreadingHTTPServer``); the pool's dispatcher coalesces concurrent
@@ -35,6 +50,7 @@ from __future__ import annotations
 import json
 import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Optional, Union
@@ -59,15 +75,20 @@ _HTTP_LATENCY = _metrics.histogram(
 )
 
 #: Endpoints tracked as metric label values; anything else counts as "other"
-#: so arbitrary probe paths cannot blow up the label cardinality.
+#: so arbitrary probe paths cannot blow up the label cardinality.  Every
+#: ``/result/<job_id>`` poll collapses into the single "/result" label.
 _KNOWN_PATHS = ("/predict", "/info", "/healthz", "/metrics")
 
 
-def _make_handler(pool: PoolPredictor):
+def _make_handler(pool, mode: str, started_at: float):
+    queue_mode = mode == "queue"
+
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
 
         def _metric_path(self) -> str:
+            if self.path.startswith("/result/"):
+                return "/result"
             return self.path if self.path in _KNOWN_PATHS else "other"
 
         def _reply(self, status: int, payload: dict) -> None:
@@ -88,13 +109,44 @@ def _make_handler(pool: PoolPredictor):
                     health = pool.healthz()
                     self._reply(503 if health["status"] == "down" else 200, health)
                 elif self.path == "/info":
-                    self._reply(200, pool.info())
+                    info = pool.info()
+                    info["mode"] = mode
+                    info["uptime_seconds"] = round(time.monotonic() - started_at, 3)
+                    self._reply(200, info)
                 elif self.path == "/metrics":
                     update_process_metrics()
                     body = render_prometheus().encode("utf-8")
                     self._reply_raw(200, body, CONTENT_TYPE)
+                elif self.path.startswith("/result/"):
+                    self._get_result(self.path[len("/result/"):])
                 else:
                     self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+        def _get_result(self, job_id: str) -> None:
+            if not queue_mode:
+                self._reply(
+                    404, {"error": "/result is only available in queue mode"}
+                )
+                return
+            status, proba, error, want_proba = pool.poll(job_id)
+            if status == "unknown":
+                self._reply(
+                    404,
+                    {"error": f"unknown job id {job_id!r} (expired or fetched?)"},
+                )
+            elif status == "pending":
+                self._reply(202, {"job_id": job_id, "status": "pending"})
+            elif error is not None:
+                self._reply(500, {"job_id": job_id, "error": error})
+            elif want_proba:
+                self._reply(
+                    200, {"job_id": job_id, "probabilities": proba.tolist()}
+                )
+            else:
+                self._reply(
+                    200,
+                    {"job_id": job_id, "predictions": proba.argmax(axis=1).tolist()},
+                )
 
         def do_POST(self):  # noqa: N802 - stdlib API name
             with _HTTP_LATENCY.labels(self._metric_path()).time():
@@ -109,7 +161,23 @@ def _make_handler(pool: PoolPredictor):
                         raise ValueError('request body needs an "inputs" array')
                     x = np.asarray(inputs, dtype=np.float64)
                     method = body.get("method")
-                    if body.get("proba", False):
+                    want_proba = bool(body.get("proba", False))
+                    if body.get("async", False):
+                        if not queue_mode:
+                            raise ValueError(
+                                'async predict ("async": true) needs '
+                                "--mode queue"
+                            )
+                        job_id = pool.submit(x, method=method, want_proba=want_proba)
+                        self._reply(
+                            202,
+                            {
+                                "job_id": job_id,
+                                "status": "pending",
+                                "result_url": f"/result/{job_id}",
+                            },
+                        )
+                    elif want_proba:
                         proba = pool.predict_proba(x, method=method)
                         self._reply(200, {"probabilities": proba.tolist()})
                     else:
@@ -138,29 +206,96 @@ def run_server(
     log_format: str = "json",
     log_file: Optional[Union[str, Path]] = None,
     ready_event: Optional[threading.Event] = None,
+    mode: str = "pool",
+    partitions: int = 4,
+    min_consumers: int = 1,
+    max_consumers: int = 4,
+    consumer_workers: Optional[int] = None,
+    visibility_timeout: float = 30.0,
+    fleet_port: int = 0,
+    fleet_authkey: str = "repro-fleet",
+    autoscale: bool = True,
+    autoscale_cooldown: float = 10.0,
+    autoscale_interval: float = 1.0,
+    up_queue_depth: float = 4.0,
+    down_queue_depth: float = 1.0,
+    up_p99_seconds: float = 2.0,
+    down_p99_seconds: float = 0.5,
+    spawn_consumers: bool = True,
+    startup_timeout: float = 180.0,
 ) -> int:
     """Serve ``artifact`` until SIGINT/SIGTERM; returns the process exit code.
 
     Prints one machine-readable JSON line (``{"event": "serving", ...}``)
-    once the pool is warm and the socket is bound — with ``--port 0`` this is
-    how callers learn the ephemeral port.  Lifecycle transitions (start,
+    once the backend is warm and the socket is bound — with ``--port 0``
+    this is how callers learn the ephemeral port (and, in queue mode, the
+    broker address fleet workers attach to).  Lifecycle transitions (start,
     worker death/respawn, stop) are emitted as structured events on stderr;
     ``log_file`` mirrors them into a size-rotated JSON file.
+
+    ``mode="queue"`` swaps the local pool for a
+    :class:`~repro.fleet.front.FleetFront` and waits up to
+    ``startup_timeout`` for ``min_consumers`` consumers to attach before
+    announcing readiness; ``spawn_consumers=False`` skips both the local
+    consumer subprocesses and the wait, for fronts served purely by external
+    ``repro fleet-worker`` processes.
     """
+    from repro import __version__
+
+    if mode not in ("pool", "queue"):
+        raise ValueError(f"unknown serve mode {mode!r}; expected 'pool' or 'queue'")
     configure_logging(fmt=log_format, force=True, log_file=log_file)
     enable_events()
-    pool = PoolPredictor(
-        artifact,
-        workers=workers,
-        method=method,
-        batch_size=batch_size,
-        max_batch=max_batch,
-        max_wait_ms=max_wait_ms,
-        restart_workers=restart_workers,
-        transport=transport,
-    )
+    started_at = time.monotonic()
+    if mode == "queue":
+        from repro.fleet.front import FleetFront
+
+        pool = FleetFront(
+            artifact,
+            partitions=partitions,
+            visibility_timeout=visibility_timeout,
+            method=method,
+            min_consumers=min_consumers,
+            max_consumers=max_consumers,
+            consumer_workers=workers if consumer_workers is None else consumer_workers,
+            batch_size=batch_size,
+            max_batch=max_batch,
+            transport=transport,
+            spawn_local=spawn_consumers,
+            autoscale=autoscale,
+            autoscale_cooldown=autoscale_cooldown,
+            autoscale_interval=autoscale_interval,
+            up_queue_depth=up_queue_depth,
+            down_queue_depth=down_queue_depth,
+            up_p99_seconds=up_p99_seconds,
+            down_p99_seconds=down_p99_seconds,
+            host=host,
+            fleet_port=fleet_port,
+            fleet_authkey=fleet_authkey,
+            log_format=log_format,
+            log_file=log_file,
+        )
+        if spawn_consumers:
+            try:
+                pool.wait_ready(timeout=startup_timeout)
+            except BaseException:
+                pool.close()
+                raise
+    else:
+        pool = PoolPredictor(
+            artifact,
+            workers=workers,
+            method=method,
+            batch_size=batch_size,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            restart_workers=restart_workers,
+            transport=transport,
+        )
     try:
-        server = ThreadingHTTPServer((host, int(port)), _make_handler(pool))
+        server = ThreadingHTTPServer(
+            (host, int(port)), _make_handler(pool, mode, started_at)
+        )
     except BaseException:
         pool.close()
         raise
@@ -178,24 +313,28 @@ def run_server(
         except ValueError:  # pragma: no cover - non-main thread (tests)
             pass
 
-    print(
-        json.dumps(
-            {
-                "event": "serving",
-                "url": f"http://{host}:{bound_port}",
-                "host": host,
-                "port": bound_port,
-                "workers": workers,
-                "method": method,
-                "transport": transport,
-                "artifact": str(artifact),
-            }
-        ),
-        flush=True,
-    )
+    banner = {
+        "event": "serving",
+        "version": __version__,
+        "mode": mode,
+        "url": f"http://{host}:{bound_port}",
+        "host": host,
+        "port": bound_port,
+        "workers": workers,
+        "method": method,
+        "transport": transport,
+        "artifact": str(artifact),
+    }
+    if mode == "queue":
+        banner["broker"] = (
+            f"{pool.broker_address[0]}:{pool.broker_address[1]}"
+        )
+    print(json.dumps(banner), flush=True)
     log_event(
         "serve.started",
         url=f"http://{host}:{bound_port}",
+        version=__version__,
+        mode=mode,
         workers=workers,
         artifact=str(artifact),
         restart_workers=restart_workers,

@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import atexit
 import itertools
+import math
 import pickle
 import queue as thread_queue
 import threading
@@ -149,6 +150,15 @@ _PICKLE_OVERHEAD = 64
 def _descriptor_nbytes(message: object) -> int:
     """Actual pickled size of a (small) queue descriptor."""
     return len(pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def _latency_quantiles(histogram) -> Dict[str, Optional[float]]:
+    """p50/p99 of a latency histogram, JSON-friendly (``None`` when empty)."""
+    out: Dict[str, Optional[float]] = {}
+    for name, q in (("p50", 0.5), ("p99", 0.99)):
+        value = histogram.quantile(q)
+        out[name] = None if math.isnan(value) else value
+    return out
 
 
 @dataclass
@@ -920,6 +930,7 @@ class PoolPredictor:
                 else None
             ),
             "arenas": arenas,
+            "request_latency_seconds": _latency_quantiles(_REQUEST_LATENCY),
         }
 
     def _shutdown_processes(self) -> None:

@@ -115,3 +115,12 @@ def test_train_rejects_existing_artifact(cli_workspace, capsys):
     code = main(["train", "--config", str(config), "--output", str(artifact)])
     assert code == 1
     assert "already exists" in capsys.readouterr().err
+
+
+def test_version_flag_prints_package_version(capsys):
+    import repro
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"

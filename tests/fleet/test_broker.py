@@ -1,0 +1,235 @@
+"""Unit tests for the in-process partitioned broker: delivery semantics,
+partition assignment, redelivery clocks, and the cross-process manager."""
+
+import time
+
+import pytest
+
+from repro.fleet.broker import (
+    BrokerFull,
+    InProcBroker,
+    connect_broker,
+    serve_broker,
+)
+
+
+@pytest.fixture
+def broker():
+    b = InProcBroker(
+        partitions=4,
+        partition_capacity=8,
+        visibility_timeout=0.4,
+        max_deliveries=3,
+        consumer_deadline=30.0,
+        sweep_interval=0.05,
+    )
+    yield b
+    b.close()
+
+
+def _wait_for(predicate, timeout=10.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def test_publish_lease_ack_roundtrip(broker):
+    broker.attach("c1")
+    job_id = broker.publish({"n": 1})
+    job = broker.lease("c1", timeout=1.0)
+    assert job is not None
+    assert job.job_id == job_id
+    assert job.payload == {"n": 1}
+    assert job.deliveries == 1
+    assert broker.ack("c1", job.job_id, result="r") is True
+    done = broker.poll_completed(timeout=1.0)
+    assert [c.job_id for c in done] == [job_id]
+    assert done[0].result == "r"
+    assert done[0].error is None
+    assert done[0].deliveries == 1
+
+
+def test_publish_round_robins_partitions(broker):
+    for _ in range(8):
+        broker.publish({"x": 0})
+    assert broker.stats()["depth_per_partition"] == [2, 2, 2, 2]
+
+
+def test_publish_caller_supplied_job_id(broker):
+    assert broker.publish({}, job_id="mine") == "mine"
+
+
+def test_broker_full_backpressure(broker):
+    for _ in range(4 * 8):
+        broker.publish({})
+    with pytest.raises(BrokerFull):
+        broker.publish({})
+    # A full partition is skipped when another has room.
+    broker.attach("c1")
+    job = broker.lease("c1", timeout=1.0)
+    broker.ack("c1", job.job_id, result=None)
+    broker.publish({})  # no longer raises
+
+
+def test_attach_rebalances_round_robin(broker):
+    assert broker.attach("c1") == [0, 1, 2, 3]
+    assert broker.attach("c2") == [1, 3]
+    assert broker.stats()["consumers"] == {"c1": [0, 2], "c2": [1, 3]}
+    broker.detach("c1")
+    assert broker.stats()["consumers"] == {"c2": [0, 1, 2, 3]}
+
+
+def test_lease_attaches_unknown_consumer_implicitly(broker):
+    broker.publish({"n": 1})
+    job = broker.lease("newcomer", timeout=1.0)
+    assert job is not None
+    assert broker.consumer_count() == 1
+
+
+def test_visibility_timeout_redelivers_unacked_job(broker):
+    broker.attach("c1")
+    job_id = broker.publish({"n": 1})
+    first = broker.lease("c1", timeout=1.0)
+    assert first.deliveries == 1
+    # Never ack: the sweeper must requeue it after the visibility window.
+    assert _wait_for(lambda: broker.redeliveries() >= 1)
+    second = broker.lease("c1", timeout=2.0)
+    assert second is not None
+    assert second.job_id == job_id
+    assert second.deliveries == 2
+    assert broker.ack("c1", job_id, result="late but fine") is True
+    done = broker.poll_completed(timeout=1.0)
+    assert [c.job_id for c in done] == [job_id]
+
+
+def test_dead_consumer_partitions_reassigned_to_survivor():
+    broker = InProcBroker(
+        partitions=4,
+        partition_capacity=32,
+        visibility_timeout=0.3,
+        consumer_deadline=0.5,
+        sweep_interval=0.05,
+    )
+    try:
+        broker.attach("dead")
+        broker.attach("alive")
+        published = {broker.publish({"i": i}) for i in range(8)}
+        # "dead" leases one job and never calls in again: its in-flight job
+        # must redeliver (visibility timeout) and its queued partitions must
+        # reassign to "alive" (consumer deadline).
+        assert broker.lease("dead", timeout=1.0) is not None
+        completed = {}
+        deadline = time.monotonic() + 15.0
+        while len(completed) < len(published) and time.monotonic() < deadline:
+            job = broker.lease("alive", timeout=0.2)
+            if job is not None:
+                broker.ack("alive", job.job_id, result=job.payload["i"])
+            for done in broker.poll_completed(timeout=0.05):
+                completed[done.job_id] = done
+        assert set(completed) == published
+        assert all(c.error is None for c in completed.values())
+        assert broker.redeliveries() >= 1
+        assert broker.consumer_count() == 1  # "dead" was reaped
+    finally:
+        broker.close()
+
+
+def test_nack_redelivers_then_fails_after_max_deliveries(broker):
+    broker.attach("c1")
+    job_id = broker.publish({"n": 1})
+    for expected_delivery in (1, 2, 3):
+        job = broker.lease("c1", timeout=1.0)
+        assert job.job_id == job_id
+        assert job.deliveries == expected_delivery
+        broker.nack("c1", job_id, "boom")
+    assert broker.lease("c1", timeout=0.1) is None
+    done = broker.poll_completed(timeout=1.0)
+    assert len(done) == 1
+    assert done[0].result is None
+    assert "failed after 3 deliveries" in done[0].error
+    assert "boom" in done[0].error
+
+
+def test_duplicate_execution_first_ack_wins(broker):
+    broker.attach("c1")
+    broker.attach("c2")
+    job_id = broker.publish({}, job_id="dup")
+    holder = broker.lease("c1", timeout=1.0) or broker.lease("c2", timeout=1.0)
+    assert holder.job_id == "dup"
+    # Lease expires; the job is redelivered and a second consumer runs it too.
+    assert _wait_for(lambda: broker.redeliveries() >= 1)
+    second = broker.lease("c1", timeout=2.0) or broker.lease("c2", timeout=2.0)
+    assert second.job_id == "dup"
+    assert broker.ack("c2", job_id, result="second-execution") is True
+    assert broker.ack("c1", job_id, result="slow-first-execution") is False
+    done = broker.poll_completed(timeout=1.0)
+    assert len(done) == 1
+    assert done[0].result == "second-execution"
+
+
+def test_ack_pulls_requeued_duplicate_out_of_the_queue(broker):
+    broker.attach("c1")
+    job_id = broker.publish({})
+    broker.lease("c1", timeout=1.0)
+    # Visibility expires: the job goes back on the queue while the original
+    # (slow, not dead) consumer is still computing it.
+    assert _wait_for(lambda: broker.redeliveries() >= 1)
+    assert broker.ack("c1", job_id, result="done") is True
+    # The requeued duplicate must not be handed out afterwards.
+    assert broker.lease("c1", timeout=0.2) is None
+    assert len(broker.poll_completed(timeout=1.0)) == 1
+
+
+def test_stats_reports_depth_and_oldest_age(broker):
+    assert broker.stats()["oldest_job_age_seconds"] is None
+    broker.publish({})
+    time.sleep(0.05)
+    stats = broker.stats()
+    assert stats["depth"] == 1
+    assert sum(stats["depth_per_partition"]) == 1
+    assert stats["oldest_job_age_seconds"] >= 0.05
+    assert stats["inflight"] == 0
+
+
+def test_close_fails_queued_and_inflight_jobs(broker):
+    broker.attach("c1")
+    queued = broker.publish({})
+    leased = broker.publish({})
+    # Lease until we hold one of the two (partition order is not ours).
+    job = broker.lease("c1", timeout=1.0)
+    broker.close()
+    done = {c.job_id: c for c in broker.poll_completed(timeout=1.0)}
+    assert set(done) == {queued, leased}
+    assert all("broker closed" in c.error for c in done.values())
+    with pytest.raises(RuntimeError):
+        broker.publish({})
+    assert job is not None
+
+
+def test_served_broker_roundtrip_through_manager_proxy(broker):
+    address, stop = serve_broker(broker, port=0, authkey="test-key")
+    try:
+        proxy = connect_broker(address, authkey="test-key")
+        job_id = proxy.publish({"via": "proxy"})
+        job = proxy.lease("remote", timeout=1.0)
+        assert job.job_id == job_id
+        assert job.payload == {"via": "proxy"}
+        assert proxy.ack("remote", job.job_id, result=[1, 2, 3]) is True
+        # The completion landed in the *served* broker object.
+        done = broker.poll_completed(timeout=1.0)
+        assert [c.result for c in done] == [[1, 2, 3]]
+        assert proxy.stats()["consumers"] == {"remote": [0, 1, 2, 3]}
+    finally:
+        stop()
+
+
+def test_connect_broker_rejects_wrong_authkey(broker):
+    address, stop = serve_broker(broker, port=0, authkey="right")
+    try:
+        with pytest.raises(Exception):
+            connect_broker(address, authkey="wrong")
+    finally:
+        stop()

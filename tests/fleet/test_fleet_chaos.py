@@ -1,0 +1,145 @@
+"""Chaos test for the queue tier: a fleet consumer is crash-injected
+(SIGKILL, no cleanup) mid-stream; the broker must redeliver its jobs to the
+surviving consumer and every request must be answered bitwise identically to
+the single-process predictor — zero dropped requests.
+
+The consumers run as real ``repro fleet-worker`` subprocesses because the
+``crash`` fault action kills its whole process, exactly like an OOM kill.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import EnsemblePredictor
+from repro.fleet import FleetFront
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _spawn_worker(broker_address, artifact, consumer_id, faults=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    env["OMP_NUM_THREADS"] = "1"
+    env.pop("REPRO_FAULTS", None)
+    if faults is not None:
+        env["REPRO_FAULTS"] = faults
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "fleet-worker",
+            "--broker",
+            f"{broker_address[0]}:{broker_address[1]}",
+            "--artifact",
+            str(artifact),
+            "--consumer-id",
+            consumer_id,
+            "--workers",
+            "1",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+    )
+    banner = json.loads(proc.stdout.readline())
+    assert banner["event"] == "fleet-worker"
+    assert banner["consumer"] == consumer_id
+    return proc
+
+
+def test_consumer_crash_redelivers_with_zero_dropped_requests(
+    saved_artifact, serial_result
+):
+    reference = EnsemblePredictor.load(saved_artifact)
+    x = serial_result.dataset.x_test
+
+    front = FleetFront(
+        saved_artifact,
+        partitions=4,
+        visibility_timeout=1.5,
+        spawn_local=False,
+        autoscale=False,
+        min_consumers=1,
+        max_consumers=2,
+    )
+    chaos = survivor = None
+    try:
+        # The chaos consumer answers 3 jobs, then SIGKILLs itself on its 4th
+        # lease — while holding that lease, the worst moment to die.
+        chaos = _spawn_worker(
+            front.broker_address,
+            saved_artifact,
+            "chaos",
+            faults="fleet_consume_crash:consumer=chaos:after=3",
+        )
+        survivor = _spawn_worker(front.broker_address, saved_artifact, "survivor")
+        deadline = time.monotonic() + 60
+        while front.broker.consumer_count() < 2 and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert front.broker.consumer_count() == 2
+
+        # 16 jobs round-robin over 4 partitions: the chaos consumer owns two
+        # of them, so it sees ~8 jobs and cannot survive the stream.
+        batches = [x[i * 4 : i * 4 + 4] for i in range(16)]
+        job_ids = [front.submit(batch) for batch in batches]
+        results = [front.result(job_id, timeout=120) for job_id in job_ids]
+
+        # Zero dropped requests, all bitwise identical.
+        for batch, proba in zip(batches, results):
+            assert np.array_equal(proba, reference.predict_proba(batch))
+
+        # The crash actually happened and the broker actually redelivered.
+        assert chaos.wait(timeout=30) == -signal.SIGKILL
+        assert front.broker.redeliveries() >= 1
+        stats = front.broker.stats()
+        assert stats["depth"] == 0 and stats["inflight"] == 0
+    finally:
+        for proc in (chaos, survivor):
+            if proc is not None and proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        for proc in (chaos, survivor):
+            if proc is not None:
+                try:
+                    proc.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait(timeout=10)
+        front.close()
+
+
+def test_fleet_worker_drains_cleanly_on_sigterm(saved_artifact, serial_result):
+    front = FleetFront(
+        saved_artifact,
+        partitions=2,
+        spawn_local=False,
+        autoscale=False,
+    )
+    worker = None
+    try:
+        worker = _spawn_worker(front.broker_address, saved_artifact, "drainer")
+        proba = front.predict_proba(serial_result.dataset.x_test[:4], timeout=60)
+        assert proba.shape == (4, 4)
+        worker.send_signal(signal.SIGTERM)
+        out, _ = worker.communicate(timeout=60)
+        assert worker.returncode == 0
+        assert json.loads(out.strip().splitlines()[-1]) == {
+            "event": "stopped",
+            "consumer": "drainer",
+        }
+        # A clean drain detaches from the broker.
+        assert front.broker.consumer_count() == 0
+    finally:
+        if worker is not None and worker.poll() is None:
+            worker.kill()
+            worker.wait(timeout=10)
+        front.close()

@@ -1,0 +1,161 @@
+"""FleetFront against an in-process consumer: bitwise parity with the
+single-process predictor, sync and async result paths, and validation."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import EnsemblePredictor
+from repro.fleet import BrokerFull, FleetConsumer, FleetFront
+
+
+@pytest.fixture(scope="module")
+def fleet(saved_artifact):
+    """Front (no local subprocesses, no autoscaler) + one in-process
+    consumer sharing the broker object directly."""
+    front = FleetFront(
+        saved_artifact,
+        partitions=2,
+        spawn_local=False,
+        autoscale=False,
+        min_consumers=1,
+        max_consumers=1,
+    )
+    # Long metrics_interval: in-process the consumer shares the front's
+    # registry, so the snapshot-and-reset shipping step must not fire.
+    consumer = FleetConsumer(
+        front.broker,
+        saved_artifact,
+        consumer_id="inproc",
+        workers=1,
+        metrics_interval=3600.0,
+    ).start()
+    yield front
+    consumer.close()
+    front.close()
+
+
+@pytest.fixture(scope="module")
+def reference(saved_artifact):
+    return EnsemblePredictor.load(saved_artifact)
+
+
+def test_predict_proba_bitwise_equals_single_process(fleet, reference, serial_result):
+    x = serial_result.dataset.x_test
+    assert np.array_equal(fleet.predict_proba(x, timeout=60), reference.predict_proba(x))
+    assert np.array_equal(
+        fleet.predict(x[:16], method="vote", timeout=60),
+        reference.predict(x[:16], method="vote"),
+    )
+
+
+def test_async_submit_poll_lifecycle(fleet, reference, serial_result):
+    x = serial_result.dataset.x_test[:8]
+    job_id = fleet.submit(x)
+    deadline = time.monotonic() + 60
+    status = proba = None
+    while time.monotonic() < deadline:
+        status, proba, error, want_proba = fleet.poll(job_id)
+        assert error is None
+        assert want_proba is True
+        if status == "done":
+            break
+        assert status == "pending"
+        time.sleep(0.02)
+    assert status == "done"
+    assert np.array_equal(proba, reference.predict_proba(x))
+    # A fetched result is consumed: the id is unknown afterwards.
+    assert fleet.poll(job_id)[0] == "unknown"
+
+
+def test_poll_unknown_job_id(fleet):
+    assert fleet.poll("never-submitted")[0] == "unknown"
+
+
+def test_result_consumes_the_entry(fleet, serial_result):
+    x = serial_result.dataset.x_test[:4]
+    job_id = fleet.submit(x)
+    fleet.result(job_id, timeout=60)
+    with pytest.raises(KeyError):
+        fleet.result(job_id, timeout=1)
+
+
+def test_submit_validates_before_publishing(fleet):
+    with pytest.raises(ValueError):
+        fleet.submit(np.zeros((2, 5)))  # wrong feature count
+    with pytest.raises(ValueError):
+        fleet.submit(np.zeros((2, 12)), method="nonsense")
+    stats = fleet.broker.stats()
+    assert stats["depth"] == 0 and stats["inflight"] == 0
+
+
+def test_constructor_rejects_bad_configuration(saved_artifact):
+    with pytest.raises(ValueError):
+        FleetFront(saved_artifact, min_consumers=0, spawn_local=False)
+    with pytest.raises(ValueError):
+        FleetFront(saved_artifact, min_consumers=3, max_consumers=1, spawn_local=False)
+    with pytest.raises(ValueError):
+        FleetFront(saved_artifact, method="nonsense", spawn_local=False)
+
+
+def test_broker_full_submit_cleans_up_its_entry(saved_artifact):
+    front = FleetFront(
+        saved_artifact,
+        partitions=1,
+        partition_capacity=1,
+        spawn_local=False,
+        autoscale=False,
+    )
+    try:
+        x = np.zeros((1, 12))
+        kept = front.submit(x)  # no consumer attached: stays queued
+        with pytest.raises(BrokerFull):
+            front.submit(x)
+        assert front.poll(kept)[0] == "pending"
+        with front._lock:
+            assert len(front._entries) == 1
+    finally:
+        front.close()
+
+
+def test_healthz_and_info_reflect_the_fleet(fleet):
+    health = fleet.healthz()
+    assert health["status"] == "ok"
+    assert health["mode"] == "queue"
+    assert health["consumers"] == 1
+    info = fleet.info()
+    assert info["mode"] == "queue"
+    assert info["queue"]["partitions"] == 2
+    assert isinstance(info["queue"]["depth_per_partition"], list)
+    assert info["consumers"] == 1
+    assert info["local_consumers"] is None  # spawn_local=False
+    assert info["autoscaler"] is None
+    assert info["job_latency_seconds"]["p99"] >= 0
+
+
+def test_close_fails_outstanding_futures(saved_artifact):
+    import threading
+
+    front = FleetFront(saved_artifact, spawn_local=False, autoscale=False)
+    job_id = front.submit(np.zeros((1, 12)))  # nobody will ever answer
+    outcome = {}
+
+    def waiter():
+        try:
+            outcome["result"] = front.result(job_id, timeout=30)
+        except Exception as exc:
+            outcome["error"] = exc
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    time.sleep(0.2)  # let the waiter block on the future
+    front.close()
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+    assert isinstance(outcome.get("error"), RuntimeError)
+    # Post-close: the entry is gone and new submissions are refused.
+    with pytest.raises(KeyError):
+        front.result(job_id, timeout=1)
+    with pytest.raises(RuntimeError):
+        front.submit(np.zeros((1, 12)))

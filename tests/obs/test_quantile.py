@@ -1,0 +1,79 @@
+"""Unit tests for bucket-interpolated histogram quantiles
+(`Histogram.quantile` / `quantile_from_counts`)."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry, quantile_from_counts
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry(enabled=True)
+
+
+def test_empty_histogram_is_nan():
+    assert math.isnan(quantile_from_counts((1.0, 2.0), [0, 0, 0], 0.5))
+
+
+def test_first_bucket_interpolates_from_zero():
+    # 4 observations, all <= 1.0: the median sits at rank 2 of 4, i.e. half
+    # way through a bucket spanning (0, 1].
+    assert quantile_from_counts((1.0, 2.0, 4.0), [4, 0, 0, 0], 0.5) == 0.5
+
+
+def test_interpolation_within_an_interior_bucket():
+    # Bounds (1, 2, 4): 2 observations in (0,1], 2 in (2,4].  q=0.75 -> rank
+    # 3 -> halfway through the (2,4] bucket -> 3.0.
+    assert quantile_from_counts((1.0, 2.0, 4.0), [2, 0, 2, 0], 0.75) == 3.0
+
+
+def test_bucket_boundaries_are_exact():
+    counts = [1, 1, 1, 1]  # one observation per bucket incl. +Inf
+    bounds = (1.0, 2.0, 4.0)
+    assert quantile_from_counts(bounds, counts, 0.25) == 1.0
+    assert quantile_from_counts(bounds, counts, 0.5) == 2.0
+    assert quantile_from_counts(bounds, counts, 0.75) == 4.0
+
+
+def test_rank_in_inf_bucket_clamps_to_highest_finite_bound():
+    assert quantile_from_counts((1.0, 2.0, 4.0), [0, 0, 0, 5], 0.99) == 4.0
+    # Even a mixed distribution clamps once the rank crosses into +Inf.
+    assert quantile_from_counts((1.0, 2.0, 4.0), [1, 0, 0, 9], 0.99) == 4.0
+
+
+def test_quantile_monotone_in_q():
+    counts = [3, 5, 2, 1]
+    bounds = (0.5, 1.0, 5.0)
+    values = [quantile_from_counts(bounds, counts, q / 10) for q in range(11)]
+    assert values == sorted(values)
+
+
+def test_invalid_q_rejected():
+    with pytest.raises(ValueError):
+        quantile_from_counts((1.0,), [1, 0], -0.1)
+    with pytest.raises(ValueError):
+        quantile_from_counts((1.0,), [1, 0], 1.5)
+
+
+def test_histogram_quantile_end_to_end(registry):
+    h = Histogram("h_test", "test", buckets=(0.1, 1.0, 10.0), registry=registry)
+    assert math.isnan(h.quantile(0.5))
+    for value in (0.05, 0.05, 0.5, 0.5, 5.0, 50.0):
+        h.observe(value)
+    assert h.bucket_counts() == [2, 2, 1, 1]
+    # Median: rank 3 of 6 -> middle of the (0.1, 1.0] bucket.
+    assert h.quantile(0.5) == pytest.approx(0.55)
+    # p100 lands in +Inf: clamped to the top finite bound.
+    assert h.quantile(1.0) == 10.0
+
+
+def test_labelled_histogram_quantile_via_children(registry):
+    h = Histogram(
+        "h_labelled", "test", labelnames=("path",), buckets=(1.0,), registry=registry
+    )
+    h.labels("/a").observe(0.5)
+    assert h.labels("/a").quantile(0.5) == 0.5
+    with pytest.raises(ValueError):
+        h.quantile(0.5)  # parent of a labelled metric has no single series

@@ -47,6 +47,10 @@ def server(saved_artifact):
         line = proc.stdout.readline()
         banner = json.loads(line)
         assert banner["event"] == "serving"
+        import repro
+
+        assert banner["version"] == repro.__version__
+        assert banner["mode"] == "pool"
         yield proc, banner["url"]
     finally:
         if proc.poll() is None:
@@ -82,6 +86,9 @@ def test_serve_round_trip_concurrent(server, saved_artifact, serial_result):
         info = json.loads(response.read())
     assert info["workers"] == 2
     assert info["num_members"] == len(reference.ensemble)
+    assert info["mode"] == "pool"
+    assert info["uptime_seconds"] > 0
+    assert "p99" in info["request_latency_seconds"]
 
     results = []
 

@@ -228,6 +228,67 @@ def test_region_allocator_first_fit_coalesce_and_stale_free():
     assert alloc.inflight_regions == 1
 
 
+def test_region_allocator_exhaustion_and_recovery_under_interleaved_frees():
+    """Exhaust the arena with interleaved alloc/free orders: alloc must
+    return None (pickle fallback) exactly while nothing fits, and recover
+    the moment enough contiguous space coalesces back."""
+    alloc = _RegionAllocator(base=0, capacity=512)
+    regions = [alloc.alloc(128) for _ in range(4)]
+    assert regions == [0, 128, 256, 384]
+    assert alloc.alloc(1) is None  # fully exhausted
+    # Free the two interior regions in reverse order: 256 bytes free but the
+    # hole is contiguous (128..384), so 256 fits and 384 does not.
+    assert alloc.free(regions[2])
+    assert alloc.free(regions[1])
+    assert alloc.alloc(384) is None
+    assert alloc.alloc(256) == 128
+    assert alloc.alloc(1) is None  # exhausted again
+    assert alloc.used_bytes == 512
+
+
+def test_region_allocator_coalesces_out_of_order_releases():
+    """Whatever order regions are released in — forward, backward, or
+    inside-out — the free list must coalesce back to one full-capacity
+    region that can satisfy a single maximal allocation."""
+    import itertools
+
+    for order in itertools.permutations(range(4)):
+        alloc = _RegionAllocator(base=0, capacity=256)
+        offsets = [alloc.alloc(64) for _ in range(4)]
+        for index in order:
+            assert alloc.free(offsets[index])
+        assert alloc.inflight_regions == 0
+        assert alloc.used_bytes == 0
+        assert alloc.alloc(256) == 0, f"fragmented after free order {order}"
+
+
+def test_region_allocator_nonzero_base_and_alignment_rounding():
+    """Offsets honour the arena base and sub-alignment requests round up to
+    the alignment quantum (so neighbouring regions never overlap)."""
+    from repro.parallel.shm_transport import ALIGNMENT
+
+    alloc = _RegionAllocator(base=1024, capacity=4 * ALIGNMENT)
+    a = alloc.alloc(1)  # rounds up to one alignment quantum
+    b = alloc.alloc(ALIGNMENT + 1)  # rounds up to two
+    assert a == 1024
+    assert b == 1024 + ALIGNMENT
+    assert alloc.used_bytes == 3 * ALIGNMENT
+    assert alloc.alloc(2 * ALIGNMENT) is None  # only one quantum left
+    assert alloc.alloc(ALIGNMENT) == 1024 + 3 * ALIGNMENT
+    assert alloc.free(b)
+    assert alloc.alloc(2 * ALIGNMENT) == 1024 + ALIGNMENT
+
+
+def test_region_allocator_double_free_is_ignored():
+    alloc = _RegionAllocator(base=0, capacity=128)
+    a = alloc.alloc(64)
+    assert alloc.free(a)
+    assert not alloc.free(a)  # second release of the same region: no-op
+    # The double free must not have corrupted the free list.
+    assert alloc.alloc(128) == 0
+    assert alloc.used_bytes == 128
+
+
 def test_arena_retire_unlinks_immediately_but_defers_close(shm_sweep):
     import os
     import sys
