@@ -542,6 +542,118 @@ def bench_pool_predict_large(repeats: int) -> Dict:
     return entry
 
 
+def bench_hot_swap(repeats: int) -> Dict:
+    """Serving-latency cost of a zero-downtime generation hot-swap.
+
+    A two-worker shm pool serves a steady client loop while
+    ``PoolPredictor.swap()`` rolls both workers onto a freshly-promoted
+    generation.  Reports client-observed p50/p99 in steady state
+    (``fast_seconds`` = steady p99) and inside the swap window
+    (``reference_seconds`` = swap-window p99), so the harness's ``speedup``
+    reads as the p99 degradation factor *during* a swap (~1x means swaps
+    are latency-invisible), plus the swap makespan (drain + respawn + warm
+    for all workers).  Latency during a roll is bounded by one worker's
+    respawn+warm time slice, so ``cpu_count`` is recorded with the result.
+    """
+    from repro.api import run_experiment, save_ensemble_run
+    from repro.core.artifact_store import ArtifactStore
+    from repro.parallel import PoolPredictor
+
+    params = {
+        "members": 3,
+        "features": 32,
+        "classes": 8,
+        "batch": 64,
+        "workers": 2,
+        "cpu_count": cpu_count(),
+    }
+    result = run_experiment(
+        {
+            "name": "bench-hot-swap",
+            "dataset": {
+                "name": "tabular",
+                "train_samples": 256,
+                "test_samples": 256,
+                "num_classes": params["classes"],
+                "num_features": params["features"],
+                "seed": 5,
+            },
+            "members": {
+                "family": "mlp",
+                "count": params["members"],
+                "input_features": params["features"],
+                "num_classes": params["classes"],
+                "base_width": 64,
+                "seed": 1,
+            },
+            "approach": "full-data",
+            "training": {"max_epochs": 1, "batch_size": 64, "learning_rate": 0.1},
+            "seed": 0,
+        }
+    )
+    store_root = Path(tempfile.mkdtemp(prefix="repro-bench-hot-swap-"))
+    root = store_root / "store"
+    save_ensemble_run(result.run, root)
+    store = ArtifactStore.open(root)
+    # The candidate generation: identical weights are fine — the roll cost
+    # (drain, respawn, warm) is what's being measured, not the model delta.
+    store.add_generation(result.run, parent_generation=0)
+    x = result.dataset.x_test[: params["batch"]]
+
+    iterations = max(repeats * 20, 100)  # p99 needs a real sample count
+    pool = PoolPredictor(root, workers=params["workers"], max_wait_ms=0.0)
+    try:
+        pool.predict_proba(x)  # warm-up
+        steady: List[float] = []
+        for _ in range(iterations):
+            start = time.perf_counter()
+            pool.predict_proba(x)
+            steady.append(time.perf_counter() - start)
+
+        # Hammer from a client thread for the whole swap; keep only the
+        # samples that started inside the swap window.
+        samples: List[tuple] = []
+        stop = False
+
+        def hammer():
+            while not stop:
+                start = time.perf_counter()
+                pool.predict_proba(x)
+                samples.append((start, time.perf_counter() - start))
+
+        store.promote(1)
+        with ThreadPoolExecutor(max_workers=1) as client:
+            future = client.submit(hammer)
+            time.sleep(0.05)  # let the client reach steady fire
+            swap_start = time.perf_counter()
+            summary = pool.swap()
+            makespan = time.perf_counter() - swap_start
+            stop = True
+            future.result()
+        assert summary["workers_respawned"] == params["workers"], summary
+        during = [
+            elapsed
+            for start, elapsed in samples
+            if swap_start <= start <= swap_start + makespan
+        ] or [elapsed for _, elapsed in samples]
+    finally:
+        pool.close()
+        shutil.rmtree(store_root, ignore_errors=True)
+
+    return {
+        "params": params,
+        "iterations": iterations,
+        "steady_p50_seconds": float(np.percentile(steady, 50)),
+        "steady_p99_seconds": float(np.percentile(steady, 99)),
+        "swap_p50_seconds": float(np.percentile(during, 50)),
+        "swap_p99_seconds": float(np.percentile(during, 99)),
+        "swap_samples": len(during),
+        "swap_makespan_seconds": makespan,
+        "reference_seconds": float(np.percentile(during, 99)),
+        "fast_seconds": float(np.percentile(steady, 99)),
+    }
+
+
 BENCHMARKS: Dict[str, Callable[[int], Dict]] = {
     "conv_forward": bench_conv_forward,
     "conv_backward": bench_conv_backward,
@@ -552,6 +664,7 @@ BENCHMARKS: Dict[str, Callable[[int], Dict]] = {
     "ensemble_train_parallel": bench_ensemble_train_parallel,
     "pool_predict": bench_pool_predict,
     "pool_predict_large": bench_pool_predict_large,
+    "hot_swap": bench_hot_swap,
 }
 
 

@@ -40,7 +40,7 @@ Sub-packages
     instrumented through the training and serving hot paths.
 """
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 from repro import api, arch, core, data, evaluation, nn, obs, utils
 

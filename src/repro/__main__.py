@@ -18,7 +18,12 @@ configs and ``.npy`` tensors, with no Python required:
   its own worker pool (the front spawns these itself; run them by hand to
   add capacity from other terminals or hosts);
 * ``repro inspect --artifact artifact/`` — summarise an artifact, including
-  training phase makespans and per-member training-history summaries.
+  training phase makespans and per-member training-history summaries; for a
+  generation-versioned store, also the lineage and promotion ledger;
+* ``repro retrain --store store/ --config exp.json`` — background retraining
+  loop: train on fresh data, shadow-evaluate against the promoted baseline,
+  and promote the new generation into the store (the serving tier picks it
+  up via ``POST /admin/swap`` with zero downtime).
 """
 
 from __future__ import annotations
@@ -283,6 +288,67 @@ def _build_parser() -> argparse.ArgumentParser:
     inspect = sub.add_parser("inspect", help="summarise a saved artifact")
     inspect.add_argument("--artifact", required=True, type=Path, help="artifact directory")
 
+    retrain = sub.add_parser(
+        "retrain",
+        help="retrain on fresh data, shadow-evaluate, and promote into an "
+        "artifact store (hot-swap source)",
+    )
+    retrain.add_argument(
+        "--store",
+        required=True,
+        type=Path,
+        help="artifact store root (a bare artifact directory is migrated to "
+        "the store layout in place, becoming gen-0000)",
+    )
+    retrain.add_argument(
+        "--config", required=True, type=Path, help="ExperimentSpec JSON file"
+    )
+    retrain.add_argument(
+        "--once", action="store_true", help="run exactly one retrain cycle and exit"
+    )
+    retrain.add_argument(
+        "--interval",
+        type=float,
+        default=0.0,
+        help="seconds to sleep between cycles (loop mode)",
+    )
+    retrain.add_argument(
+        "--max-cycles",
+        type=int,
+        default=None,
+        help="stop after this many cycles (default: run until interrupted)",
+    )
+    retrain.add_argument(
+        "--max-error-delta",
+        type=float,
+        default=1.0,
+        help="promotion gate: candidate error may exceed the baseline's by at "
+        "most this many percentage points (default: 1.0)",
+    )
+    retrain.add_argument(
+        "--method",
+        default="average",
+        help="combination method for the shadow evaluation (default: average)",
+    )
+    retrain.add_argument(
+        "--data-seed-step",
+        type=int,
+        default=1,
+        help="dataset-seed increment per cycle (simulates fresh data)",
+    )
+    retrain.add_argument(
+        "--log-file",
+        type=Path,
+        default=None,
+        help="also write JSON event logs to this file (size-rotated)",
+    )
+    retrain.add_argument(
+        "--metrics-file",
+        type=Path,
+        default=None,
+        help="write a Prometheus text dump of the loop's metrics here on exit",
+    )
+
     return parser
 
 
@@ -476,14 +542,20 @@ def _member_history_summary(meta: dict) -> dict:
 def _cmd_inspect(args: argparse.Namespace) -> int:
     from repro.api import EnsemblePredictor
     from repro.api.artifacts import read_manifest
+    from repro.core.artifact_store import resolve_artifact
 
     predictor = EnsemblePredictor.load(args.artifact, warm=False)
     report = predictor.info()
 
     # Surface what the v2 artifact schema persists but info() does not:
     # parallel-phase makespans from the cost ledger and the per-member
-    # training histories.
-    manifest = read_manifest(args.artifact)
+    # training histories.  For store layouts, also report the generation
+    # ledger — lineage (parent generation, hatched-vs-retrained members) and
+    # promotion status per generation; bare directories are untouched.
+    resolved = resolve_artifact(args.artifact)
+    if resolved.store is not None:
+        report["store"] = resolved.store.describe()
+    manifest = read_manifest(resolved.path)
     ledger = manifest.get("ledger", {})
     summary = manifest.get("ledger_summary", {})
     report["training"] = {
@@ -500,12 +572,53 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_retrain(args: argparse.Namespace) -> int:
+    from repro.api import ExperimentSpec
+    from repro.api.retrain import retrain_loop
+    from repro.core.artifact_store import ArtifactStore
+    from repro.obs.events import configure_logging, enable_events
+
+    configure_logging(log_file=args.log_file)
+    enable_events()
+    spec = ExperimentSpec.from_file(args.config)
+    store = ArtifactStore.open(args.store)
+    max_cycles = 1 if args.once else args.max_cycles
+    try:
+        reports = retrain_loop(
+            store,
+            spec,
+            interval=args.interval,
+            max_cycles=max_cycles,
+            max_error_delta=args.max_error_delta,
+            method=args.method,
+            data_seed_step=args.data_seed_step,
+        )
+        print(
+            json.dumps(
+                {
+                    "store": str(store.root),
+                    "current_generation": store.current_generation(),
+                    "cycles": [report.to_dict() for report in reports],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    except KeyboardInterrupt:
+        return 130
+    finally:
+        if args.metrics_file is not None:
+            _dump_metrics(args.metrics_file)
+
+
 _COMMANDS = {
     "train": _cmd_train,
     "predict": _cmd_predict,
     "serve": _cmd_serve,
     "fleet-worker": _cmd_fleet_worker,
     "inspect": _cmd_inspect,
+    "retrain": _cmd_retrain,
 }
 
 

@@ -33,6 +33,7 @@ from repro.api.artifacts import (
     save_ensemble_run,
 )
 from repro.api.predictor import EnsemblePredictor
+from repro.api.retrain import RetrainReport, retrain_cycle, retrain_loop
 
 __all__ = [
     "ExperimentSpec",
@@ -45,6 +46,9 @@ __all__ = [
     "read_manifest",
     "EnsemblePredictor",
     "PoolPredictor",
+    "RetrainReport",
+    "retrain_cycle",
+    "retrain_loop",
     "training_config_to_dict",
     "training_config_from_dict",
 ]

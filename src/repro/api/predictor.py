@@ -16,7 +16,12 @@ from typing import Any, Dict, Optional, Tuple, Union
 import numpy as np
 
 from repro.api.artifacts import load_ensemble_run, read_manifest
-from repro.core.ensemble import COMBINATION_METHODS, Ensemble
+from repro.core.artifact_store import resolve_artifact
+from repro.core.ensemble import (
+    COMBINATION_METHODS,
+    Ensemble,
+    resolve_combination_method,
+)
 from repro.core.trainer import EnsembleTrainingRun
 from repro.utils.logging import get_logger
 
@@ -88,6 +93,11 @@ class EnsemblePredictor:
             ensemble.members[0].model.spec.input_shape
         )
         self.num_classes = ensemble.num_classes
+        # Which store generation is loaded; bare directories (and in-memory
+        # runs) are implicitly generation 0.  The path the caller handed to
+        # load() is kept so reload() re-resolves CURRENT from the same root.
+        self.generation = 0
+        self.source_path: Optional[Path] = None
 
     # ------------------------------------------------------------- factories
     @classmethod
@@ -97,36 +107,102 @@ class EnsemblePredictor:
         method: str = "average",
         batch_size: int = 256,
         warm: bool = True,
+        generation: Optional[int] = None,
     ) -> "EnsemblePredictor":
         """Load an ensemble artifact directory saved by
         :func:`repro.api.save_ensemble_run`.
 
         ``warm=True`` (default) runs one zero-batch through every member so
         lazily-built conv workspaces exist before the first real request.
+
+        ``path`` may be a bare artifact directory (implicit generation 0) or
+        an :class:`~repro.core.artifact_store.ArtifactStore` root, in which
+        case the promoted generation — or the explicitly requested
+        ``generation`` — is loaded.
         """
-        manifest = read_manifest(path)
-        run = load_ensemble_run(path, manifest=manifest)
+        resolved = resolve_artifact(path, generation=generation)
+        manifest = read_manifest(resolved.path)
+        run = load_ensemble_run(resolved.path, manifest=manifest)
+        metadata = {
+            "artifact": str(path),
+            "approach": manifest["approach"],
+            "dtype": manifest["dtype"],
+            "repro_version": manifest.get("repro_version"),
+            "ledger_summary": manifest.get("ledger_summary", {}),
+        }
+        if resolved.store is not None:
+            # Store-layout extras only: bare directories keep their exact
+            # pre-store info()/inspect output.
+            metadata["generation"] = resolved.generation
+            metadata["store_root"] = str(resolved.store.root)
         predictor = cls(
             run.ensemble,
             method=method,
             batch_size=batch_size,
-            metadata={
-                "artifact": str(path),
+            metadata=metadata,
+        )
+        predictor.generation = resolved.generation
+        predictor.source_path = Path(path)
+        if warm:
+            predictor.warmup()
+        logger.info(
+            "loaded %s ensemble (%d members, generation %d) from %s",
+            manifest["approach"],
+            len(run.ensemble),
+            resolved.generation,
+            resolved.path,
+        )
+        return predictor
+
+    def reload(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        generation: Optional[int] = None,
+    ) -> int:
+        """Swap the loaded ensemble in place and return the new generation.
+
+        With no arguments the original artifact path is re-resolved — for a
+        store root that means picking up whatever ``CURRENT`` now points at
+        (the single-process analogue of ``PoolPredictor.swap``).  The call
+        replaces the ensemble atomically from the caller's perspective: it
+        either completes (new weights, warmed) or raises leaving the old
+        ensemble serving.
+        """
+        source = self.source_path if path is None else Path(path)
+        if source is None:
+            raise ValueError(
+                "this predictor was not loaded from disk; pass reload(path=...)"
+            )
+        resolved = resolve_artifact(source, generation=generation)
+        manifest = read_manifest(resolved.path)
+        run = load_ensemble_run(resolved.path, manifest=manifest)
+        ensemble = run.ensemble
+        input_shape = tuple(ensemble.members[0].model.spec.input_shape)
+        self.ensemble = ensemble
+        self.input_shape = input_shape
+        self.num_classes = ensemble.num_classes
+        self.generation = resolved.generation
+        self.source_path = source
+        self.metadata.update(
+            {
+                "artifact": str(source),
                 "approach": manifest["approach"],
                 "dtype": manifest["dtype"],
                 "repro_version": manifest.get("repro_version"),
                 "ledger_summary": manifest.get("ledger_summary", {}),
-            },
+            }
         )
-        if warm:
-            predictor.warmup()
+        if resolved.store is not None:
+            self.metadata["generation"] = resolved.generation
+            self.metadata["store_root"] = str(resolved.store.root)
+        self.warmup()
         logger.info(
-            "loaded %s ensemble (%d members) from %s",
+            "reloaded %s ensemble (generation %d) from %s",
             manifest["approach"],
-            len(run.ensemble),
-            path,
+            resolved.generation,
+            resolved.path,
         )
-        return predictor
+        return self.generation
 
     @classmethod
     def from_run(
@@ -148,13 +224,12 @@ class EnsemblePredictor:
         return validate_batch(x, self.input_shape)
 
     def _resolve_method(self, method: Optional[str]) -> str:
-        resolved = self.method if method is None else method
-        if resolved == "super_learner" and self.ensemble.super_learner_weights is None:
-            raise RuntimeError(
-                "this ensemble has no fitted super-learner weights; train with "
-                "super_learner enabled or pick method='average'/'vote'"
-            )
-        return resolved
+        return resolve_combination_method(
+            method,
+            default=self.method,
+            has_super_learner=self.ensemble.super_learner_weights is not None,
+            subject="ensemble",
+        )
 
     # --------------------------------------------------------------- serving
     def warmup(self) -> None:

@@ -41,6 +41,12 @@ from repro.core.ensemble import (
     EnsembleMember,
     INFERENCE_METHODS,
     METHOD_ABBREVIATIONS,
+    resolve_combination_method,
+)
+from repro.core.artifact_store import (
+    ArtifactStore,
+    ResolvedArtifact,
+    resolve_artifact,
 )
 from repro.core.cost_model import AnalyticalCostModel, CostLedger, CostRecord, speedup
 from repro.core.trainer import (
@@ -82,6 +88,10 @@ __all__ = [
     "EnsembleMember",
     "INFERENCE_METHODS",
     "METHOD_ABBREVIATIONS",
+    "resolve_combination_method",
+    "ArtifactStore",
+    "ResolvedArtifact",
+    "resolve_artifact",
     "AnalyticalCostModel",
     "CostLedger",
     "CostRecord",

@@ -39,6 +39,41 @@ METHOD_ABBREVIATIONS = {
 }
 
 
+def resolve_combination_method(
+    method: Optional[str],
+    *,
+    has_super_learner: bool,
+    default: Optional[str] = None,
+    subject: str = "artifact",
+) -> str:
+    """Validate a serving-time combination method in one place.
+
+    Shared by every layer that accepts a per-call or configured method —
+    :class:`~repro.api.predictor.EnsemblePredictor`, the multi-process
+    :class:`~repro.parallel.serving.PoolPredictor` (constructor and
+    dispatch path), and the queue-mode :class:`~repro.fleet.front.
+    FleetFront` — so the validation rules and error wording cannot drift
+    between the single-process reference and the serving tiers.
+
+    ``method=None`` falls back to ``default``; an unknown method raises
+    ``ValueError`` naming the valid choices, and ``super_learner`` without
+    fitted weights raises ``RuntimeError`` (the ``subject`` names what is
+    missing them in the message).
+    """
+    resolved = default if method is None else method
+    if resolved not in COMBINATION_METHODS:
+        raise ValueError(
+            f"unknown combination method {resolved!r}; valid choices: "
+            + ", ".join(repr(m) for m in COMBINATION_METHODS)
+        )
+    if resolved == "super_learner" and not has_super_learner:
+        raise RuntimeError(
+            f"this {subject} has no fitted super-learner weights; pick "
+            "method='average'/'vote'"
+        )
+    return resolved
+
+
 @dataclass
 class EnsembleMember:
     """One trained network of an ensemble plus its training bookkeeping."""

@@ -168,6 +168,25 @@ class Broker:
     def stats(self) -> Dict[str, Any]:
         raise NotImplementedError
 
+    # Control channel — broadcast commands (artifact hot-swaps) to every
+    # attached consumer, with per-consumer acknowledgements so the front can
+    # tell when the fleet has converged.
+    def post_control(self, command: Dict[str, Any]) -> int:
+        raise NotImplementedError
+
+    def get_control(
+        self, consumer_id: str, after: int
+    ) -> Optional[Tuple[int, Dict[str, Any]]]:
+        raise NotImplementedError
+
+    def ack_control(
+        self, consumer_id: str, revision: int, ok: bool, detail: Optional[str] = None
+    ) -> None:
+        raise NotImplementedError
+
+    def control_status(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
 
 class InProcBroker(Broker):
     """Stdlib in-process broker: bounded deques + one condition variable.
@@ -227,6 +246,13 @@ class InProcBroker(Broker):
         }
         self._rotation: Dict[str, int] = {}
         self._redeliveries = 0
+        # Control channel: one monotonically-increasing revision, the latest
+        # command (later posts supersede earlier ones — consumers converge on
+        # the newest state, which is all a swap needs), and per-consumer acks
+        # for the current revision.
+        self._control_revision = 0
+        self._control_command: Optional[Dict[str, Any]] = None
+        self._control_acks: Dict[str, Dict[str, Any]] = {}
         self._closed = False
 
         self._sweeper = threading.Thread(
@@ -456,6 +482,85 @@ class InProcBroker(Broker):
         _JOBS.labels("completed" if error is None else "failed").inc()
         self._cond.notify_all()
 
+    # --------------------------------------------------------------- control
+    def post_control(self, command: Dict[str, Any]) -> int:
+        """Broadcast a command to the fleet; returns its revision.
+
+        Consumers observe it through :meth:`get_control` on their next lease
+        cycle and report back with :meth:`ack_control`; the front polls
+        :meth:`control_status` until every attached consumer has acked.
+        A newer post supersedes an unconsumed older one.
+        """
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("broker is closed")
+            self._control_revision += 1
+            self._control_command = dict(command)
+            self._control_acks = {}
+            log_event(
+                "fleet.control_posted",
+                revision=self._control_revision,
+                command=dict(command),
+            )
+            self._cond.notify_all()
+            return self._control_revision
+
+    def get_control(
+        self, consumer_id: str, after: int
+    ) -> Optional[Tuple[int, Dict[str, Any]]]:
+        """The current command if newer than ``after``, else ``None``.
+
+        Also refreshes the consumer's keepalive — a consumer stalled rolling
+        its pool through a swap is alive, not reap-worthy.
+        """
+        with self._cond:
+            now = time.monotonic()
+            if consumer_id in self._consumers:
+                self._consumers[consumer_id] = now
+            if self._control_command is None or self._control_revision <= after:
+                return None
+            return self._control_revision, dict(self._control_command)
+
+    def ack_control(
+        self, consumer_id: str, revision: int, ok: bool, detail: Optional[str] = None
+    ) -> None:
+        """Record one consumer's outcome for a control revision."""
+        with self._cond:
+            if consumer_id in self._consumers:
+                self._consumers[consumer_id] = time.monotonic()
+            if revision != self._control_revision:
+                return  # superseded; only the newest revision is tracked
+            self._control_acks[consumer_id] = {
+                "revision": revision,
+                "ok": bool(ok),
+                "detail": detail,
+            }
+            log_event(
+                "fleet.control_acked",
+                consumer=consumer_id,
+                revision=revision,
+                ok=bool(ok),
+                detail=detail,
+            )
+            self._cond.notify_all()
+
+    def control_status(self) -> Dict[str, Any]:
+        """Snapshot of the current control revision and its acks."""
+        with self._lock:
+            return {
+                "revision": self._control_revision,
+                "command": (
+                    dict(self._control_command)
+                    if self._control_command is not None
+                    else None
+                ),
+                "acks": {
+                    consumer_id: dict(ack)
+                    for consumer_id, ack in self._control_acks.items()
+                },
+                "consumers": list(self._consumer_order),
+            }
+
     # ----------------------------------------------------------------- front
     def poll_completed(self, timeout: float = 0.2) -> List[CompletedJob]:
         """Drain finished jobs (the front's result loop calls this)."""
@@ -558,6 +663,7 @@ class InProcBroker(Broker):
                 "oldest_job_age_seconds": oldest,
                 "inflight": len(self._inflight),
                 "redeliveries": self._redeliveries,
+                "control_revision": self._control_revision,
                 "consumers": {
                     consumer_id: self._assigned_partitions(consumer_id)
                     for consumer_id in self._consumer_order

@@ -60,8 +60,12 @@ class FleetConsumer:
     Broker` surface — the in-process object in tests, a manager proxy in
     ``repro fleet-worker``.  ``close()`` drains first: the loop stops
     leasing, the in-flight job (if any) finishes and acks, then the consumer
-    detaches and the pool shuts down — the same mechanism a scale-down or a
-    future artifact hot-swap rides.
+    detaches and the pool shuts down — the same mechanism a scale-down rides.
+    Artifact hot-swaps arrive as broker *control* messages: between jobs the
+    loop polls :meth:`~repro.fleet.broker.Broker.get_control`, applies
+    ``{"op": "swap", ...}`` by rolling its own pool
+    (:meth:`~repro.parallel.serving.PoolPredictor.swap`), and acks the
+    revision so the front can tell when the fleet has converged.
     """
 
     def __init__(
@@ -95,12 +99,33 @@ class FleetConsumer:
         )
         self._stop = threading.Event()
         self._last_metrics_ship = 0.0
+        # Highest broker control revision this consumer has applied (or
+        # deliberately skipped at start-up — the pool just loaded CURRENT, so
+        # a pre-existing swap command is already satisfied).
+        self._control_revision = 0
         self._thread = threading.Thread(
             target=self._run, name=f"repro-fleet-consumer-{consumer_id}", daemon=True
         )
 
     def start(self) -> "FleetConsumer":
         self.broker.attach(self.consumer_id)
+        try:
+            # Skip any control revision posted before we existed: our pool
+            # loaded the store's CURRENT pointer moments ago, so an older
+            # swap broadcast is already satisfied (an autoscaler replacement
+            # consumer must not redundantly roll its freshly-warm workers) —
+            # but it still needs acking or the front would wait on us.
+            status = self.broker.control_status()
+            self._control_revision = int(status.get("revision", 0))
+            if self._control_revision > 0:
+                self.broker.ack_control(
+                    self.consumer_id,
+                    self._control_revision,
+                    True,
+                    detail="joined on current generation",
+                )
+        except (AttributeError, EOFError, ConnectionError, OSError):
+            pass  # pragma: no cover - broker without a control channel
         self._thread.start()
         log_event("fleet.consumer_started", consumer=self.consumer_id)
         return self
@@ -109,6 +134,7 @@ class FleetConsumer:
     def _run(self) -> None:
         while not self._stop.is_set():
             try:
+                self._poll_control()
                 job = self.broker.lease(self.consumer_id, timeout=self.lease_timeout)
             except (EOFError, ConnectionError, OSError):
                 # The broker (front) went away; nothing left to serve.
@@ -121,6 +147,48 @@ class FleetConsumer:
             if job is None:
                 continue
             self._handle(job)
+
+    def _poll_control(self) -> None:
+        """Apply any control command posted since the last lease cycle.
+
+        Runs between jobs, never mid-job: the job in flight finishes (and
+        acks its result computed on the *old* generation) before the pool
+        rolls, so no response ever mixes generations.
+        """
+        pending = self.broker.get_control(self.consumer_id, self._control_revision)
+        if pending is None:
+            return
+        revision, command = pending
+        self._control_revision = revision
+        ok, detail = True, None
+        try:
+            self._apply_control(command)
+        except Exception as exc:
+            ok, detail = False, f"{type(exc).__name__}: {exc}"
+            logger.error(
+                "consumer %s failed control revision %d (%s): %s",
+                self.consumer_id,
+                revision,
+                command,
+                detail,
+            )
+        self.broker.ack_control(self.consumer_id, revision, ok, detail=detail)
+
+    def _apply_control(self, command: Dict[str, object]) -> None:
+        op = command.get("op")
+        if op == "swap":
+            generation = command.get("generation")
+            summary = self.pool.swap(
+                generation=int(generation) if generation is not None else None
+            )
+            log_event(
+                "fleet.consumer_swapped",
+                consumer=self.consumer_id,
+                generation=summary["generation"],
+                workers_respawned=summary["workers_respawned"],
+            )
+        else:
+            raise ValueError(f"unknown control op {op!r}")
 
     def _handle(self, job: Job) -> None:
         attempt = max(0, job.deliveries - 1)

@@ -40,7 +40,8 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.core.ensemble import COMBINATION_METHODS
+from repro.core.artifact_store import ARTIFACT_GENERATION, resolve_artifact
+from repro.core.ensemble import resolve_combination_method
 from repro.fleet.autoscaler import Autoscaler, AutoscaleSignals
 from repro.fleet.broker import InProcBroker, serve_broker
 from repro.obs.events import log_event
@@ -125,19 +126,21 @@ class FleetFront:
             raise ValueError("min_consumers must be at least 1")
         if max_consumers < min_consumers:
             raise ValueError("need min_consumers <= max_consumers")
-        manifest = read_manifest(artifact)
-        if method not in COMBINATION_METHODS:
-            raise ValueError(
-                f"unknown combination method {method!r}; valid choices: "
-                + ", ".join(repr(m) for m in COMBINATION_METHODS)
-            )
+        # Like the pool: resolve the (possibly store-layout) path once, keep
+        # the caller's root in self.path so swap() can re-resolve CURRENT.
+        resolved = resolve_artifact(artifact)
+        manifest = read_manifest(resolved.path)
+        resolve_combination_method(method, has_super_learner=True)
         self.path = Path(artifact)
+        self._artifact_dir = resolved.path
+        self.generation = resolved.generation
         self.method = method
         self.input_shape = tuple(int(d) for d in manifest["input_shape"])
         self.num_classes = int(manifest["num_classes"])
         self.num_members = len(manifest["members"])
         self.approach = manifest["approach"]
         self._has_super_learner = manifest.get("super_learner_weights") is not None
+        resolve_combination_method(method, has_super_learner=self._has_super_learner)
         self.min_consumers = int(min_consumers)
         self.max_consumers = int(max_consumers)
         self.consumer_workers = int(consumer_workers)
@@ -213,18 +216,9 @@ class FleetFront:
 
     # ----------------------------------------------------------------- client
     def _resolve_method(self, method: Optional[str]) -> str:
-        resolved = self.method if method is None else method
-        if resolved not in COMBINATION_METHODS:
-            raise ValueError(
-                f"unknown combination method {resolved!r}; valid choices: "
-                + ", ".join(repr(m) for m in COMBINATION_METHODS)
-            )
-        if resolved == "super_learner" and not self._has_super_learner:
-            raise RuntimeError(
-                "this artifact has no fitted super-learner weights; pick "
-                "method='average'/'vote'"
-            )
-        return resolved
+        return resolve_combination_method(
+            method, default=self.method, has_super_learner=self._has_super_learner
+        )
 
     def submit(
         self,
@@ -468,6 +462,130 @@ class FleetFront:
             queue_depth=self.broker.depth(), p99_seconds=p99, consumers=desired
         )
 
+    # -------------------------------------------------------------- hot swap
+    def swap(
+        self, generation: Optional[int] = None, timeout: float = 60.0
+    ) -> Dict[str, Any]:
+        """Converge the whole consumer fleet onto a new artifact generation.
+
+        Re-resolves the front's artifact path (picking up the store's moved
+        ``CURRENT`` pointer, or the explicit ``generation``), posts a
+        ``{"op": "swap"}`` control message on the broker, and blocks until
+        every currently-attached consumer has acknowledged rolling its pool
+        — consumers keep leasing and answering jobs throughout, each
+        response computed entirely on one generation.  Consumers that attach
+        mid-swap (autoscaler replacements) load the new ``CURRENT`` directly
+        and ack without rolling.  Raises ``RuntimeError`` on a failed
+        consumer ack or on timeout.
+        """
+        if self._closed:
+            raise RuntimeError("FleetFront is closed")
+        resolved = resolve_artifact(self.path, generation=generation)
+        from repro.api.artifacts import read_manifest
+
+        manifest = read_manifest(resolved.path)
+        new_shape = tuple(int(d) for d in manifest["input_shape"])
+        new_classes = int(manifest["num_classes"])
+        if new_shape != self.input_shape or new_classes != self.num_classes:
+            raise ValueError(
+                f"cannot hot-swap to generation {resolved.generation}: its "
+                f"input_shape={new_shape} / num_classes={new_classes} differ "
+                f"from the fleet's {self.input_shape} / {self.num_classes}"
+            )
+        previous_generation = self.generation
+        if resolved.path == self._artifact_dir:
+            return {
+                "status": "noop",
+                "generation": self.generation,
+                "previous_generation": previous_generation,
+                "consumers_acked": 0,
+                "swap_seconds": 0.0,
+            }
+        start = time.monotonic()
+        deadline = start + float(timeout)
+        log_event(
+            "swap.started",
+            artifact=str(self.path),
+            mode="queue",
+            from_generation=previous_generation,
+            to_generation=resolved.generation,
+        )
+        # Future consumers (autoscaler spawns pass self.path) resolve the
+        # new CURRENT themselves; existing ones roll via the control channel.
+        self._artifact_dir = resolved.path
+        self.generation = resolved.generation
+        self.num_members = len(manifest["members"])
+        self.approach = manifest["approach"]
+        self._has_super_learner = manifest.get("super_learner_weights") is not None
+        revision = self.broker.post_control(
+            {"op": "swap", "generation": resolved.generation}
+        )
+        while True:
+            status = self.broker.control_status()
+            acks = {
+                consumer_id: ack
+                for consumer_id, ack in status["acks"].items()
+                if ack["revision"] == revision
+            }
+            failed = [
+                f"{consumer_id}: {ack['detail']}"
+                for consumer_id, ack in acks.items()
+                if not ack["ok"]
+            ]
+            if failed:
+                log_event(
+                    "swap.failed",
+                    mode="queue",
+                    to_generation=resolved.generation,
+                    errors=failed,
+                )
+                raise RuntimeError(
+                    "fleet swap failed on "
+                    + "; ".join(failed)
+                )
+            attached = set(status["consumers"])
+            if attached and attached <= set(acks):
+                break
+            if time.monotonic() > deadline:
+                missing = sorted(attached - set(acks))
+                log_event(
+                    "swap.failed",
+                    mode="queue",
+                    to_generation=resolved.generation,
+                    errors=[f"timeout waiting for acks from {missing}"],
+                )
+                raise RuntimeError(
+                    f"fleet swap timed out after {timeout:.0f}s waiting for "
+                    f"consumers {missing} to acknowledge generation "
+                    f"{resolved.generation}"
+                )
+            time.sleep(0.05)
+        elapsed = time.monotonic() - start
+        ARTIFACT_GENERATION.set(self.generation)
+        log_event(
+            "swap.completed",
+            mode="queue",
+            from_generation=previous_generation,
+            to_generation=self.generation,
+            consumers=len(acks),
+            seconds=elapsed,
+        )
+        logger.info(
+            "fleet hot-swapped %s: generation %d -> %d (%d consumers in %.2fs)",
+            self.path,
+            previous_generation,
+            self.generation,
+            len(acks),
+            elapsed,
+        )
+        return {
+            "status": "ok",
+            "generation": self.generation,
+            "previous_generation": previous_generation,
+            "consumers_acked": len(acks),
+            "swap_seconds": elapsed,
+        }
+
     # ---------------------------------------------------------- health / info
     def wait_ready(self, timeout: float = 180.0) -> None:
         """Block until ``min_consumers`` consumers are attached (pool-warm)."""
@@ -493,6 +611,7 @@ class FleetFront:
         health = {
             "status": status,
             "mode": "queue",
+            "generation": self.generation,
             "consumers": attached,
             "min_consumers": self.min_consumers,
             "max_consumers": self.max_consumers,
@@ -509,6 +628,7 @@ class FleetFront:
             "artifact": str(self.path),
             "approach": self.approach,
             "mode": "queue",
+            "generation": self.generation,
             "num_members": self.num_members,
             "num_classes": self.num_classes,
             "input_shape": list(self.input_shape),

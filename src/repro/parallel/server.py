@@ -35,6 +35,12 @@ Endpoints
 * ``GET /result/<job_id>`` (queue mode) — poll an async job: ``200`` with
   the result once done (the result is consumed), ``202`` while pending,
   ``404`` for unknown/expired ids.
+* ``POST /admin/swap`` — zero-downtime hot-swap onto a new artifact
+  generation: body ``{}`` re-resolves the store's ``CURRENT`` pointer,
+  ``{"generation": N}`` pins an explicit generation.  Pool mode rolls the
+  workers one at a time; queue mode broadcasts a control message that every
+  attached fleet consumer applies and acknowledges.  ``409`` while another
+  swap is in progress.
 
 Each HTTP connection is handled on its own thread
 (``ThreadingHTTPServer``); the pool's dispatcher coalesces concurrent
@@ -77,7 +83,7 @@ _HTTP_LATENCY = _metrics.histogram(
 #: Endpoints tracked as metric label values; anything else counts as "other"
 #: so arbitrary probe paths cannot blow up the label cardinality.  Every
 #: ``/result/<job_id>`` poll collapses into the single "/result" label.
-_KNOWN_PATHS = ("/predict", "/info", "/healthz", "/metrics")
+_KNOWN_PATHS = ("/predict", "/admin/swap", "/info", "/healthz", "/metrics")
 
 
 def _make_handler(pool, mode: str, started_at: float):
@@ -148,8 +154,29 @@ def _make_handler(pool, mode: str, started_at: float):
                     {"job_id": job_id, "predictions": proba.argmax(axis=1).tolist()},
                 )
 
+        def _admin_swap(self) -> None:
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                body = json.loads(self.rfile.read(length) or b"{}")
+                generation = body.get("generation")
+                if generation is not None:
+                    generation = int(generation)
+                summary = pool.swap(generation=generation)
+            except (json.JSONDecodeError, TypeError, ValueError, FileNotFoundError) as exc:
+                self._reply(400, {"error": str(exc)})
+            except RuntimeError as exc:
+                if "already in progress" in str(exc):
+                    self._reply(409, {"error": str(exc)})
+                else:
+                    self._reply(400, {"error": str(exc)})
+            else:
+                self._reply(200, summary)
+
         def do_POST(self):  # noqa: N802 - stdlib API name
             with _HTTP_LATENCY.labels(self._metric_path()).time():
+                if self.path == "/admin/swap":
+                    self._admin_swap()
+                    return
                 if self.path != "/predict":
                     self._reply(404, {"error": f"unknown path {self.path!r}"})
                     return

@@ -68,7 +68,11 @@ from multiprocessing.connection import wait as _mp_wait
 
 import numpy as np
 
-from repro.core.ensemble import COMBINATION_METHODS
+from repro.core.artifact_store import (
+    ARTIFACT_GENERATION,
+    resolve_artifact,
+)
+from repro.core.ensemble import resolve_combination_method
 from repro.obs.events import log_event
 from repro.obs.metrics import get_registry
 from repro.parallel.shm_transport import RESULT_ITEMSIZE, ShmArena, _align
@@ -139,6 +143,18 @@ _TRANSPORT_PHASE = _metrics.histogram(
     "Per-dispatch transport phases: copying rows into the arena (shm) or "
     "building the tensor payload (pickle).",
     ("transport", "phase"),
+)
+_SWAPS = _metrics.counter(
+    "repro_swap_total", "Artifact hot-swaps attempted by the pool.", ("status",)
+)
+_SWAP_WORKERS = _metrics.counter(
+    "repro_swap_workers_respawned_total",
+    "Pool workers rolled onto a new artifact generation during swaps.",
+)
+_SWAP_SECONDS = _metrics.histogram(
+    "repro_swap_seconds",
+    "Swap makespan: first worker drained to last worker warm on the new "
+    "generation.",
 )
 
 #: Estimated per-request pickle framing on the reference transport; the
@@ -241,11 +257,7 @@ class PoolPredictor:
 
         if workers < 1:
             raise ValueError("workers must be at least 1")
-        if method not in COMBINATION_METHODS:
-            raise ValueError(
-                f"unknown combination method {method!r}; valid choices: "
-                + ", ".join(repr(m) for m in COMBINATION_METHODS)
-            )
+        resolve_combination_method(method, has_super_learner=True)
         if max_batch < 1:
             raise ValueError("max_batch must be positive")
         if max_wait_ms < 0:
@@ -264,8 +276,14 @@ class PoolPredictor:
         if arena_slots < 1:
             raise ValueError("arena_slots must be positive")
 
-        manifest = read_manifest(path)
+        # Resolve the (possibly store-layout) artifact path once: workers
+        # spawn from the concrete generation directory, while self.path keeps
+        # the caller's root so swap() can re-resolve CURRENT later.
+        resolved = resolve_artifact(path)
         self.path = Path(path)
+        self._artifact_dir = resolved.path
+        self.generation = resolved.generation
+        manifest = read_manifest(self._artifact_dir)
         self.method = method
         self.workers = int(workers)
         self.batch_size = int(batch_size)
@@ -281,16 +299,15 @@ class PoolPredictor:
         self.supervise_interval = float(supervise_interval)
         self.worker_wait = float(worker_wait)
         self.dispatch_timeout = float(dispatch_timeout)
+        self.startup_timeout = float(startup_timeout)
         self.input_shape = tuple(int(d) for d in manifest["input_shape"])
         self.num_classes = int(manifest["num_classes"])
         self.num_members = len(manifest["members"])
         self.approach = manifest["approach"]
         self._has_super_learner = manifest.get("super_learner_weights") is not None
-        if method == "super_learner" and not self._has_super_learner:
-            raise RuntimeError(
-                "this artifact has no fitted super-learner weights; pick "
-                "method='average'/'vote'"
-            )
+        resolve_combination_method(
+            method, has_super_learner=self._has_super_learner
+        )
 
         self._feature_size = prod(self.input_shape)
         self._ctx = mp.get_context("spawn")
@@ -318,6 +335,15 @@ class PoolPredictor:
         self._down: Dict[int, Optional[float]] = {}
         self._attempts: Dict[int, int] = {i: 0 for i in range(self.workers)}
         self._restarts_total = 0
+        # Hot-swap state.  _swapping (guarded by _lock) marks workers whose
+        # lifecycle the rolling swap temporarily owns — the supervisor must
+        # not race it with its own respawn; _lifecycle_lock serialises the
+        # swap's process replacement against _check_workers wholesale; the
+        # non-reentrant _swap_lock admits one swap at a time.
+        self._swapping: set = set()
+        self._lifecycle_lock = threading.Lock()
+        self._swap_lock = threading.Lock()
+        self._swaps_total = 0
         self._request_ids = itertools.count()
         for worker_id in range(self.workers):
             self._request_queues.append(self._ctx.Queue())
@@ -402,7 +428,7 @@ class PoolPredictor:
             target=_serving_worker_main,
             args=(
                 worker_id,
-                str(self.path),
+                str(self._artifact_dir),
                 self.method,
                 self.batch_size,
                 self.warm,
@@ -468,26 +494,62 @@ class PoolPredictor:
                     break
                 group.append(extra)
                 rows += extra.rows
-            worker_id = self._pick_worker(rr, group)
-            if worker_id is None:
-                continue
-            item = self._build_dispatch(worker_id, group)
-            dispatched = time.monotonic()
-            with self._lock:
-                for request in group:
-                    self._inflight[request.request_id] = worker_id
-                    self._inflight_since[request.request_id] = dispatched
-            if _metrics.enabled:
+            if self._dispatch_group(rr, group) and _metrics.enabled:
                 _DISPATCHES.inc()
                 _DISPATCH_ROWS.observe(rows)
-            self._request_queues[worker_id].put(item)
             # Drop the request references before blocking on the next get():
             # each _Request pins its input tensor and (through its future)
             # the eventual result view — holding them across the idle wait
             # would keep arena result regions reserved long after the client
-            # dropped its copy.  `request` matters as much as `group`: a loop
-            # variable survives its loop.
-            del item, group, request
+            # dropped its copy.  `item`/`extra` matter as much as `group`:
+            # a local survives past its loop.
+            item = extra = None
+            del group
+
+    def _dispatch_group(self, rr, group: List[_Request]) -> bool:
+        """Hand one micro-batch to a ready worker; ``False`` if the group
+        was failed instead.
+
+        The in-flight registration double-checks the chosen worker is still
+        in ``_ready`` under the pool lock before anything lands on its
+        queue.  A rolling swap removes a worker from ``_ready`` under the
+        same lock and only drains/stops it once no in-flight request maps to
+        it — so a dispatch either commits *before* the drain check (the old
+        worker answers it on the old generation) or re-targets another
+        worker.  Without the recheck, a dispatch could slip onto a worker's
+        queue after the swap observed it idle and sent the stop sentinel,
+        stranding the requests until the client timeout.
+        """
+        while True:
+            worker_id = self._pick_worker(rr, group)
+            if worker_id is None:
+                return False
+            item = self._build_dispatch(worker_id, group)
+            dispatched = time.monotonic()
+            with self._lock:
+                claimed = worker_id in self._ready
+                if claimed:
+                    for request in group:
+                        self._inflight[request.request_id] = worker_id
+                        self._inflight_since[request.request_id] = dispatched
+            if not claimed:
+                self._abort_dispatch(worker_id, item)
+                continue
+            self._request_queues[worker_id].put(item)
+            return True
+
+    def _abort_dispatch(self, worker_id: int, item: tuple) -> None:
+        """Release arena regions reserved for a dispatch that never shipped
+        (its worker left the ready set between pick and claim)."""
+        if item[0] != "shm":
+            return
+        generation, request_region, entries = item[1]
+        arena = self._arenas[worker_id]
+        if arena is None or arena.generation != generation:
+            return  # the arena was already retired wholesale
+        for entry in entries:
+            arena.free_result(entry[5])
+        arena.free_request(request_region)
 
     # ------------------------------------------------------------ transports
     def _build_dispatch(self, worker_id: int, group: List[_Request]) -> tuple:
@@ -681,9 +743,20 @@ class PoolPredictor:
                 logger.exception("pool supervisor check failed")
 
     def _check_workers(self) -> None:
+        # Serialised against a rolling swap's process-replacement phase: both
+        # paths mutate _processes/_down/queues/arenas for a worker, and the
+        # swap additionally owns the workers it marked in _swapping.
+        with self._lifecycle_lock:
+            self._check_workers_locked()
+
+    def _check_workers_locked(self) -> None:
         now = time.monotonic()
         self._kill_wedged_workers(now)
+        with self._lock:
+            swapping = set(self._swapping)
         for worker_id, process in enumerate(self._processes):
+            if worker_id in swapping:
+                continue  # the swap owns this worker's lifecycle right now
             if process.is_alive():
                 continue
             if worker_id not in self._down:
@@ -769,33 +842,40 @@ class PoolPredictor:
         for request_id in orphaned:
             self._resolve(request_id, exception=error)
 
-    def _respawn_worker(self, worker_id: int) -> None:
-        # A SIGKILL can land while the worker holds one of its queue locks
-        # (it spends its life blocked in request_queue.get(), and replies
-        # under the result queue's write lock), leaving that lock acquired
-        # forever.  The successor therefore gets *fresh* queues rather than
-        # inheriting potentially poisoned ones; undelivered payloads on the
-        # old queues belong to futures that were already failed at death.
+    def _install_fresh_ipc(self, worker_id: int) -> None:
+        """Replace a worker's queues and arena before (re)spawning it.
+
+        A SIGKILL can land while the worker holds one of its queue locks
+        (it spends its life blocked in request_queue.get(), and replies
+        under the result queue's write lock), leaving that lock acquired
+        forever.  The successor therefore gets *fresh* queues rather than
+        inheriting potentially poisoned ones; undelivered payloads on the
+        old queues belong to futures that were already failed at death.
+        The arena is replaced wholesale for the same reason: a SIGKILL
+        mid-slot-write leaves regions reserved for descriptors that will
+        never arrive.  The old generation's name is unlinked now (no
+        /dev/shm leak); its mapping survives only as long as clients hold
+        result views into it.  Shared with the rolling swap, which rolls a
+        worker through the same replacement path a death would.
+        """
         old_queues = (self._request_queues[worker_id], self._result_queues[worker_id])
         self._request_queues[worker_id] = self._ctx.Queue()
         self._result_queues[worker_id] = self._ctx.Queue()
-        # The arena is replaced wholesale for the same reason as the queues:
-        # a SIGKILL mid-slot-write leaves regions reserved for descriptors
-        # that will never arrive.  The old generation's name is unlinked now
-        # (no /dev/shm leak); its mapping survives only as long as clients
-        # hold result views into it.
         if self.transport == "shm":
             old_arena = self._arenas[worker_id]
             self._arena_generation[worker_id] += 1
             self._arenas[worker_id] = self._new_arena(worker_id)
             if old_arena is not None:
                 old_arena.retire()
-        self._processes[worker_id] = self._spawn_worker(worker_id)
         for old_queue in old_queues:
             try:
                 old_queue.close()
             except Exception:  # pragma: no cover - feeder already gone
                 pass
+
+    def _respawn_worker(self, worker_id: int) -> None:
+        self._install_fresh_ipc(worker_id)
+        self._processes[worker_id] = self._spawn_worker(worker_id)
         del self._down[worker_id]
         self._restarts_total += 1
         _WORKER_RESTARTS.inc()
@@ -803,6 +883,197 @@ class PoolPredictor:
             attempt = self._attempts[worker_id]
         logger.info("respawned serving worker %d (attempt %d)", worker_id, attempt)
         log_event("serve.worker_respawned", worker=worker_id, attempt=attempt)
+
+    # -------------------------------------------------------------- hot swap
+    def swap(
+        self, generation: Optional[int] = None, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Roll every worker onto a new artifact generation, zero-downtime.
+
+        Re-resolves the path the pool was constructed with — for a store
+        root that picks up whatever ``CURRENT`` now points at, or the
+        explicitly requested ``generation``.  Workers are rolled one at a
+        time through the same fresh-IPC replacement path the supervisor uses
+        for crashed workers: each is removed from dispatch, drained of its
+        in-flight requests (they complete on the old generation), stopped
+        gracefully, and respawned from the new generation directory; the
+        next worker only rolls once its predecessor's successor is warm, so
+        the pool never drops below ``workers - 1`` ready workers.  Every
+        response therefore comes entirely from one generation — never a mix.
+
+        Raises ``RuntimeError`` if another swap is already in progress, and
+        refuses generations whose input shape or class count differ from the
+        serving pool's (the shared-memory arenas are sized for them).
+        """
+        if self._closed:
+            raise RuntimeError("PoolPredictor is closed")
+        if not self._swap_lock.acquire(blocking=False):
+            raise RuntimeError("swap already in progress")
+        try:
+            return self._swap_locked(generation, timeout)
+        finally:
+            self._swap_lock.release()
+
+    def _swap_locked(
+        self, generation: Optional[int], timeout: Optional[float]
+    ) -> Dict[str, Any]:
+        from repro.api.artifacts import read_manifest
+
+        resolved = resolve_artifact(self.path, generation=generation)
+        manifest = read_manifest(resolved.path)
+        new_shape = tuple(int(d) for d in manifest["input_shape"])
+        new_classes = int(manifest["num_classes"])
+        if new_shape != self.input_shape or new_classes != self.num_classes:
+            raise ValueError(
+                f"cannot hot-swap to generation {resolved.generation}: its "
+                f"input_shape={new_shape} / num_classes={new_classes} differ "
+                f"from the pool's {self.input_shape} / {self.num_classes} "
+                "(the shared-memory arenas are sized for the serving shapes)"
+            )
+        previous_generation = self.generation
+        if resolved.path == self._artifact_dir:
+            # CURRENT did not move (or the pool serves a bare directory):
+            # nothing to roll, and the call stays idempotent.
+            return {
+                "status": "noop",
+                "generation": self.generation,
+                "previous_generation": previous_generation,
+                "workers_respawned": 0,
+                "swap_seconds": 0.0,
+            }
+        start = time.monotonic()
+        deadline = start + (
+            timeout if timeout is not None else self.startup_timeout * self.workers
+        )
+        log_event(
+            "swap.started",
+            artifact=str(self.path),
+            from_generation=previous_generation,
+            to_generation=resolved.generation,
+        )
+        # Point every spawn path at the new generation *before* rolling: a
+        # supervisor respawn racing the swap (for a worker that crashed on
+        # its own) then also lands on the new artifact.
+        self._artifact_dir = resolved.path
+        self.generation = resolved.generation
+        self.num_members = len(manifest["members"])
+        self.approach = manifest["approach"]
+        self._has_super_learner = manifest.get("super_learner_weights") is not None
+        rolled = 0
+        try:
+            for worker_id in range(self.workers):
+                self._roll_worker(worker_id, deadline)
+                rolled += 1
+                _SWAP_WORKERS.inc()
+                log_event(
+                    "swap.worker_rolled",
+                    worker=worker_id,
+                    generation=self.generation,
+                )
+        except BaseException as exc:
+            _SWAPS.labels("error").inc()
+            log_event(
+                "swap.failed",
+                from_generation=previous_generation,
+                to_generation=self.generation,
+                workers_rolled=rolled,
+                error=str(exc),
+            )
+            raise
+        elapsed = time.monotonic() - start
+        self._swaps_total += 1
+        _SWAPS.labels("ok").inc()
+        _SWAP_SECONDS.observe(elapsed)
+        ARTIFACT_GENERATION.set(self.generation)
+        log_event(
+            "swap.completed",
+            from_generation=previous_generation,
+            to_generation=self.generation,
+            workers=rolled,
+            seconds=elapsed,
+        )
+        logger.info(
+            "hot-swapped %s: generation %d -> %d (%d workers rolled in %.2fs)",
+            self.path,
+            previous_generation,
+            self.generation,
+            rolled,
+            elapsed,
+        )
+        return {
+            "status": "ok",
+            "generation": self.generation,
+            "previous_generation": previous_generation,
+            "workers_respawned": rolled,
+            "swap_seconds": elapsed,
+        }
+
+    def _roll_worker(self, worker_id: int, deadline: float) -> None:
+        """Drain one worker and respawn it from ``self._artifact_dir``.
+
+        Marking the worker in ``_swapping`` hands its lifecycle to the swap
+        (the supervisor skips it); removing it from ``_ready`` under the
+        pool lock, combined with the dispatcher's claim-recheck, guarantees
+        no new dispatch lands on its queue after the drain check — see
+        :meth:`_dispatch_group`.
+        """
+        with self._lock:
+            self._swapping.add(worker_id)
+            self._ready.discard(worker_id)
+        try:
+            # Drain: every in-flight request this worker owns was claimed
+            # before the _ready removal above, so the (still running) worker
+            # will answer it on the old generation.
+            while True:
+                with self._lock:
+                    busy = any(
+                        owner == worker_id for owner in self._inflight.values()
+                    )
+                if not busy:
+                    break
+                if time.monotonic() > deadline:
+                    raise RuntimeError(
+                        f"timed out draining worker {worker_id} during swap"
+                    )
+                time.sleep(0.005)
+            process = self._processes[worker_id]
+            with self._lifecycle_lock:
+                if worker_id in self._down:
+                    # Crashed earlier and awaiting the supervisor's backoff;
+                    # the roll takes over the replacement right now.
+                    del self._down[worker_id]
+                elif process.is_alive():
+                    try:
+                        self._request_queues[worker_id].put(None)
+                    except Exception:  # pragma: no cover - queue poisoned
+                        pass
+                    process.join(timeout=30)
+                    if process.is_alive():  # pragma: no cover - stuck worker
+                        process.kill()
+                        process.join(timeout=10)
+                self._install_fresh_ipc(worker_id)
+                self._processes[worker_id] = self._spawn_worker(worker_id)
+            # Wait until the successor reports ready (the collector adds it
+            # to _ready) before rolling the next worker: capacity never
+            # drops below workers - 1.
+            while True:
+                with self._lock:
+                    if worker_id in self._ready:
+                        break
+                if not self._processes[worker_id].is_alive():
+                    raise RuntimeError(
+                        f"worker {worker_id} failed to load generation "
+                        f"{self.generation} during swap"
+                    )
+                if time.monotonic() > deadline:
+                    raise RuntimeError(
+                        f"timed out waiting for worker {worker_id} to warm "
+                        f"generation {self.generation} during swap"
+                    )
+                time.sleep(0.01)
+        finally:
+            with self._lock:
+                self._swapping.discard(worker_id)
 
     def _resolve(self, request_id: int, result=None, exception=None) -> None:
         with self._lock:
@@ -818,18 +1089,9 @@ class PoolPredictor:
 
     # --------------------------------------------------------------- client
     def _resolve_method(self, method: Optional[str]) -> str:
-        resolved = self.method if method is None else method
-        if resolved not in COMBINATION_METHODS:
-            raise ValueError(
-                f"unknown combination method {resolved!r}; valid choices: "
-                + ", ".join(repr(m) for m in COMBINATION_METHODS)
-            )
-        if resolved == "super_learner" and not self._has_super_learner:
-            raise RuntimeError(
-                "this artifact has no fitted super-learner weights; pick "
-                "method='average'/'vote'"
-            )
-        return resolved
+        return resolve_combination_method(
+            method, default=self.method, has_super_learner=self._has_super_learner
+        )
 
     def predict_proba(
         self,
@@ -898,6 +1160,7 @@ class PoolPredictor:
             "status": status,
             "alive_workers": alive,
             "workers": self.workers,
+            "generation": self.generation,
             "restarts": self._restarts_total,
             "restart_workers": self.restart_workers,
         }
@@ -910,6 +1173,8 @@ class PoolPredictor:
         return {
             "artifact": str(self.path),
             "approach": self.approach,
+            "generation": self.generation,
+            "swaps": self._swaps_total,
             "workers": self.workers,
             "alive_workers": self.alive_workers(),
             "worker_pids": [process.pid for process in self._processes],

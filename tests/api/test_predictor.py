@@ -74,7 +74,9 @@ def test_input_dtype_validation(predictor):
 def test_method_validation(predictor, tiny_result):
     with pytest.raises(ValueError, match="unknown combination method"):
         EnsemblePredictor.from_run(tiny_result.run, method="oracle")
-    with pytest.raises(ValueError, match="unknown inference method"):
+    # The per-call path validates through the shared resolve_combination_method
+    # helper, so the wording matches the constructor's.
+    with pytest.raises(ValueError, match="unknown combination method"):
         predictor.predict(tiny_result.dataset.x_test[:2], method="oracle")
 
 

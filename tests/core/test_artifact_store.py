@@ -1,0 +1,200 @@
+"""Layout-level ArtifactStore tests: resolution order, in-place migration,
+torn ``CURRENT`` writes, promotion bookkeeping.
+
+These work on stub artifacts (a ``manifest.json`` with the fields the store
+reads, no weights), so they exercise every directory-shape branch without
+training anything; loading semantics against real artifacts live in
+``tests/api/test_store_backcompat.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.artifact_store import (
+    ArtifactStore,
+    CURRENT_NAME,
+    LINEAGE_NAME,
+    LINEAGE_SCHEMA,
+    format_generation,
+    parse_generation,
+    resolve_artifact,
+)
+
+
+def make_stub_artifact(path, members=None):
+    """A directory shaped like a saved ensemble artifact (manifest + members)."""
+    path.mkdir(parents=True, exist_ok=True)
+    members = members if members is not None else [
+        {"name": "m0", "source": "hatched"},
+        {"name": "m1", "source": "scratch"},
+    ]
+    (path / "manifest.json").write_text(
+        json.dumps({"members": members, "created_unix": 1.0}), encoding="utf-8"
+    )
+    members_dir = path / "members"
+    members_dir.mkdir(exist_ok=True)
+    (members_dir / "m0.npz").write_bytes(b"weights")
+    return path
+
+
+def make_stub_store(root, generations=(0,), current=0):
+    root.mkdir(parents=True, exist_ok=True)
+    for generation in generations:
+        make_stub_artifact(root / format_generation(generation))
+    (root / CURRENT_NAME).write_text(format_generation(current) + "\n")
+    return ArtifactStore(root)
+
+
+def test_format_parse_roundtrip():
+    assert format_generation(0) == "gen-0000"
+    assert format_generation(12) == "gen-0012"
+    assert parse_generation("gen-0012") == 12
+    assert parse_generation("gen-123") is None  # needs >= 4 digits
+    assert parse_generation("generation-1") is None
+    assert parse_generation("members") is None
+    with pytest.raises(ValueError):
+        format_generation(-1)
+
+
+def test_resolve_bare_directory_is_generation_zero(tmp_path):
+    bare = make_stub_artifact(tmp_path / "artifact")
+    resolved = resolve_artifact(bare)
+    assert resolved.path == bare
+    assert resolved.generation == 0
+    assert resolved.store is None
+
+
+def test_resolve_bare_directory_rejects_other_generations(tmp_path):
+    bare = make_stub_artifact(tmp_path / "artifact")
+    assert resolve_artifact(bare, generation=0).generation == 0
+    with pytest.raises(ValueError, match="implicit generation 0"):
+        resolve_artifact(bare, generation=3)
+
+
+def test_resolve_store_root_follows_current(tmp_path):
+    store = make_stub_store(tmp_path / "store", generations=(0, 1), current=1)
+    resolved = resolve_artifact(store.root)
+    assert resolved.generation == 1
+    assert resolved.path == store.generation_path(1)
+    assert resolved.store is not None
+    # Explicit generation overrides the pointer.
+    pinned = resolve_artifact(store.root, generation=0)
+    assert pinned.generation == 0
+    assert pinned.path == store.generation_path(0)
+
+
+def test_resolve_generation_directory_is_pinned(tmp_path):
+    store = make_stub_store(tmp_path / "store", generations=(0, 1), current=1)
+    resolved = resolve_artifact(store.generation_path(0))
+    assert resolved.generation == 0
+    assert resolved.store is not None
+    with pytest.raises(ValueError, match="ask the store root"):
+        resolve_artifact(store.generation_path(0), generation=1)
+
+
+def test_resolve_missing_generation_refused(tmp_path):
+    store = make_stub_store(tmp_path / "store", generations=(0,), current=0)
+    with pytest.raises(FileNotFoundError, match="no complete generation"):
+        resolve_artifact(store.root, generation=7)
+
+
+def test_resolve_nonsense_path_refused(tmp_path):
+    empty = tmp_path / "nothing"
+    empty.mkdir()
+    with pytest.raises(FileNotFoundError, match="not an ensemble artifact"):
+        resolve_artifact(empty)
+
+
+def test_open_migrates_bare_directory_in_place(tmp_path):
+    bare = make_stub_artifact(tmp_path / "artifact")
+    store = ArtifactStore.open(bare)
+    gen0 = store.generation_path(0)
+    assert (gen0 / "manifest.json").is_file()
+    assert (gen0 / "members" / "m0.npz").read_bytes() == b"weights"
+    assert not (bare / "manifest.json").exists()  # moved, not copied
+    assert store.current_generation() == 0
+    lineage = store.lineage(0)
+    assert lineage["schema"] == LINEAGE_SCHEMA
+    assert lineage["parent_generation"] is None
+    assert lineage["promotion"]["status"] == "promoted"
+    origins = {row["name"]: row["origin"] for row in lineage["members"]}
+    assert origins == {"m0": "hatched", "m1": "initial"}
+    # Idempotent: opening a store is a no-op.
+    again = ArtifactStore.open(bare)
+    assert again.current_generation() == 0
+
+
+def test_open_resumes_interrupted_migration(tmp_path):
+    # Simulate a crash after the manifest moved but before CURRENT (the
+    # commit point): gen-0000 exists, the root has neither manifest nor
+    # pointer.  resolve refuses it with a hint; open finishes the job.
+    bare = make_stub_artifact(tmp_path / "artifact")
+    gen0 = bare / format_generation(0)
+    gen0.mkdir()
+    (bare / "manifest.json").rename(gen0 / "manifest.json")
+    (bare / "members").rename(gen0 / "members")
+    with pytest.raises(FileNotFoundError, match="no CURRENT pointer"):
+        resolve_artifact(bare)
+    store = ArtifactStore.open(bare)
+    assert store.current_generation() == 0
+    assert resolve_artifact(bare).generation == 0
+
+
+def test_torn_current_write_resolves_old_generation(tmp_path):
+    """A crash mid-promotion leaves the temp file beside the intact old
+    pointer; resolution must keep answering the old generation."""
+    store = make_stub_store(tmp_path / "store", generations=(0, 1), current=0)
+    # The atomic writer's temp-file naming: <target>.tmp.<pid>.
+    (store.root / f"{CURRENT_NAME}.tmp.12345").write_text(
+        format_generation(1) + "\n"
+    )
+    resolved = resolve_artifact(store.root)
+    assert resolved.generation == 0
+    assert store.current_generation() == 0
+
+
+def test_corrupt_current_pointer_is_an_error(tmp_path):
+    store = make_stub_store(tmp_path / "store", generations=(0,), current=0)
+    (store.root / CURRENT_NAME).write_text("garbage\n")
+    with pytest.raises(ValueError, match="corrupt CURRENT pointer"):
+        resolve_artifact(store.root)
+
+
+def test_generations_lists_only_complete_ones(tmp_path):
+    store = make_stub_store(tmp_path / "store", generations=(0, 2), current=0)
+    # An empty gen dir (crashed save) is not a generation.
+    store.generation_path(1).mkdir()
+    assert store.generations() == [0, 2]
+
+
+def test_promote_requires_complete_generation(tmp_path):
+    store = make_stub_store(tmp_path / "store", generations=(0,), current=0)
+    with pytest.raises(FileNotFoundError, match="incomplete generation"):
+        store.promote(5)
+
+
+def test_promote_and_reject_update_pointer_and_lineage(tmp_path):
+    store = make_stub_store(tmp_path / "store", generations=(0, 1, 2), current=0)
+    store.promote(1)
+    assert store.current_generation() == 1
+    assert store.lineage(1)["promotion"]["status"] == "promoted"
+    store.reject(2, reason="gate failed")
+    assert store.current_generation() == 1  # pointer untouched
+    promotion = store.lineage(2)["promotion"]
+    assert promotion["status"] == "rejected"
+    assert promotion["reason"] == "gate failed"
+    # describe() reports the full ledger.
+    description = store.describe()
+    assert description["current_generation"] == 1
+    by_generation = {row["generation"]: row for row in description["generations"]}
+    assert by_generation[1]["current"] is True
+    assert by_generation[2]["promotion"] == "rejected"
+
+
+def test_lineage_file_name(tmp_path):
+    store = make_stub_store(tmp_path / "store", generations=(0,), current=0)
+    store._update_promotion(0, {"status": "promoted"})
+    assert (store.generation_path(0) / LINEAGE_NAME).is_file()

@@ -45,6 +45,11 @@ def fleet_experiment_dict(**overrides):
 
 
 @pytest.fixture(scope="session")
+def experiment_dict():
+    return fleet_experiment_dict
+
+
+@pytest.fixture(scope="session")
 def serial_result():
     return run_experiment(fleet_experiment_dict())
 

@@ -1,0 +1,183 @@
+"""Zero-downtime hot-swap in queue mode: a fleet control broadcast rolls
+every consumer's pool while client traffic keeps flowing.
+
+Same kill-style guarantee as ``tests/parallel/test_hot_swap.py``, one tier
+up: during :meth:`FleetFront.swap` no request is dropped and every response
+is bitwise-equal to a cold-started predictor on either the old or the new
+generation — never a mix within one request — across *multiple* consumer
+processes converging at their own pace.
+"""
+
+from __future__ import annotations
+
+import shutil
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import EnsemblePredictor, run_experiment
+from repro.core.artifact_store import ArtifactStore
+from repro.fleet import FleetConsumer, FleetFront
+
+
+@pytest.fixture(scope="module")
+def swap_store(saved_artifact, experiment_dict, tmp_path_factory):
+    root = tmp_path_factory.mktemp("fleet-swap") / "store"
+    shutil.copytree(saved_artifact, root)
+    store = ArtifactStore.open(root)
+    fresh = run_experiment(
+        experiment_dict(dataset=dict(experiment_dict()["dataset"], seed=6))
+    )
+    generation = store.add_generation(fresh.run, parent_generation=0)
+    assert generation == 1
+    return store
+
+
+@pytest.fixture(scope="module")
+def refs(swap_store, serial_result):
+    probe = serial_result.dataset.x_test
+    ref0 = EnsemblePredictor.load(swap_store.root, generation=0).predict_proba(probe)
+    ref1 = EnsemblePredictor.load(swap_store.root, generation=1).predict_proba(probe)
+    assert not np.array_equal(ref0, ref1)
+    return probe, ref0, ref1
+
+
+def test_fleet_swap_under_fire_converges_all_consumers(swap_store, refs):
+    probe, ref0, ref1 = refs
+    swap_store.promote(0)
+    front = FleetFront(
+        swap_store.root,
+        partitions=2,
+        spawn_local=False,
+        autoscale=False,
+        min_consumers=1,
+        max_consumers=2,
+    )
+    consumers = [
+        FleetConsumer(
+            front.broker,
+            swap_store.root,
+            consumer_id=f"c{i}",
+            workers=1,
+            metrics_interval=3600.0,
+        ).start()
+        for i in range(2)
+    ]
+    try:
+        assert front.generation == 0
+        stop = threading.Event()
+        failures = []
+        counts = {"old": 0, "new": 0}
+        lock = threading.Lock()
+
+        def hammer(tid):
+            i = 0
+            while not stop.is_set():
+                start = (tid * 5 + i) % 40
+                size = 1 + ((tid + i) % 5)
+                batch = probe[start : start + size]
+                try:
+                    out = front.predict_proba(batch, timeout=60)
+                except Exception as exc:
+                    failures.append(f"thread {tid} request failed: {exc!r}")
+                    return
+                rows = batch.shape[0]
+                if np.array_equal(out, ref0[start : start + rows]):
+                    with lock:
+                        counts["old"] += 1
+                elif np.array_equal(out, ref1[start : start + rows]):
+                    with lock:
+                        counts["new"] += 1
+                else:
+                    failures.append(
+                        f"thread {tid} got an answer matching neither "
+                        f"generation for rows {start}:{start + rows}"
+                    )
+                    return
+                i += 1
+
+        threads = [
+            threading.Thread(target=hammer, args=(tid,)) for tid in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.4)  # traffic flowing on generation 0
+        swap_store.promote(1)
+        result = front.swap(timeout=120)
+        time.sleep(0.4)  # traffic flowing on generation 1
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert all(not thread.is_alive() for thread in threads)
+        assert not failures, failures[:3]
+        assert result["status"] == "ok"
+        assert result["previous_generation"] == 0
+        assert result["generation"] == 1
+        assert result["consumers_acked"] == 2
+        assert counts["old"] > 0 and counts["new"] > 0, counts
+        assert front.generation == 1
+        assert front.info()["generation"] == 1
+        assert front.healthz()["generation"] == 1
+        for consumer in consumers:
+            assert consumer.pool.generation == 1
+        status = front.broker.control_status()
+        assert {"c0", "c1"} <= set(status["acks"])
+        assert all(ack["ok"] for ack in status["acks"].values())
+        # Post-swap the whole fleet answers purely from the new generation.
+        np.testing.assert_array_equal(
+            front.predict_proba(probe, timeout=60), ref1
+        )
+    finally:
+        for consumer in consumers:
+            consumer.close()
+        front.close()
+
+
+def test_fleet_swap_without_pointer_move_is_a_noop(swap_store):
+    swap_store.promote(0)
+    front = FleetFront(
+        swap_store.root, partitions=1, spawn_local=False, autoscale=False
+    )
+    try:
+        result = front.swap()
+        assert result["status"] == "noop"
+        assert result["consumers_acked"] == 0
+        assert front.generation == 0
+    finally:
+        front.close()
+
+
+def test_consumer_attaching_late_acks_without_rolling(swap_store, refs):
+    """A consumer that joins after a swap broadcast loads the promoted
+    CURRENT at construction, so it acks the pending control revision on
+    start() instead of rolling a pool that is already on the right
+    generation (the front would otherwise wait on it forever)."""
+    probe, _, ref1 = refs
+    swap_store.promote(1)
+    front = FleetFront(
+        swap_store.root, partitions=1, spawn_local=False, autoscale=False
+    )
+    try:
+        revision = front.broker.post_control({"op": "swap", "generation": 1})
+        consumer = FleetConsumer(
+            front.broker,
+            swap_store.root,
+            consumer_id="late",
+            workers=1,
+            metrics_interval=3600.0,
+        ).start()
+        try:
+            acks = front.broker.control_status()["acks"]
+            assert acks["late"]["revision"] == revision
+            assert acks["late"]["ok"] is True
+            assert consumer.pool.generation == 1
+            assert consumer.pool.info()["swaps"] == 0  # never rolled
+            np.testing.assert_array_equal(
+                front.predict_proba(probe[:8], timeout=60), ref1[:8]
+            )
+        finally:
+            consumer.close()
+    finally:
+        front.close()

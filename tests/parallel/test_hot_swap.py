@@ -1,0 +1,173 @@
+"""Zero-downtime hot-swap acceptance for the prediction pool.
+
+The kill-style guarantee under test: while :meth:`PoolPredictor.swap` rolls
+every worker onto a new artifact generation, concurrent clients must see
+**zero dropped requests and zero wrong answers** — every single response is
+bitwise-equal to what a cold-started predictor on either the old or the new
+generation returns for the same rows, never a mix of the two within one
+request.
+"""
+
+from __future__ import annotations
+
+import shutil
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import EnsemblePredictor, run_experiment
+from repro.core.artifact_store import ArtifactStore
+from repro.parallel import PoolPredictor
+
+
+@pytest.fixture(scope="module")
+def swap_store(saved_artifact, experiment_dict, tmp_path_factory):
+    """A generation store holding gen-0 (the shared session artifact) and a
+    gen-1 retrained on a fresh data draw.  Tests move CURRENT themselves."""
+    root = tmp_path_factory.mktemp("hot-swap") / "store"
+    shutil.copytree(saved_artifact, root)
+    store = ArtifactStore.open(root)
+    fresh = run_experiment(
+        experiment_dict(dataset=dict(experiment_dict()["dataset"], seed=6))
+    )
+    generation = store.add_generation(fresh.run, parent_generation=0)
+    assert generation == 1
+    return store
+
+
+@pytest.fixture(scope="module")
+def refs(swap_store, serial_result):
+    """Cold-start reference answers for both generations on one probe set."""
+    probe = serial_result.dataset.x_test
+    ref0 = EnsemblePredictor.load(swap_store.root, generation=0).predict_proba(probe)
+    ref1 = EnsemblePredictor.load(swap_store.root, generation=1).predict_proba(probe)
+    # The generations must actually disagree, or "old-or-new" proves nothing.
+    assert not np.array_equal(ref0, ref1)
+    return probe, ref0, ref1
+
+
+def test_swap_under_fire_drops_nothing_and_mixes_nothing(
+    swap_store, refs, shm_sweep
+):
+    probe, ref0, ref1 = refs
+    swap_store.promote(0)
+    pool = PoolPredictor(swap_store.root, workers=2, max_wait_ms=1.0)
+    try:
+        assert pool.generation == 0
+        stop = threading.Event()
+        failures = []
+        counts = {"old": 0, "new": 0}
+        lock = threading.Lock()
+
+        def hammer(tid):
+            i = 0
+            while not stop.is_set():
+                start = (tid * 7 + i) % 40
+                size = 1 + ((tid + i) % 7)
+                batch = probe[start : start + size]
+                try:
+                    out = pool.predict_proba(batch)
+                except Exception as exc:  # a dropped/failed request
+                    failures.append(f"thread {tid} request failed: {exc!r}")
+                    return
+                rows = batch.shape[0]
+                if np.array_equal(out, ref0[start : start + rows]):
+                    with lock:
+                        counts["old"] += 1
+                elif np.array_equal(out, ref1[start : start + rows]):
+                    with lock:
+                        counts["new"] += 1
+                else:
+                    failures.append(
+                        f"thread {tid} got an answer matching neither "
+                        f"generation for rows {start}:{start + rows}"
+                    )
+                    return
+                i += 1
+
+        threads = [
+            threading.Thread(target=hammer, args=(tid,)) for tid in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.3)  # traffic flowing on generation 0
+        swap_store.promote(1)
+        result = pool.swap()
+        time.sleep(0.3)  # traffic flowing on generation 1
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert all(not thread.is_alive() for thread in threads)
+        assert not failures, failures[:3]
+        assert result["status"] == "ok"
+        assert result["previous_generation"] == 0
+        assert result["generation"] == 1
+        assert result["workers_respawned"] == 2
+        assert counts["old"] > 0 and counts["new"] > 0, counts
+        assert pool.generation == 1
+        assert pool.info()["generation"] == 1
+        assert pool.info()["swaps"] == 1
+        assert pool.healthz()["generation"] == 1
+        assert pool.healthz()["status"] == "ok"
+        # Post-swap the pool answers purely from the new generation.
+        np.testing.assert_array_equal(pool.predict_proba(probe), ref1)
+    finally:
+        pool.close()
+
+
+def test_swap_without_pointer_move_is_a_noop(swap_store, refs, shm_sweep):
+    probe, ref0, _ = refs
+    swap_store.promote(0)
+    pool = PoolPredictor(swap_store.root, workers=1, max_wait_ms=0.0)
+    try:
+        result = pool.swap()
+        assert result["status"] == "noop"
+        assert result["workers_respawned"] == 0
+        assert pool.generation == 0
+        np.testing.assert_array_equal(pool.predict_proba(probe[:8]), ref0[:8])
+    finally:
+        pool.close()
+
+
+def test_swap_to_explicit_generation_and_back(swap_store, refs, shm_sweep):
+    probe, ref0, ref1 = refs
+    swap_store.promote(0)
+    pool = PoolPredictor(swap_store.root, workers=1, max_wait_ms=0.0)
+    try:
+        forward = pool.swap(generation=1)
+        assert forward["status"] == "ok"
+        assert pool.generation == 1
+        np.testing.assert_array_equal(pool.predict_proba(probe[:8]), ref1[:8])
+        rollback = pool.swap(generation=0)
+        assert rollback["status"] == "ok"
+        assert rollback["previous_generation"] == 1
+        assert pool.generation == 0
+        np.testing.assert_array_equal(pool.predict_proba(probe[:8]), ref0[:8])
+    finally:
+        pool.close()
+
+
+def test_second_swap_is_refused_while_one_runs(swap_store, shm_sweep):
+    swap_store.promote(0)
+    pool = PoolPredictor(swap_store.root, workers=1, max_wait_ms=0.0)
+    try:
+        assert pool._swap_lock.acquire(blocking=False)
+        try:
+            with pytest.raises(RuntimeError, match="already in progress"):
+                pool.swap(generation=1)
+        finally:
+            pool._swap_lock.release()
+    finally:
+        pool.close()
+
+
+def test_bare_directory_swap_is_a_noop(saved_artifact, shm_sweep):
+    pool = PoolPredictor(saved_artifact, workers=1, max_wait_ms=0.0)
+    try:
+        result = pool.swap()
+        assert result["status"] == "noop"
+        assert pool.generation == 0
+    finally:
+        pool.close()
